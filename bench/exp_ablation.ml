@@ -1,0 +1,232 @@
+(** Ablations motivated by the paper's design arguments:
+
+    - sharing granularity: the same SOR run on Millipage (fine-grain SC),
+      Ivy (page-grain SC: false sharing) and the LRC twin/diff baseline
+      (relaxed consistency: no false sharing but diff costs);
+    - polling: NT-timer polling vs. the idealized fast polling the authors
+      expect once the FM polling problem is solved (§3.5/§4.3);
+    - the false-sharing microbenchmark from §2.1: independent variables on
+      one page. *)
+
+open Mp_sim
+open Mp_millipage
+open Mp_apps
+module Tab = Mp_util.Tab
+module Is_mp = Is.Make (Mp_dsm.Millipage_impl)
+module Is_ivy = Is.Make (Mp_baselines.Ivy)
+module Is_lrc = Is.Make (Mp_baselines.Lrc)
+
+(* IS is the paper's cleanest false-sharing case: the whole 2 KB histogram
+   fits on one physical page, so the page-grain system serializes every
+   host's reduction on a single page while MultiView gives each 256-byte
+   region its own minipage. *)
+let is_p = { Is.default_params with keys = 1 lsl 17; iterations = 5 }
+let is_hosts = 8
+
+let run_millipage () =
+  let e = Engine.create () in
+  let t = Dsm.create e ~hosts:is_hosts () in
+  let h = Is_mp.setup t is_p in
+  Dsm.run t;
+  (Engine.now e, Dsm.messages_sent t, Is_mp.verify ~hosts:is_hosts h)
+
+let run_ivy () =
+  let e = Engine.create () in
+  let t = Mp_baselines.Ivy.create e ~hosts:is_hosts () in
+  let h = Is_ivy.setup t is_p in
+  Mp_baselines.Ivy.run t;
+  (Engine.now e, Mp_baselines.Ivy.messages_sent t, Is_ivy.verify ~hosts:is_hosts h)
+
+let run_lrc () =
+  let e = Engine.create () in
+  let t = Mp_baselines.Lrc.create e ~hosts:is_hosts () in
+  let h = Is_lrc.setup t is_p in
+  Mp_baselines.Lrc.run t;
+  (Engine.now e, Mp_baselines.Lrc.messages_sent t, Is_lrc.verify ~hosts:is_hosts h)
+
+let granularity () =
+  Harness.section
+    (Printf.sprintf "Ablation: sharing granularity and consistency (IS, %d hosts)"
+       is_hosts);
+  let rows =
+    List.map
+      (fun (name, (time, msgs, ok)) ->
+        [ name; Tab.fu time; string_of_int msgs; (if ok then "ok" else "FAIL") ])
+      [
+        ("millipage (fine-grain SC)", run_millipage ());
+        ("ivy (page-grain SC)", run_ivy ());
+        ("lrc (twin/diff relaxed)", run_lrc ());
+      ]
+  in
+  Tab.print ~header:[ "system"; "time us"; "messages"; "result" ] rows;
+  Harness.note
+    "expected: millipage beats ivy (whose hosts ping-pong the one histogram page) and";
+  Harness.note
+    "is competitive with lrc, without twins/diffs — the paper's headline claim."
+
+(* Fault a stream of minipages held by a host that is busy computing: the
+   situation of §3.5/§4.3, where the victim's sweeper (driven by NT's 1 ms
+   jittered timers) is the only thing that notices the request. *)
+let mean_fault_service polling =
+  let n = 150 in
+  let e, dsm = Harness.mk_dsm ~polling 2 in
+  let addrs = Mp_millipage.Dsm.malloc_array dsm ~count:n ~size:128 in
+  let stats = Mp_util.Stats.Summary.create () in
+  Dsm.spawn dsm ~host:1 (fun ctx ->
+      Array.iter (fun a -> Dsm.write_f64 ctx a 1.0) addrs;
+      Dsm.barrier ctx;
+      (* stay busy while host 0 faults on our minipages *)
+      Dsm.compute ctx 1_500_000.0);
+  Dsm.spawn dsm ~host:0 (fun ctx ->
+      Dsm.barrier ctx;
+      Array.iter
+        (fun a ->
+          Dsm.compute ctx 2_000.0;
+          let t0 = Engine.now e in
+          ignore (Dsm.read_f64 ctx a);
+          Mp_util.Stats.Summary.add stats (Engine.now e -. t0))
+        addrs);
+  Dsm.run dsm;
+  stats
+
+let polling () =
+  Harness.section "Ablation: average minipage request delay against a busy host";
+  let nt = mean_fault_service Mp_net.Polling.nt_mode in
+  let fast = mean_fault_service Mp_net.Polling.Fast in
+  let open Mp_util.Stats in
+  Tab.print
+    ~header:[ "polling"; "mean us"; "stddev"; "max" ]
+    [
+      [
+        "NT 1ms jittered timers (paper: ~750)";
+        Tab.fu (Summary.mean nt);
+        Tab.fu (Summary.stddev nt);
+        Tab.fu (Summary.max nt);
+      ];
+      [
+        "fast, polling problem solved";
+        Tab.fu (Summary.mean fast);
+        Tab.fu (Summary.stddev fast);
+        Tab.fu (Summary.max fast);
+      ];
+    ];
+  Harness.note
+    "the paper: ~750 us average service delay, only about a third from the DSM layer;";
+  Harness.note
+    "the rest is the server thread's response time under NT's coarse, jittery timers."
+
+let false_sharing () =
+  Harness.section "Ablation: §2.1 false-sharing microbenchmark (x,y,z on one page)";
+  let run chunking =
+    let e, dsm = Harness.mk_dsm ~polling:Mp_net.Polling.Fast ~chunking 4 in
+    let xs = Array.init 3 (fun _ -> Dsm.malloc dsm 256) in
+    for h = 1 to 3 do
+      Dsm.spawn dsm ~host:h (fun ctx ->
+          for i = 1 to 100 do
+            Dsm.write_f64 ctx xs.(h - 1) (float_of_int i);
+            Dsm.compute ctx 20.0
+          done)
+    done;
+    Dsm.run dsm;
+    (Engine.now e, Dsm.write_faults dsm)
+  in
+  let t_fine, wf_fine = run (Mp_multiview.Allocator.Fine 1) in
+  let t_page, wf_page = run Mp_multiview.Allocator.Page_grain in
+  Tab.print
+    ~header:[ "layout"; "time us"; "write faults" ]
+    [
+      [ "one view per variable (MultiView)"; Tab.fu t_fine; string_of_int wf_fine ];
+      [ "single page (classic page DSM)"; Tab.fu t_page; string_of_int wf_page ];
+    ]
+
+module Water_m = Water.Make (Mp_dsm.Millipage_impl)
+
+let composed_views () =
+  Harness.section "Ablation: composed views (§5) — WATER's read phase, 8 hosts";
+  let base = { Water.default_params with molecules = 512; iterations = 3 } in
+  let run label p chunking =
+    let e = Engine.create () in
+    let config = { Dsm.Config.default with chunking } in
+    let dsm = Dsm.create e ~hosts:8 ~config () in
+    let h = Water_m.setup dsm p in
+    Dsm.run dsm;
+    [
+      label;
+      Tab.fu (Engine.now e);
+      string_of_int (Dsm.read_faults dsm);
+      string_of_int (Dsm.competing_requests dsm);
+      (if Water_m.verify h then "ok" else "FAIL");
+    ]
+  in
+  Tab.print
+    ~header:[ "configuration"; "time us"; "read faults"; "competing"; "result" ]
+    [
+      run "fine-grain" base (Mp_multiview.Allocator.Fine 1);
+      run "fine-grain + composed view"
+        { base with composed_read_phase = true }
+        (Mp_multiview.Allocator.Fine 1);
+      run "chunking 5" base (Mp_multiview.Allocator.Fine 5);
+      run "chunking 5 + composed view"
+        { base with composed_read_phase = true }
+        (Mp_multiview.Allocator.Fine 5);
+    ];
+  Harness.note
+    "the §5 proposal: a coarse composed view for the read phase plus fine-grain writes";
+  Harness.note "beats the chunking compromise — batched group fetches cut the read-phase faults."
+
+module Water_mrc = Water.Make (Mp_baselines.Mrc)
+
+let rc_on_minipages () =
+  Harness.section
+    "Ablation: reduced consistency on minipages (§5) — WATER chunking sweep, 8 hosts";
+  let p = { Water.default_params with molecules = 256; iterations = 3 } in
+  let levels =
+    [
+      ("1", Mp_multiview.Allocator.Fine 1);
+      ("3", Mp_multiview.Allocator.Fine 3);
+      ("6", Mp_multiview.Allocator.Fine 6);
+      ("none", Mp_multiview.Allocator.Page_grain);
+    ]
+  in
+  let sc =
+    List.map
+      (fun (label, chunking) ->
+        let o = Apps_runner.water ~chunking ~p 8 in
+        (label, o.Apps_runner.time_us, o.verified))
+      levels
+  in
+  let rc =
+    List.map
+      (fun (label, chunking) ->
+        let e = Engine.create () in
+        let t = Mp_baselines.Mrc.create e ~hosts:8 ~chunking () in
+        let h = Water_mrc.setup t p in
+        Mp_baselines.Mrc.run t;
+        (label, Engine.now e, Water_mrc.verify h))
+      levels
+  in
+  let best xs = List.fold_left (fun acc (_, time, _) -> Float.min acc time) infinity xs in
+  let b_sc = best sc and b_rc = best rc in
+  Tab.print
+    ~header:[ "chunking"; "millipage SC eff."; "minipage-RC eff."; "result" ]
+    (List.map2
+       (fun (label, t_sc, ok_sc) (_, t_rc, ok_rc) ->
+         [
+           label;
+           Tab.fx (b_sc /. t_sc);
+           Tab.fx (b_rc /. t_rc);
+           (if ok_sc && ok_rc then "ok" else "FAIL");
+         ])
+       sc rc);
+  Harness.note
+    "§5's prediction: under RC the chunking-induced false sharing is absorbed by";
+  Harness.note
+    "multi-writer twins/diffs, so efficiency stays high across the whole sweep —";
+  Harness.note "and the diffs stay cheap because they cover minipages, not pages."
+
+let run () =
+  granularity ();
+  polling ();
+  false_sharing ();
+  composed_views ();
+  rc_on_minipages ()

@@ -1,0 +1,100 @@
+(** §4.2 in-text costs: read/write fault service times by minipage size and
+    number of invalidations, barrier scaling, lock+unlock, and the run-length
+    diff cost that a twin/diff protocol would have paid. *)
+
+open Mp_sim
+open Mp_millipage
+module Tab = Mp_util.Tab
+
+let fast = Mp_net.Polling.Fast
+
+(* Time a read fault on a minipage of [size] bytes at an otherwise idle
+   2-host system — the microbenchmark setting of §4.2. *)
+let read_fault_us size =
+  let e, dsm = Harness.mk_dsm ~polling:fast ~views:4 2 in
+  let x = Dsm.malloc dsm size in
+  let out = ref nan in
+  Dsm.spawn dsm ~host:1 (fun ctx ->
+      let t0 = Engine.now e in
+      ignore (Dsm.read_f64 ctx x);
+      out := Engine.now e -. t0);
+  Dsm.run dsm;
+  !out
+
+(* Write fault with [readers] read copies to invalidate first. *)
+let write_fault_us size readers =
+  let hosts = readers + 2 in
+  let e, dsm = Harness.mk_dsm ~polling:fast ~views:4 hosts in
+  let x = Dsm.malloc dsm size in
+  let out = ref nan in
+  Dsm.spawn dsm ~host:1 (fun ctx ->
+      Dsm.barrier ctx;
+      Dsm.barrier ctx;
+      let t0 = Engine.now e in
+      Dsm.write_f64 ctx x 1.0;
+      out := Engine.now e -. t0);
+  for r = 2 to hosts - 1 do
+    Dsm.spawn dsm ~host:r (fun ctx ->
+        Dsm.barrier ctx;
+        ignore (Dsm.read_f64 ctx x);
+        Dsm.barrier ctx)
+  done;
+  Dsm.run dsm;
+  !out
+
+let barrier_us hosts =
+  let e, dsm = Harness.mk_dsm ~polling:fast hosts in
+  let times = Array.make hosts nan in
+  for h = 0 to hosts - 1 do
+    Dsm.spawn dsm ~host:h (fun ctx ->
+        let t0 = Engine.now e in
+        Dsm.barrier ctx;
+        times.(h) <- Engine.now e -. t0)
+  done;
+  Dsm.run dsm;
+  Array.fold_left Float.max 0.0 times
+
+let lock_unlock_us () =
+  let e, dsm = Harness.mk_dsm ~polling:fast 2 in
+  let out = ref nan in
+  Dsm.spawn dsm ~host:1 (fun ctx ->
+      let t0 = Engine.now e in
+      Dsm.lock ctx 0;
+      Dsm.unlock ctx 0;
+      out := Engine.now e -. t0);
+  Dsm.run dsm;
+  !out
+
+let run () =
+  Harness.section "§4.2: fault service times (idle hosts, fast polling)";
+  Tab.print
+    ~header:[ "operation"; "paper us"; "ours us" ]
+    [
+      [ "read fault, 128 B minipage"; "204"; Tab.fu (read_fault_us 128) ];
+      [ "read fault, 4 KB minipage"; "314"; Tab.fu (read_fault_us 4096) ];
+      [ "write fault, 128 B, 0 invalidations"; "212"; Tab.fu (write_fault_us 128 0) ];
+      [ "write fault, 128 B, 3 invalidations"; "~290"; Tab.fu (write_fault_us 128 3) ];
+      [ "write fault, 128 B, 6 invalidations"; "366"; Tab.fu (write_fault_us 128 6) ];
+      [ "write fault, 4 KB, 0 invalidations"; "327"; Tab.fu (write_fault_us 4096 0) ];
+      [ "write fault, 4 KB, 6 invalidations"; "480"; Tab.fu (write_fault_us 4096 6) ];
+    ];
+  Harness.section "§4.2: barrier cost, 1-8 hosts (paper: 59-153 us, linear)";
+  Tab.print
+    ~header:[ "hosts"; "ours us" ]
+    (List.map
+       (fun h -> [ string_of_int h; Tab.fu (barrier_us h) ])
+       [ 1; 2; 3; 4; 5; 6; 7; 8 ]);
+  Harness.section "§4.2: lock followed by unlock (paper: 67-80 us)";
+  Harness.note "lock+unlock: %.0f us" (lock_unlock_us ());
+  Harness.section "§4.2: run-length diff creation (paper: 250 us per 4 KB, linear)";
+  Tab.print
+    ~header:[ "page"; "ours us" ]
+    (List.map
+       (fun bytes ->
+         [
+           Printf.sprintf "%d B" bytes;
+           Tab.fu (Mp_baselines.Twin_diff.creation_cost_us ~page_bytes:bytes);
+         ])
+       [ 1024; 2048; 4096 ]);
+  Harness.note
+    "(diffs are what Millipage's thin protocol avoids entirely; the LRC baseline pays them)"

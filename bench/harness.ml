@@ -1,0 +1,34 @@
+(** Shared plumbing for the paper-reproduction benches. *)
+
+open Mp_sim
+open Mp_millipage
+
+let section title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n%!" s) fmt
+
+let mk_dsm ?(polling = Mp_net.Polling.nt_mode) ?(views = 32)
+    ?(object_size = 16 * 1024 * 1024) ?(chunking = Mp_multiview.Allocator.Fine 1)
+    ?(seed = 1) hosts =
+  let e = Engine.create () in
+  let config =
+    { Dsm.Config.default with polling; views; object_size; chunking; seed }
+  in
+  (e, Dsm.create e ~hosts ~config ())
+
+(* Run a one-shot probe inside a simulated thread and return the measured
+   duration in µs. *)
+let timed_probe (e : Engine.t) f =
+  let out = ref nan in
+  let wrap ctx =
+    let t0 = Engine.now e in
+    f ctx;
+    out := Engine.now e -. t0
+  in
+  (wrap, out)
+
+let pct x = Printf.sprintf "%.0f%%" (100.0 *. x)
+
+let dev ~paper ~ours =
+  if paper = 0.0 then "-" else Printf.sprintf "%+.0f%%" (100.0 *. ((ours /. paper) -. 1.0))

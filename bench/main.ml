@@ -1,0 +1,69 @@
+(** Benchmark harness regenerating every table and figure of the paper's
+    evaluation (§4).  Run without arguments for the full set; see
+    [--help] for individual experiments. *)
+
+open Cmdliner
+
+let all_experiments ~full ~fast () =
+  Exp_table1.run ();
+  Exp_costs.run ();
+  Exp_fig5.run ~full ();
+  Exp_table2.run ();
+  Exp_fig6.run ~fast ();
+  Exp_fig7.run ();
+  Exp_ablation.run ();
+  Exp_gms.run ();
+  Bechamel_bench.run ()
+
+let full_flag =
+  Arg.(value & flag & info [ "full" ] ~doc:"Run Figure 5 over the full size grid.")
+
+let fast_flag =
+  Arg.(
+    value & flag
+    & info [ "fast-polling" ]
+        ~doc:"Run Figure 6 with idealized fast polling instead of NT timers.")
+
+let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
+
+let table1 = cmd "table1" "Table 1: basic operation costs" Term.(const Exp_table1.run $ const ())
+let costs = cmd "costs" "§4.2 in-text costs" Term.(const Exp_costs.run $ const ())
+
+let fig5 =
+  cmd "fig5" "Figure 5: MultiView overhead"
+    Term.(const (fun full -> Exp_fig5.run ~full ()) $ full_flag)
+
+let table2 = cmd "table2" "Table 2: application suite" Term.(const Exp_table2.run $ const ())
+
+let fig6 =
+  cmd "fig6" "Figure 6: speedups and breakdown"
+    Term.(const (fun fast -> Exp_fig6.run ~fast ()) $ fast_flag)
+
+let fig7 =
+  cmd "fig7" "Figure 7: chunking in WATER"
+    Term.(const (fun () -> Exp_fig7.run ()) $ const ())
+let ablation = cmd "ablation" "Design ablations" Term.(const Exp_ablation.run $ const ())
+
+let gms =
+  cmd "gms" "Subpages in a global memory system (§5 extension)"
+    Term.(const Exp_gms.run $ const ())
+
+let bechamel =
+  cmd "bechamel" "Wall-clock microbenchmarks of simulator primitives"
+    Term.(const Bechamel_bench.run $ const ())
+
+let all_cmd =
+  cmd "all" "Run every experiment"
+    Term.(const (fun full fast -> all_experiments ~full ~fast ()) $ full_flag $ fast_flag)
+
+let default = Term.(const (fun () -> all_experiments ~full:false ~fast:false ()) $ const ())
+
+let () =
+  let info =
+    Cmd.info "millipage-bench"
+      ~doc:"Reproduce the tables and figures of 'MultiView and Millipage' (OSDI '99)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ table1; costs; fig5; table2; fig6; fig7; ablation; gms; bechamel; all_cmd ]))

@@ -1,0 +1,164 @@
+(** mprun — run one benchmark application on one DSM system.
+
+    Examples:
+    {v
+    mprun --app sor --hosts 8
+    mprun --app water --hosts 4 --chunking 5
+    mprun --app is --system ivy --hosts 8 --polling fast
+    mprun --app tsp --system lrc --hosts 4
+    v} *)
+
+open Cmdliner
+open Mp_sim
+open Mp_apps
+
+module Runner (D : Mp_dsm.Dsm_intf.S) = struct
+  let run (t : D.t) app paper =
+    let hosts = D.hosts t in
+    match app with
+    | "sor" ->
+      let module A = Sor.Make (D) in
+      let p = if paper then Sor.paper_params else Sor.default_params in
+      let h = A.setup t p in
+      D.run t;
+      A.verify h
+    | "is" ->
+      let module A = Is.Make (D) in
+      let p = if paper then Is.paper_params else Is.default_params in
+      let h = A.setup t p in
+      D.run t;
+      A.verify ~hosts h
+    | "water" ->
+      let module A = Water.Make (D) in
+      let p = if paper then Water.paper_params else Water.default_params in
+      let h = A.setup t p in
+      D.run t;
+      A.verify h
+    | "lu" ->
+      let module A = Lu.Make (D) in
+      let p = if paper then Lu.paper_params else Lu.default_params in
+      let h = A.setup t p in
+      D.run t;
+      A.verify h
+    | "tsp" ->
+      let module A = Tsp.Make (D) in
+      let p = if paper then Tsp.paper_params else Tsp.default_params in
+      let h = A.setup t p in
+      D.run t;
+      A.verify h
+    | other -> invalid_arg (Printf.sprintf "unknown app %S (sor|is|water|lu|tsp)" other)
+
+  let report (t : D.t) engine verified =
+    Printf.printf "system:       %s\n" D.name;
+    Printf.printf "time:         %.0f us (simulated)\n" (Engine.now engine);
+    Printf.printf "read faults:  %d\n" (D.read_faults t);
+    Printf.printf "write faults: %d\n" (D.write_faults t);
+    Printf.printf "messages:     %d (%d bytes)\n" (D.messages_sent t) (D.bytes_sent t);
+    Printf.printf "result:       %s\n" (if verified then "verified" else "MISMATCH");
+    if not verified then exit 1
+end
+
+let execute app system hosts chunking polling paper =
+  let polling_mode =
+    match polling with
+    | "nt" -> Mp_net.Polling.nt_mode
+    | "fast" -> Mp_net.Polling.Fast
+    | other -> invalid_arg (Printf.sprintf "unknown polling %S (nt|fast)" other)
+  in
+  let chunking_mode =
+    match chunking with
+    | "none" -> Mp_multiview.Allocator.Page_grain
+    | s -> Mp_multiview.Allocator.Fine (int_of_string s)
+  in
+  let engine = Engine.create () in
+  match system with
+  | "millipage" ->
+    let config =
+      {
+        Mp_millipage.Dsm.Config.default with
+        polling = polling_mode;
+        chunking = chunking_mode;
+      }
+    in
+    let t = Mp_millipage.Dsm.create engine ~hosts ~config () in
+    let module R = Runner (Mp_dsm.Millipage_impl) in
+    let ok = R.run t app paper in
+    R.report t engine ok;
+    Printf.printf "views used:   %d, competing requests: %d\n"
+      (Mp_millipage.Dsm.views_used t)
+      (Mp_millipage.Dsm.competing_requests t);
+    let bd = Mp_millipage.Dsm.breakdown_total t in
+    Printf.printf "breakdown:    %s\n"
+      (String.concat ", "
+         (List.map
+            (fun (label, share) -> Printf.sprintf "%s %.0f%%" label (100.0 *. share))
+            (Mp_millipage.Breakdown.fractions bd)))
+  | "ivy" ->
+    let t = Mp_baselines.Ivy.create engine ~hosts ~polling:polling_mode () in
+    let module R = Runner (Mp_baselines.Ivy) in
+    let ok = R.run t app paper in
+    R.report t engine ok
+  | "lrc" ->
+    let t = Mp_baselines.Lrc.create engine ~hosts ~polling:polling_mode () in
+    let module R = Runner (Mp_baselines.Lrc) in
+    let ok = R.run t app paper in
+    R.report t engine ok;
+    Printf.printf "diffs:        %d (%d bytes), twins: %d\n"
+      (Mp_baselines.Lrc.diffs_created t)
+      (Mp_baselines.Lrc.diff_bytes t)
+      (Mp_baselines.Lrc.twins_created t)
+  | "mrc" ->
+    let t =
+      Mp_baselines.Mrc.create engine ~hosts ~chunking:chunking_mode
+        ~polling:polling_mode ()
+    in
+    let module R = Runner (Mp_baselines.Mrc) in
+    let ok = R.run t app paper in
+    R.report t engine ok;
+    Printf.printf "diffs:        %d (%d bytes), twins: %d, views: %d\n"
+      (Mp_baselines.Mrc.diffs_created t)
+      (Mp_baselines.Mrc.diff_bytes t)
+      (Mp_baselines.Mrc.twins_created t)
+      (Mp_baselines.Mrc.views_used t)
+  | other -> invalid_arg (Printf.sprintf "unknown system %S (millipage|ivy|lrc|mrc)" other)
+
+let app_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "a"; "app" ] ~docv:"APP" ~doc:"Application: sor, is, water, lu or tsp.")
+
+let system_arg =
+  Arg.(
+    value & opt string "millipage"
+    & info [ "s"; "system" ] ~docv:"SYS"
+        ~doc:"DSM system: millipage, ivy, lrc, or mrc (relaxed consistency on minipages).")
+
+let hosts_arg =
+  Arg.(value & opt int 8 & info [ "n"; "hosts" ] ~docv:"N" ~doc:"Number of hosts (1-8+).")
+
+let chunking_arg =
+  Arg.(
+    value & opt string "1"
+    & info [ "c"; "chunking" ] ~docv:"LEVEL"
+        ~doc:"Chunking level (integer) or 'none' for page-grain (millipage only).")
+
+let polling_arg =
+  Arg.(
+    value & opt string "nt"
+    & info [ "p"; "polling" ] ~docv:"MODE" ~doc:"Polling model: nt or fast.")
+
+let paper_arg =
+  Arg.(
+    value & flag
+    & info [ "paper-size" ] ~doc:"Use the paper's full input sets (slow).")
+
+let () =
+  let term =
+    Term.(const execute $ app_arg $ system_arg $ hosts_arg $ chunking_arg $ polling_arg
+          $ paper_arg)
+  in
+  let info =
+    Cmd.info "mprun" ~doc:"Run a Millipage benchmark application on a simulated cluster"
+  in
+  exit (Cmd.eval (Cmd.v info term))

@@ -1,0 +1,70 @@
+(** Table 2 of the paper: the application suite's shared-memory footprint,
+    view counts, sharing granularity and synchronization volume, used by the
+    bench harness to print paper-vs-measured rows. *)
+
+type row = {
+  name : string;
+  input_set : string;
+  shared_mem : string;
+  views : int;
+  granularity : string;
+  barriers : int;
+  locks : int;  (** -1 when the paper reports none *)
+}
+
+let table2 =
+  [
+    {
+      name = "SOR";
+      input_set = "32768x64 matrices";
+      shared_mem = "8 MB";
+      views = 16;
+      granularity = "a row, 256 bytes";
+      barriers = 21;
+      locks = -1;
+    };
+    {
+      name = "IS";
+      input_set = "2^23 numbers, 2^9 values";
+      shared_mem = "2 KB";
+      views = 8;
+      granularity = "256 bytes";
+      barriers = 90;
+      locks = -1;
+    };
+    {
+      name = "WATER";
+      input_set = "512 molecules";
+      shared_mem = "336 KB";
+      views = 6;
+      granularity = "a molecule, 672 bytes";
+      barriers = 29;
+      locks = 6720;
+    };
+    {
+      name = "LU";
+      input_set = "1024x1024 mat., 32x32 blocks";
+      shared_mem = "8 MB";
+      views = 1;
+      granularity = "a block, 4 KB";
+      barriers = 577;
+      locks = -1;
+    };
+    {
+      name = "TSP";
+      input_set = "19 cities, recursion level 12";
+      shared_mem = "785 KB";
+      views = 27;
+      granularity = "a tour, 148 bytes";
+      barriers = 3;
+      locks = 681;
+    };
+  ]
+
+let alloc_size = function
+  | "SOR" -> 256
+  | "IS" -> 256
+  | "WATER" -> 672
+  | "LU" -> 4096
+  | "TSP" -> 148
+  | name -> invalid_arg ("Workloads.alloc_size: " ^ name)

@@ -1,0 +1,40 @@
+type run = { off : int; data : bytes }
+
+type t = run list
+
+let twin page = Bytes.copy page
+
+let diff ~twin ~current =
+  let n = Bytes.length twin in
+  if Bytes.length current <> n then invalid_arg "Twin_diff.diff: length mismatch";
+  let runs = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if Bytes.get twin !i = Bytes.get current !i then incr i
+    else begin
+      let start = !i in
+      while !i < n && Bytes.get twin !i <> Bytes.get current !i do
+        incr i
+      done;
+      runs := { off = start; data = Bytes.sub current start (!i - start) } :: !runs
+    end
+  done;
+  List.rev !runs
+
+let apply t target =
+  List.iter
+    (fun { off; data } ->
+      if off < 0 || off + Bytes.length data > Bytes.length target then
+        invalid_arg "Twin_diff.apply: run outside target";
+      Bytes.blit data 0 target off (Bytes.length data))
+    t
+
+let is_empty t = t = []
+let run_count = List.length
+
+let encoded_bytes t =
+  List.fold_left (fun acc { data; _ } -> acc + 8 + Bytes.length data) 0 t
+
+let creation_cost_us ~page_bytes = 250.0 *. float_of_int page_bytes /. 4096.0
+
+let apply_cost_us t = 2.0 +. (0.01 *. float_of_int (encoded_bytes t))

@@ -1,0 +1,59 @@
+type kind = Read | Write
+
+type op = { time : float; host : int; loc : int; kind : kind; value : int }
+
+type t = { initial : int; mutable ops : op list; mutable count : int }
+
+let create ?(initial = 0) () = { initial; ops = []; count = 0 }
+
+let record t ~time ~host ~loc ~kind ~value =
+  t.ops <- { time; host; loc; kind; value } :: t.ops;
+  t.count <- t.count + 1
+
+let operations t = t.count
+
+let check t =
+  let violations = ref [] in
+  let flag fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  (* stable sort by time keeps the recording order for simultaneous ops *)
+  let ops = List.stable_sort (fun a b -> Float.compare a.time b.time) (List.rev t.ops) in
+  let by_loc = Hashtbl.create 16 in
+  List.iter
+    (fun op ->
+      let l = Option.value ~default:[] (Hashtbl.find_opt by_loc op.loc) in
+      Hashtbl.replace by_loc op.loc (op :: l))
+    ops;
+  Hashtbl.iter
+    (fun loc rev_ops ->
+      let ops = List.rev rev_ops in
+      (* write order = completion order; ranks start at 1, initial value = 0 *)
+      let rank = Hashtbl.create 16 in
+      Hashtbl.add rank t.initial 0;
+      let next = ref 0 in
+      List.iter
+        (fun op ->
+          if op.kind = Write then begin
+            incr next;
+            if Hashtbl.mem rank op.value then
+              flag "loc %d: write value %d is not unique" loc op.value;
+            Hashtbl.replace rank op.value !next
+          end)
+        ops;
+      (* per-host monotonicity *)
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun op ->
+          match Hashtbl.find_opt rank op.value with
+          | None ->
+            flag "loc %d: host %d read value %d that nobody wrote" loc op.host op.value
+          | Some r ->
+            let prev = Option.value ~default:(-1) (Hashtbl.find_opt seen op.host) in
+            if r < prev then
+              flag
+                "loc %d: host %d observed write #%d after having observed write #%d \
+                 (stale read at t=%.1f)"
+                loc op.host r prev op.time;
+            Hashtbl.replace seen op.host (max r prev))
+        ops)
+    by_loc;
+  List.rev !violations

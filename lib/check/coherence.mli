@@ -1,0 +1,33 @@
+(** Per-location coherence checking for DSM executions.
+
+    Record every shared read and write (with unique write values) while a
+    program runs; {!check} then verifies the two properties any sequentially
+    consistent DSM must satisfy per location, without false positives from
+    cross-host timing:
+
+    - {e value integrity}: every read returns the initial value or the value
+      of some recorded write to that location;
+    - {e per-host monotonicity}: once a host has observed (read or written)
+      the [k]-th write in a location's write order, none of its later
+      operations may observe an earlier write — stale reads after an
+      invalidation are protocol bugs, and this is how they surface.
+
+    Write order per location is the completion order, which the
+    single-writer protocol makes unambiguous (a second write cannot complete
+    before the first's ack releases the minipage). *)
+
+type kind = Read | Write
+
+type t
+
+val create : ?initial:int -> unit -> t
+(** [initial] is the value locations hold before any write (default 0). *)
+
+val record : t -> time:float -> host:int -> loc:int -> kind:kind -> value:int -> unit
+(** For writes, [value] must be unique across the whole run. *)
+
+val operations : t -> int
+
+val check : t -> string list
+(** Empty when the execution is coherent; otherwise human-readable
+    violations. *)

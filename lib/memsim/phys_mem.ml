@@ -1,0 +1,60 @@
+type t = bytes
+
+let create size =
+  if size < 0 then invalid_arg "Phys_mem.create: negative size";
+  Bytes.make size '\000'
+
+let size = Bytes.length
+
+let check t off len =
+  if off < 0 || len < 0 || off + len > Bytes.length t then
+    invalid_arg
+      (Printf.sprintf "Phys_mem: access [%d, %d) outside region of %d bytes" off
+         (off + len) (Bytes.length t))
+
+let get_u8 t off =
+  check t off 1;
+  Char.code (Bytes.get t off)
+
+let set_u8 t off v =
+  check t off 1;
+  Bytes.set t off (Char.chr (v land 0xFF))
+
+let get_i32 t off =
+  check t off 4;
+  Bytes.get_int32_le t off
+
+let set_i32 t off v =
+  check t off 4;
+  Bytes.set_int32_le t off v
+
+let get_i64 t off =
+  check t off 8;
+  Bytes.get_int64_le t off
+
+let set_i64 t off v =
+  check t off 8;
+  Bytes.set_int64_le t off v
+
+let get_f64 t off = Int64.float_of_bits (get_i64 t off)
+let set_f64 t off v = set_i64 t off (Int64.bits_of_float v)
+
+let get_int t off = Int64.to_int (get_i64 t off)
+let set_int t off v = set_i64 t off (Int64.of_int v)
+
+let blit ~src ~src_off ~dst ~dst_off ~len =
+  check src src_off len;
+  check dst dst_off len;
+  Bytes.blit src src_off dst dst_off len
+
+let read_bytes t ~off ~len =
+  check t off len;
+  Bytes.sub t off len
+
+let write_bytes t ~off b =
+  check t off (Bytes.length b);
+  Bytes.blit b 0 t off (Bytes.length b)
+
+let fill t ~off ~len c =
+  check t off len;
+  Bytes.fill t off len c

@@ -1,0 +1,33 @@
+(** Raw physical memory: a flat byte array with typed accessors.
+
+    All offsets are byte offsets from the start of the region.  Out-of-range
+    access raises [Invalid_argument]. *)
+
+type t
+
+val create : int -> t
+(** Zero-filled region of the given size in bytes. *)
+
+val size : t -> int
+
+val get_u8 : t -> int -> int
+val set_u8 : t -> int -> int -> unit
+
+val get_i32 : t -> int -> int32
+val set_i32 : t -> int -> int32 -> unit
+
+val get_i64 : t -> int -> int64
+val set_i64 : t -> int -> int64 -> unit
+
+val get_f64 : t -> int -> float
+val set_f64 : t -> int -> float -> unit
+
+val get_int : t -> int -> int
+(** 63-bit OCaml int stored as 8 bytes. *)
+
+val set_int : t -> int -> int -> unit
+
+val blit : src:t -> src_off:int -> dst:t -> dst_off:int -> len:int -> unit
+val read_bytes : t -> off:int -> len:int -> bytes
+val write_bytes : t -> off:int -> bytes -> unit
+val fill : t -> off:int -> len:int -> char -> unit

@@ -1,0 +1,13 @@
+(** Page protection, mirroring [PAGE_NOACCESS] / [PAGE_READONLY] /
+    [PAGE_READWRITE]. *)
+
+type t = No_access | Read_only | Read_write
+
+type access = Read | Write
+
+val allows : t -> access -> bool
+val to_string : t -> string
+val access_to_string : access -> string
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

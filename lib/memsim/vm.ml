@@ -1,0 +1,163 @@
+open Mp_util
+
+type view = { base : int; prot : Prot.t array; fixed : bool }
+
+type t = {
+  obj : Memobject.t;
+  mutable views : view array;
+  page_size : int;
+  vpages : int;
+  stride : int;  (* distance between consecutive view bases *)
+  first_base : int;
+  mutable handler : (fault -> unit) option;
+  counters : Stats.Counters.t;
+}
+
+and fault = { addr : int; access : Prot.access; view : int; vpage : int; phys_off : int }
+
+exception Access_violation of fault
+exception Fault_storm of fault
+exception Bad_address of int
+
+let max_fault_retries = 64
+
+let create obj =
+  let page_size = Memobject.page_size obj in
+  let size = Memobject.size obj in
+  (* One guard page between views catches stray pointer arithmetic. *)
+  {
+    obj;
+    views = [||];
+    page_size;
+    vpages = Memobject.pages obj;
+    stride = size + page_size;
+    first_base = page_size;
+    handler = None;
+    counters = Stats.Counters.create ();
+  }
+
+let view_count t = Array.length t.views
+let view_size t = Memobject.size t.obj
+let page_size t = t.page_size
+let vpages_per_view t = t.vpages
+
+let map_view ?(fixed = false) t initial =
+  let index = Array.length t.views in
+  let base = t.first_base + (index * t.stride) in
+  let view = { base; prot = Array.make t.vpages initial; fixed } in
+  t.views <- Array.append t.views [| view |];
+  index
+
+let map_privileged_view t = map_view ~fixed:true t Prot.Read_write
+
+let view t i =
+  if i < 0 || i >= Array.length t.views then invalid_arg "Vm: no such view";
+  t.views.(i)
+
+let view_base t i = (view t i).base
+
+let address t ~view:i off =
+  if off < 0 || off >= view_size t then invalid_arg "Vm.address: offset out of range";
+  (view t i).base + off
+
+let translate t addr =
+  let rel = addr - t.first_base in
+  if rel < 0 then raise (Bad_address addr);
+  let idx = rel / t.stride in
+  let off = rel mod t.stride in
+  if idx >= Array.length t.views || off >= view_size t then raise (Bad_address addr);
+  (idx, off / t.page_size, off)
+
+let protect t ~view:i ~vpage prot =
+  let v = view t i in
+  if v.fixed then invalid_arg "Vm.protect: view protection is fixed";
+  if vpage < 0 || vpage >= t.vpages then invalid_arg "Vm.protect: bad vpage";
+  v.prot.(vpage) <- prot
+
+let protect_range t ~view:i ~phys_off ~len prot =
+  if len <= 0 then invalid_arg "Vm.protect_range: non-positive length";
+  let first = phys_off / t.page_size in
+  let last = (phys_off + len - 1) / t.page_size in
+  for vpage = first to last do
+    protect t ~view:i ~vpage prot
+  done
+
+let protection t ~view:i ~vpage =
+  if vpage < 0 || vpage >= t.vpages then invalid_arg "Vm.protection: bad vpage";
+  (view t i).prot.(vpage)
+
+let protection_at t addr =
+  let idx, vpage, _ = translate t addr in
+  protection t ~view:idx ~vpage
+
+let set_fault_handler t handler = t.handler <- Some handler
+let counters t = t.counters
+
+(* Check that every vpage covered by [addr, addr+len) allows [access]; on a
+   violation call the handler and retry, as the hardware would re-execute the
+   faulting instruction. *)
+let ensure_access t addr len access =
+  let idx, _, phys_off = translate t addr in
+  let v = view t idx in
+  let first = phys_off / t.page_size in
+  let last = (phys_off + len - 1) / t.page_size in
+  if last >= t.vpages then raise (Bad_address (addr + len - 1));
+  let faulting_vpage () =
+    let rec go vp =
+      if vp > last then None
+      else if not (Prot.allows v.prot.(vp) access) then Some vp
+      else go (vp + 1)
+    in
+    go first
+  in
+  let rec retry n =
+    match faulting_vpage () with
+    | None -> ()
+    | Some vp ->
+      let fault =
+        { addr; access; view = idx; vpage = vp; phys_off = vp * t.page_size }
+      in
+      Stats.Counters.incr t.counters
+        (match access with Prot.Read -> "fault.read" | Prot.Write -> "fault.write");
+      (match t.handler with
+      | None -> raise (Access_violation fault)
+      | Some h ->
+        if n >= max_fault_retries then raise (Fault_storm fault);
+        h fault);
+      retry (n + 1)
+  in
+  retry 0;
+  phys_off
+
+let mem t = Memobject.mem t.obj
+
+let read_access t addr len =
+  Stats.Counters.incr t.counters "access.read";
+  ensure_access t addr len Prot.Read
+
+let write_access t addr len =
+  Stats.Counters.incr t.counters "access.write";
+  ensure_access t addr len Prot.Write
+
+let read_u8 t addr = Phys_mem.get_u8 (mem t) (read_access t addr 1)
+let write_u8 t addr v = Phys_mem.set_u8 (mem t) (write_access t addr 1) v
+let read_i32 t addr = Phys_mem.get_i32 (mem t) (read_access t addr 4)
+let write_i32 t addr v = Phys_mem.set_i32 (mem t) (write_access t addr 4) v
+let read_f64 t addr = Phys_mem.get_f64 (mem t) (read_access t addr 8)
+let write_f64 t addr v = Phys_mem.set_f64 (mem t) (write_access t addr 8) v
+let read_int t addr = Phys_mem.get_int (mem t) (read_access t addr 8)
+let write_int t addr v = Phys_mem.set_int (mem t) (write_access t addr 8) v
+
+let read_bytes t addr len =
+  let off = read_access t addr len in
+  Phys_mem.read_bytes (mem t) ~off ~len
+
+let write_bytes t addr b =
+  let off = write_access t addr (Bytes.length b) in
+  Phys_mem.write_bytes (mem t) ~off b
+
+let priv_read_bytes t ~off ~len = Phys_mem.read_bytes (mem t) ~off ~len
+let priv_write_bytes t ~off b = Phys_mem.write_bytes (mem t) ~off b
+
+let priv_blit_in t ~src ~src_off ~dst_off ~len =
+  Phys_mem.blit ~src ~src_off ~dst:(mem t) ~dst_off ~len

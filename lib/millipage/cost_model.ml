@@ -1,0 +1,26 @@
+type t = {
+  fault_us : float;
+  get_prot_us : float;
+  set_prot_us : float;
+  mpt_lookup_us : float;
+  header_bytes : int;
+  dispatch_us : float;
+  sync_dispatch_us : float;
+  wakeup_us : float;
+  recv_dma_us_per_byte : float;
+}
+
+let default =
+  {
+    fault_us = 26.0;
+    get_prot_us = 7.0;
+    set_prot_us = 12.0;
+    mpt_lookup_us = 7.0;
+    header_bytes = 32;
+    dispatch_us = 21.0;
+    sync_dispatch_us = 12.0;
+    wakeup_us = 25.0;
+    recv_dma_us_per_byte = 0.0086;
+  }
+
+let data_message_bytes _t len = len

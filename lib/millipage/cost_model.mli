@@ -1,0 +1,29 @@
+(** Calibrated costs of basic DSM operations (Table 1 and §3.5).
+
+    The primitive costs come straight from the paper's measurements on
+    Pentium II 300 MHz / Windows NT 4.0 / FM-on-Myrinet; [dispatch_us],
+    [wakeup_us] and [recv_dma_us_per_byte] are fitted so that the emergent
+    end-to-end times (read fault 204/314 µs for 128 B / 4 KB minipages,
+    write fault 212–366 µs, barrier 59–153 µs, lock+unlock 67–80 µs)
+    reproduce §4.2. *)
+
+type t = {
+  fault_us : float;  (** access fault: exception raise → handler entry (26) *)
+  get_prot_us : float;  (** VirtualQuery-style protection read (7) *)
+  set_prot_us : float;  (** VirtualProtect per vpage (12) *)
+  mpt_lookup_us : float;  (** minipage translation at the manager (7) *)
+  header_bytes : int;  (** protocol message size (32) *)
+  dispatch_us : float;
+      (** per-message server-thread cost: FM receive processing + handler
+          dispatch *)
+  sync_dispatch_us : float;
+      (** same, for the tiny barrier/lock handlers which do no translation *)
+  wakeup_us : float;  (** SetEvent → blocked thread running again *)
+  recv_dma_us_per_byte : float;
+      (** per-byte cost of landing minipage contents in user memory *)
+}
+
+val default : t
+
+val data_message_bytes : t -> int -> int
+(** Wire size of a data message carrying a minipage of the given length. *)

@@ -1,0 +1,56 @@
+module Host_set = Set.Make (Int)
+
+type pending =
+  | No_op
+  | Reads_in_flight of { mutable count : int }
+  | Write_waiting_invals of { req_id : int; from : int; mutable missing : int }
+  | Write_in_flight of { req_id : int; from : int }
+  | Push_waiting_acks of { req_id : int; from : int; mutable missing : int }
+
+type entry = {
+  mp : Mp_multiview.Minipage.t;
+  mutable owner : int;
+  mutable copyset : Host_set.t;
+  mutable pending : pending;
+  queue : queued Queue.t;
+}
+
+and queued =
+  | Q_request of { req_id : int; from : int; access : Proto.access; addr : int }
+  | Q_push of { req_id : int; from : int; data : bytes }
+
+type t = {
+  initial_owner : int;
+  table : (int, entry) Hashtbl.t;
+  mutable competing : int;
+}
+
+let create ~initial_owner = { initial_owner; table = Hashtbl.create 256; competing = 0 }
+
+let register t mp =
+  let entry =
+    {
+      mp;
+      owner = t.initial_owner;
+      copyset = Host_set.singleton t.initial_owner;
+      pending = No_op;
+      queue = Queue.create ();
+    }
+  in
+  Hashtbl.replace t.table mp.Mp_multiview.Minipage.id entry
+
+let entry t ~mp_id =
+  match Hashtbl.find_opt t.table mp_id with
+  | Some e -> e
+  | None -> raise Not_found
+
+let busy e = e.pending <> No_op
+
+let enqueue t e q =
+  t.competing <- t.competing + 1;
+  Queue.add q e.queue
+
+let dequeue e = Queue.take_opt e.queue
+let peek e = Queue.peek_opt e.queue
+let competing_requests t = t.competing
+let entries t = Hashtbl.to_seq_values t.table

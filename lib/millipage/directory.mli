@@ -1,0 +1,56 @@
+(** Manager-side directory: per-minipage location and serialization state.
+
+    One entry per minipage holds the copyset (hosts with read copies), the
+    owner (host with the writable copy, or the last writer), and the busy
+    flag + queue that serialize operations on the minipage.  Requests that
+    arrive while an earlier request on the same minipage is still in flight
+    are queued — those are the "competing requests" counted in Figure 7. *)
+
+module Host_set : Set.S with type elt = int
+
+type pending =
+  | No_op
+  | Reads_in_flight of { mutable count : int }
+      (** concurrent read requests are all forwarded immediately — only
+          writes conflict, which is what keeps the competing-request count of
+          unchunked WATER low (§4.4) *)
+  | Write_waiting_invals of { req_id : int; from : int; mutable missing : int }
+  | Write_in_flight of { req_id : int; from : int }
+  | Push_waiting_acks of { req_id : int; from : int; mutable missing : int }
+
+type entry = {
+  mp : Mp_multiview.Minipage.t;
+  mutable owner : int;
+  mutable copyset : Host_set.t;
+  mutable pending : pending;
+  queue : queued Queue.t;
+}
+
+and queued =
+  | Q_request of { req_id : int; from : int; access : Proto.access; addr : int }
+  | Q_push of { req_id : int; from : int; data : bytes }
+
+type t
+
+val create : initial_owner:int -> t
+
+val register : t -> Mp_multiview.Minipage.t -> unit
+(** Create the entry for a freshly allocated minipage, owned (with the only
+    copy) by [initial_owner]. *)
+
+val entry : t -> mp_id:int -> entry
+(** Raises [Not_found]. *)
+
+val busy : entry -> bool
+
+val enqueue : t -> entry -> queued -> unit
+(** Queue a competing request and bump the competing-requests counter. *)
+
+val dequeue : entry -> queued option
+val peek : entry -> queued option
+
+val competing_requests : t -> int
+(** Total number of requests that ever had to queue behind an in-flight one
+    (the quantity reported in §4.4 / Figure 7). *)
+
+val entries : t -> entry Seq.t

@@ -1,0 +1,982 @@
+open Mp_util
+open Mp_sim
+open Mp_memsim
+open Mp_multiview
+open Mp_net
+module Host_set = Directory.Host_set
+
+module Config = struct
+  type t = {
+    views : int;
+    object_size : int;
+    page_size : int;
+    chunking : Allocator.chunking;
+    cost : Cost_model.t;
+    polling : Polling.mode;
+    seed : int;
+  }
+
+  let default =
+    {
+      views = 32;
+      object_size = 16 * 1024 * 1024;
+      page_size = 4096;
+      chunking = Allocator.Fine 1;
+      cost = Cost_model.default;
+      polling = Polling.nt_mode;
+      seed = 1;
+    }
+end
+
+type inflight = {
+  req_id : int;
+  access : Proto.access;
+  event : Sync.Event.t;
+  mutable waiters : int;
+  mutable by_prefetch : bool;
+  mutable ack_pending : (int * int) option;  (* req_id, mp_id *)
+}
+
+type group_fetch_state = {
+  gf_event : Sync.Event.t;
+  mutable gf_expected : int option;  (* batches announced by the manager *)
+  mutable gf_received : int;
+  mutable gf_mp_ids : int list;  (* members landed so far *)
+}
+
+type host_state = {
+  id : int;
+  vm : Vm.t;
+  inflight : (int * int * int, inflight) Hashtbl.t;  (* view, vpage, access idx *)
+  barrier_events : (int, Sync.Event.t) Hashtbl.t;
+  lock_waiters : (int, Sync.Event.t Queue.t) Hashtbl.t;
+  push_waiters : (int, Sync.Event.t) Hashtbl.t;  (* req_id -> completion *)
+  group_fetches : (int, group_fetch_state) Hashtbl.t;  (* req_id -> progress *)
+  mutable computing : int;
+  bd : Breakdown.t;
+}
+
+type lock_state = { mutable held : bool; lock_queue : int Queue.t }
+
+type t = {
+  engine : Engine.t;
+  config : Config.t;
+  fabric : Proto.body Fabric.t;
+  host_states : host_state array;
+  allocator : Allocator.t;
+  dir : Directory.t;
+  mutable next_req : int;
+  mutable total_threads : int;
+  mutable finished_threads : int;
+  barrier_counts : (int, int) Hashtbl.t;
+  locks : (int, lock_state) Hashtbl.t;
+  groups : (int, int list) Hashtbl.t;  (* composed views: group -> minipage ids *)
+  mutable next_group : int;
+  counters : Stats.Counters.t;
+  trace : Trace.t;
+  mutable started : bool;
+}
+
+type ctx = { t : t; hs : host_state; mutable barrier_phase : int }
+
+let manager = 0
+
+let engine t = t.engine
+let hosts t = Array.length t.host_states
+let manager_host _t = manager
+
+let fresh_req t =
+  t.next_req <- t.next_req + 1;
+  t.next_req
+
+let access_idx = function Proto.Read -> 0 | Proto.Write -> 1
+
+let info_of (mp : Minipage.t) =
+  { Proto.mp_id = mp.id; base_off = mp.offset; length = mp.length; mp_view = mp.view }
+
+let vpages_of t (info : Proto.info) =
+  let ps = t.config.page_size in
+  let first = info.base_off / ps and last = (info.base_off + info.length - 1) / ps in
+  (first, last)
+
+let n_vpages t info =
+  let first, last = vpages_of t info in
+  last - first + 1
+
+let protect_info _t (h : host_state) (info : Proto.info) prot =
+  Vm.protect_range h.vm ~view:info.mp_view ~phys_off:info.base_off ~len:info.length prot
+
+let set_prot_cost t info = t.config.cost.set_prot_us *. float_of_int (n_vpages t info)
+
+let send t ~src ~dst ~bytes body = Fabric.send t.fabric ~src ~dst ~bytes body
+
+let trace_event t ~host ~kind ~detail =
+  Trace.record t.trace ~time:(Engine.now t.engine) ~host ~kind ~detail
+
+let header t = t.config.cost.header_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Manager: directory-side protocol (runs in host 0's server process)  *)
+(* ------------------------------------------------------------------ *)
+
+let choose_read_replica (e : Directory.entry) =
+  if Host_set.mem e.owner e.copyset then e.owner else Host_set.min_elt e.copyset
+
+let choose_supplier (e : Directory.entry) ~from =
+  let cs = Host_set.remove from e.copyset in
+  if Host_set.mem e.owner cs then e.owner else Host_set.min_elt cs
+
+let proceed_write t (e : Directory.entry) ~req_id ~from ~supplier =
+  e.pending <- Directory.Write_in_flight { req_id; from };
+  match supplier with
+  | None ->
+    Stats.Counters.incr t.counters "grant.upgrades";
+    send t ~src:manager ~dst:from ~bytes:(header t)
+      (Proto.Write_grant { req_id; info = info_of e.mp })
+  | Some s ->
+    send t ~src:manager ~dst:s ~bytes:(header t)
+      (Proto.Forward { req_id; from; access = Proto.Write; info = info_of e.mp })
+
+let manager_start t (e : Directory.entry) (q : Directory.queued) =
+  let cost = t.config.cost in
+  match q with
+  | Directory.Q_request { req_id; from; access; addr = _ } -> (
+    Engine.delay cost.mpt_lookup_us;
+    let info = info_of e.mp in
+    match access with
+    | Proto.Read ->
+      (match e.pending with
+      | Directory.Reads_in_flight r -> r.count <- r.count + 1
+      | Directory.No_op -> e.pending <- Directory.Reads_in_flight { count = 1 }
+      | _ -> failwith "millipage: read started during a conflicting operation");
+      let replica = choose_read_replica e in
+      send t ~src:manager ~dst:replica ~bytes:(header t)
+        (Proto.Forward { req_id; from; access = Proto.Read; info })
+    | Proto.Write ->
+      let upgrade = Host_set.mem from e.copyset in
+      let supplier = if upgrade then None else Some (choose_supplier e ~from) in
+      let targets =
+        let cs = Host_set.remove from e.copyset in
+        match supplier with Some s -> Host_set.remove s cs | None -> cs
+      in
+      if Host_set.is_empty targets then proceed_write t e ~req_id ~from ~supplier
+      else begin
+        e.pending <-
+          Directory.Write_waiting_invals
+            { req_id; from; missing = Host_set.cardinal targets };
+        Host_set.iter
+          (fun target ->
+            Stats.Counters.incr t.counters "invalidations";
+            send t ~src:manager ~dst:target ~bytes:(header t)
+              (Proto.Invalidate { req_id; info }))
+          targets
+      end)
+  | Directory.Q_push { req_id; from; data } ->
+    let info = info_of e.mp in
+    let others =
+      List.filter (fun h -> h <> from) (List.init (hosts t) Fun.id)
+    in
+    if others = [] then begin
+      e.copyset <- Host_set.singleton from;
+      e.owner <- from;
+      send t ~src:manager ~dst:from ~bytes:(header t) (Proto.Push_complete { req_id })
+    end
+    else begin
+      e.pending <-
+        Directory.Push_waiting_acks { req_id; from; missing = List.length others };
+      List.iter
+        (fun dst ->
+          send t ~src:manager ~dst ~bytes:(header t + info.length)
+            (Proto.Push_update { info; data }))
+        others
+    end
+
+(* A read can start whenever only reads are in flight; anything else needs
+   the minipage completely quiet. *)
+let can_start (e : Directory.entry) (q : Directory.queued) =
+  match (e.pending, q) with
+  | Directory.No_op, _ -> true
+  | Directory.Reads_in_flight _, Directory.Q_request { access = Proto.Read; _ } -> true
+  | _ -> false
+
+let manager_submit t (q : Directory.queued) =
+  let addr_entry addr =
+    let view, _vpage, off = Vm.translate t.host_states.(manager).vm addr in
+    let mp = Mpt.find_exn (Allocator.mpt t.allocator) off in
+    if mp.Minipage.view <> view then
+      failwith
+        (Printf.sprintf
+           "millipage: host accessed offset %d through view %d, but its minipage \
+            belongs to view %d"
+           off view mp.Minipage.view);
+    Directory.entry t.dir ~mp_id:mp.Minipage.id
+  in
+  let e =
+    match q with
+    | Directory.Q_request { addr; _ } -> addr_entry addr
+    | Directory.Q_push { req_id = _; from = _; data = _ } ->
+      invalid_arg "manager_submit: push must resolve its entry at the call site"
+  in
+  if can_start e q then manager_start t e q else Directory.enqueue t.dir e q
+
+let manager_submit_push t ~mp_id (q : Directory.queued) =
+  let e = Directory.entry t.dir ~mp_id in
+  if can_start e q then manager_start t e q else Directory.enqueue t.dir e q
+
+(* Start every queued request that has become compatible, in arrival order:
+   after a write completes this drains the whole leading run of reads. *)
+let rec manager_drain_queue t (e : Directory.entry) =
+  match Directory.peek e with
+  | Some q when can_start e q ->
+    ignore (Directory.dequeue e);
+    manager_start t e q;
+    manager_drain_queue t e
+  | Some _ | None -> ()
+
+let manager_inval_reply t ~mp_id =
+  let e = Directory.entry t.dir ~mp_id in
+  match e.pending with
+  | Directory.Write_waiting_invals w ->
+    w.missing <- w.missing - 1;
+    if w.missing = 0 then begin
+      let upgrade = Host_set.mem w.from e.copyset in
+      let supplier = if upgrade then None else Some (choose_supplier e ~from:w.from) in
+      proceed_write t e ~req_id:w.req_id ~from:w.from ~supplier
+    end
+  | _ -> failwith "millipage: unexpected INVALIDATE_REPLY"
+
+let manager_ack t ~mp_id ~from =
+  let e = Directory.entry t.dir ~mp_id in
+  (match e.pending with
+  | Directory.Reads_in_flight r ->
+    e.copyset <- Host_set.add from e.copyset;
+    r.count <- r.count - 1;
+    if r.count = 0 then e.pending <- Directory.No_op
+  | Directory.Write_in_flight { from = f; _ } when f = from ->
+    e.copyset <- Host_set.singleton from;
+    e.owner <- from;
+    e.pending <- Directory.No_op
+  | _ -> failwith "millipage: unexpected ACK");
+  manager_drain_queue t e
+
+let manager_push_ack t ~mp_id =
+  let e = Directory.entry t.dir ~mp_id in
+  match e.pending with
+  | Directory.Push_waiting_acks p ->
+    p.missing <- p.missing - 1;
+    if p.missing = 0 then begin
+      e.copyset <-
+        List.fold_left (fun acc h -> Host_set.add h acc) Host_set.empty
+          (List.init (hosts t) Fun.id);
+      e.owner <- p.from;
+      send t ~src:manager ~dst:p.from ~bytes:(header t)
+        (Proto.Push_complete { req_id = p.req_id });
+      e.pending <- Directory.No_op;
+      manager_drain_queue t e
+    end
+  | _ -> failwith "millipage: unexpected PUSH_UPDATE_ACK"
+
+(* ------------------------------------------------------------------ *)
+(* Composed views (§5): group fetch                                    *)
+(* ------------------------------------------------------------------ *)
+
+let manager_group_fetch t ~req_id ~from ~group_id =
+  let cost = t.config.cost in
+  let members =
+    match Hashtbl.find_opt t.groups group_id with
+    | Some ids -> ids
+    | None -> failwith (Printf.sprintf "millipage: unknown composed view %d" group_id)
+  in
+  Engine.delay (cost.mpt_lookup_us *. float_of_int (List.length members));
+  (* batch the fetchable members by the replica that will supply them *)
+  let batches : (int, Proto.info list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun mp_id ->
+      let e = Directory.entry t.dir ~mp_id in
+      let fetchable =
+        (match e.pending with
+        | Directory.No_op | Directory.Reads_in_flight _ -> true
+        | _ -> false)
+        && not (Host_set.mem from e.copyset)
+      in
+      if fetchable then begin
+        (match e.pending with
+        | Directory.Reads_in_flight r -> r.count <- r.count + 1
+        | _ -> e.pending <- Directory.Reads_in_flight { count = 1 });
+        let replica = choose_read_replica e in
+        let infos =
+          match Hashtbl.find_opt batches replica with
+          | Some r -> r
+          | None ->
+            let r = ref [] in
+            Hashtbl.add batches replica r;
+            r
+        in
+        infos := info_of e.mp :: !infos
+      end)
+    members;
+  send t ~src:manager ~dst:from ~bytes:(header t)
+    (Proto.Group_plan { req_id; batches = Hashtbl.length batches });
+  Hashtbl.iter
+    (fun replica infos ->
+      send t ~src:manager ~dst:replica
+        ~bytes:(header t + (8 * List.length !infos))
+        (Proto.Forward_group { req_id; from; members = !infos }))
+    batches
+
+let manager_group_ack t ~from ~mp_ids =
+  List.iter
+    (fun mp_id ->
+      let e = Directory.entry t.dir ~mp_id in
+      match e.pending with
+      | Directory.Reads_in_flight r ->
+        e.copyset <- Host_set.add from e.copyset;
+        r.count <- r.count - 1;
+        if r.count = 0 then e.pending <- Directory.No_op;
+        manager_drain_queue t e
+      | _ -> failwith "millipage: unexpected GROUP_ACK")
+    mp_ids
+
+let manager_barrier_enter t ~phase =
+  let count = 1 + Option.value ~default:0 (Hashtbl.find_opt t.barrier_counts phase) in
+  if count >= t.total_threads then begin
+    Hashtbl.remove t.barrier_counts phase;
+    for dst = 0 to hosts t - 1 do
+      send t ~src:manager ~dst ~bytes:(header t) (Proto.Barrier_release { phase })
+    done
+  end
+  else Hashtbl.replace t.barrier_counts phase count
+
+let lock_state t lock =
+  match Hashtbl.find_opt t.locks lock with
+  | Some s -> s
+  | None ->
+    let s = { held = false; lock_queue = Queue.create () } in
+    Hashtbl.add t.locks lock s;
+    s
+
+let manager_lock_acquire t ~from ~lock =
+  let s = lock_state t lock in
+  if s.held then Queue.add from s.lock_queue
+  else begin
+    s.held <- true;
+    send t ~src:manager ~dst:from ~bytes:(header t) (Proto.Lock_grant { lock })
+  end
+
+let manager_lock_release t ~lock =
+  let s = lock_state t lock in
+  if not s.held then failwith "millipage: release of a free lock";
+  match Queue.take_opt s.lock_queue with
+  | Some next -> send t ~src:manager ~dst:next ~bytes:(header t) (Proto.Lock_grant { lock })
+  | None -> s.held <- false
+
+(* ------------------------------------------------------------------ *)
+(* Host side: replica and faulting-host handlers                       *)
+(* ------------------------------------------------------------------ *)
+
+let server_ack t (h : host_state) ~req_id ~mp_id =
+  Stats.Counters.incr t.counters "acks";
+  send t ~src:h.id ~dst:manager ~bytes:(header t)
+    (Proto.Ack { req_id; mp_id; from = h.id })
+
+let host_forward t (h : host_state) ~req_id ~from ~access (info : Proto.info) =
+  let cost = t.config.cost in
+  (match access with
+  | Proto.Read ->
+    Engine.delay cost.get_prot_us;
+    let first, _ = vpages_of t info in
+    (match Vm.protection h.vm ~view:info.mp_view ~vpage:first with
+    | Prot.Read_write ->
+      Engine.delay (set_prot_cost t info);
+      protect_info t h info Prot.Read_only
+    | Prot.Read_only | Prot.No_access -> ())
+  | Proto.Write ->
+    (* the supplier gives its copy away *)
+    Engine.delay (set_prot_cost t info);
+    protect_info t h info Prot.No_access);
+  let data = Vm.priv_read_bytes h.vm ~off:info.base_off ~len:info.length in
+  send t ~src:h.id ~dst:from ~bytes:(header t) (Proto.Reply_header { req_id; access; info });
+  Stats.Counters.incr t.counters "replies.data";
+  send t ~src:h.id ~dst:from
+    ~bytes:(Cost_model.data_message_bytes cost info.length)
+    (Proto.Reply_data { req_id; access; info; data })
+
+let host_reply t (h : host_state) ~req_id ~access (info : Proto.info) data =
+  let cost = t.config.cost in
+  (match data with
+  | Some d ->
+    Engine.delay (cost.recv_dma_us_per_byte *. float_of_int info.length);
+    Vm.priv_write_bytes h.vm ~off:info.base_off d
+  | None -> ());
+  Engine.delay (set_prot_cost t info);
+  protect_info t h info
+    (match access with Proto.Read -> Prot.Read_only | Proto.Write -> Prot.Read_write);
+  let first, last = vpages_of t info in
+  let matched = ref false in
+  for vp = first to last do
+    let wake idx =
+      match Hashtbl.find_opt h.inflight (info.mp_view, vp, idx) with
+      | Some e ->
+        Hashtbl.remove h.inflight (info.mp_view, vp, idx);
+        if e.req_id = req_id then begin
+          matched := true;
+          if e.waiters > 0 then e.ack_pending <- Some (req_id, info.mp_id)
+          else server_ack t h ~req_id ~mp_id:info.mp_id
+        end;
+        Sync.Event.set e.event
+      | None -> ()
+    in
+    (* a write reply satisfies everyone; a read reply only read waiters *)
+    (match access with Proto.Write -> wake (access_idx Proto.Write) | Proto.Read -> ());
+    wake (access_idx Proto.Read)
+  done;
+  if not !matched then server_ack t h ~req_id ~mp_id:info.mp_id
+
+(* wake read waiters covered by a freshly arrived minipage, without claiming
+   any ack (used by group fetches, whose single GROUP_ACK covers everything) *)
+let wake_read_entries (h : host_state) t (info : Proto.info) =
+  let first, last = vpages_of t info in
+  for vp = first to last do
+    match Hashtbl.find_opt h.inflight (info.mp_view, vp, access_idx Proto.Read) with
+    | Some e ->
+      Hashtbl.remove h.inflight (info.mp_view, vp, access_idx Proto.Read);
+      Sync.Event.set e.event
+    | None -> ()
+  done
+
+let group_fetch_state (h : host_state) req_id =
+  match Hashtbl.find_opt h.group_fetches req_id with
+  | Some gf -> gf
+  | None ->
+    let gf =
+      {
+        gf_event = Sync.Event.create ~auto_reset:false ~name:"group-fetch" ();
+        gf_expected = None;
+        gf_received = 0;
+        gf_mp_ids = [];
+      }
+    in
+    Hashtbl.add h.group_fetches req_id gf;
+    gf
+
+let group_fetch_check gf =
+  match gf.gf_expected with
+  | Some k when gf.gf_received >= k -> Sync.Event.set gf.gf_event
+  | Some _ | None -> ()
+
+let host_forward_group t (h : host_state) ~req_id ~from members =
+  let cost = t.config.cost in
+  let payload =
+    List.map
+      (fun (info : Proto.info) ->
+        Engine.delay cost.get_prot_us;
+        let first, _ = vpages_of t info in
+        (match Vm.protection h.vm ~view:info.mp_view ~vpage:first with
+        | Prot.Read_write ->
+          Engine.delay (set_prot_cost t info);
+          protect_info t h info Prot.Read_only
+        | Prot.Read_only | Prot.No_access -> ());
+        (info, Vm.priv_read_bytes h.vm ~off:info.base_off ~len:info.length))
+      members
+  in
+  let bytes =
+    List.fold_left
+      (fun acc ((info : Proto.info), _) -> acc + 8 + info.length)
+      (header t) payload
+  in
+  send t ~src:h.id ~dst:from ~bytes (Proto.Group_data { req_id; members = payload })
+
+let host_group_data t (h : host_state) ~req_id members =
+  let cost = t.config.cost in
+  List.iter
+    (fun ((info : Proto.info), data) ->
+      Engine.delay
+        ((cost.recv_dma_us_per_byte *. float_of_int info.length) +. set_prot_cost t info);
+      Vm.priv_write_bytes h.vm ~off:info.base_off data;
+      protect_info t h info Prot.Read_only;
+      wake_read_entries h t info)
+    members;
+  let gf = group_fetch_state h req_id in
+  gf.gf_received <- gf.gf_received + 1;
+  gf.gf_mp_ids <-
+    List.fold_left (fun acc ((info : Proto.info), _) -> info.mp_id :: acc) gf.gf_mp_ids
+      members;
+  group_fetch_check gf
+
+let host_group_plan (h : host_state) ~req_id ~batches =
+  let gf = group_fetch_state h req_id in
+  gf.gf_expected <- Some batches;
+  group_fetch_check gf
+
+let host_invalidate t (h : host_state) ~req_id (info : Proto.info) =
+  Engine.delay (set_prot_cost t info);
+  protect_info t h info Prot.No_access;
+  send t ~src:h.id ~dst:manager ~bytes:(header t)
+    (Proto.Invalidate_reply { req_id; mp_id = info.mp_id; from = h.id })
+
+let host_push_update t (h : host_state) (info : Proto.info) data =
+  let cost = t.config.cost in
+  Engine.delay (cost.recv_dma_us_per_byte *. float_of_int info.length);
+  Vm.priv_write_bytes h.vm ~off:info.base_off data;
+  Engine.delay (set_prot_cost t info);
+  protect_info t h info Prot.Read_only;
+  send t ~src:h.id ~dst:manager ~bytes:(header t)
+    (Proto.Push_update_ack { mp_id = info.mp_id; from = h.id })
+
+let host_barrier_release (h : host_state) ~phase =
+  let ev =
+    match Hashtbl.find_opt h.barrier_events phase with
+    | Some ev -> ev
+    | None ->
+      let ev = Sync.Event.create ~auto_reset:false ~name:"barrier" () in
+      Hashtbl.add h.barrier_events phase ev;
+      ev
+  in
+  Sync.Event.set ev
+
+let host_lock_grant (h : host_state) ~lock =
+  match Hashtbl.find_opt h.lock_waiters lock with
+  | Some q when not (Queue.is_empty q) -> Sync.Event.set (Queue.take q)
+  | Some _ | None -> failwith "millipage: LOCK_GRANT with no local waiter"
+
+let host_push_complete (h : host_state) ~req_id =
+  match Hashtbl.find_opt h.push_waiters req_id with
+  | Some ev ->
+    Hashtbl.remove h.push_waiters req_id;
+    Sync.Event.set ev
+  | None -> failwith "millipage: PUSH_COMPLETE with no waiter"
+
+(* ------------------------------------------------------------------ *)
+(* Message dispatch                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let on_message t (h : host_state) (m : Proto.body Fabric.msg) =
+  let cost = t.config.cost in
+  if Trace.enabled t.trace then
+    trace_event t ~host:h.id ~kind:"RECV"
+      ~detail:(Printf.sprintf "%s from h%d" (Proto.describe m.Fabric.body) m.Fabric.src);
+  match m.Fabric.body with
+  | Proto.Request { req_id; from; access; addr } ->
+    Engine.delay cost.dispatch_us;
+    manager_submit t (Directory.Q_request { req_id; from; access; addr })
+  | Proto.Invalidate_reply { req_id = _; mp_id; from = _ } ->
+    Engine.delay cost.sync_dispatch_us;
+    manager_inval_reply t ~mp_id
+  | Proto.Ack { req_id = _; mp_id; from } ->
+    Engine.delay cost.sync_dispatch_us;
+    manager_ack t ~mp_id ~from
+  | Proto.Forward { req_id; from; access; info } ->
+    Engine.delay cost.dispatch_us;
+    host_forward t h ~req_id ~from ~access info
+  | Proto.Reply_header _ ->
+    (* stage 1 of the two-stage receive: the contents follow on the same
+       FIFO channel *)
+    Engine.delay cost.sync_dispatch_us
+  | Proto.Reply_data { req_id; access; info; data } ->
+    Engine.delay cost.dispatch_us;
+    host_reply t h ~req_id ~access info (Some data)
+  | Proto.Write_grant { req_id; info } ->
+    Engine.delay cost.dispatch_us;
+    host_reply t h ~req_id ~access:Proto.Write info None
+  | Proto.Invalidate { req_id; info } ->
+    Engine.delay cost.sync_dispatch_us;
+    host_invalidate t h ~req_id info
+  | Proto.Barrier_enter { from = _; phase } ->
+    Engine.delay cost.sync_dispatch_us;
+    manager_barrier_enter t ~phase
+  | Proto.Barrier_release { phase } ->
+    Engine.delay cost.sync_dispatch_us;
+    host_barrier_release h ~phase
+  | Proto.Lock_acquire { req_id = _; from; lock } ->
+    Engine.delay cost.sync_dispatch_us;
+    manager_lock_acquire t ~from ~lock
+  | Proto.Lock_grant { lock } ->
+    Engine.delay cost.sync_dispatch_us;
+    host_lock_grant h ~lock
+  | Proto.Lock_release { from = _; lock } ->
+    Engine.delay cost.sync_dispatch_us;
+    manager_lock_release t ~lock
+  | Proto.Push { req_id; from; info; data } ->
+    Engine.delay cost.dispatch_us;
+    manager_submit_push t ~mp_id:info.mp_id (Directory.Q_push { req_id; from; data })
+  | Proto.Push_update { info; data } ->
+    Engine.delay cost.dispatch_us;
+    host_push_update t h info data
+  | Proto.Push_update_ack { mp_id; from = _ } ->
+    Engine.delay cost.sync_dispatch_us;
+    manager_push_ack t ~mp_id
+  | Proto.Push_complete { req_id } ->
+    Engine.delay cost.sync_dispatch_us;
+    host_push_complete h ~req_id
+  | Proto.Group_fetch { req_id; from; group_id } ->
+    Engine.delay cost.dispatch_us;
+    manager_group_fetch t ~req_id ~from ~group_id
+  | Proto.Group_plan { req_id; batches } ->
+    Engine.delay cost.sync_dispatch_us;
+    host_group_plan h ~req_id ~batches
+  | Proto.Forward_group { req_id; from; members } ->
+    Engine.delay cost.dispatch_us;
+    host_forward_group t h ~req_id ~from members
+  | Proto.Group_data { req_id; members } ->
+    Engine.delay cost.dispatch_us;
+    host_group_data t h ~req_id members
+  | Proto.Group_ack { req_id = _; from; mp_ids } ->
+    Engine.delay cost.sync_dispatch_us;
+    manager_group_ack t ~from ~mp_ids
+
+(* ------------------------------------------------------------------ *)
+(* Faulting-thread side                                                *)
+(* ------------------------------------------------------------------ *)
+
+let find_joinable (h : host_state) ~view ~vpage access =
+  match Hashtbl.find_opt h.inflight (view, vpage, access_idx Proto.Write) with
+  | Some e -> Some e
+  | None -> (
+    match access with
+    | Proto.Read -> Hashtbl.find_opt h.inflight (view, vpage, access_idx Proto.Read)
+    | Proto.Write -> None)
+
+let send_request t (h : host_state) ~view ~vpage ~access ~addr ~by_prefetch =
+  let req_id = fresh_req t in
+  let e =
+    {
+      req_id;
+      access;
+      event = Sync.Event.create ~auto_reset:false ~name:"fault" ();
+      waiters = 0;
+      by_prefetch;
+      ack_pending = None;
+    }
+  in
+  Hashtbl.replace h.inflight (view, vpage, access_idx access) e;
+  send t ~src:h.id ~dst:manager ~bytes:(header t)
+    (Proto.Request { req_id; from = h.id; access; addr });
+  e
+
+type bucket = B_compute | B_prefetch | B_read | B_write | B_synch
+
+let charge (h : host_state) bucket dt =
+  let bd = h.bd in
+  match bucket with
+  | B_compute -> bd.Breakdown.compute <- bd.Breakdown.compute +. dt
+  | B_prefetch -> bd.Breakdown.prefetch <- bd.Breakdown.prefetch +. dt
+  | B_read -> bd.Breakdown.read_fault <- bd.Breakdown.read_fault +. dt
+  | B_write -> bd.Breakdown.write_fault <- bd.Breakdown.write_fault +. dt
+  | B_synch -> bd.Breakdown.synch <- bd.Breakdown.synch +. dt
+
+let on_fault t (h : host_state) (f : Vm.fault) =
+  let cost = t.config.cost in
+  let access = match f.access with Prot.Read -> Proto.Read | Prot.Write -> Proto.Write in
+  if Trace.enabled t.trace then
+    trace_event t ~host:h.id ~kind:"FAULT"
+      ~detail:
+        (Printf.sprintf "%s @%d (view %d, vpage %d)"
+           (Proto.access_to_string access)
+           f.addr f.view f.vpage);
+  let t0 = Engine.now t.engine in
+  Engine.delay cost.fault_us;
+  let e =
+    match find_joinable h ~view:f.view ~vpage:f.vpage access with
+    | Some e -> e
+    | None ->
+      send_request t h ~view:f.view ~vpage:f.vpage ~access ~addr:f.addr
+        ~by_prefetch:false
+  in
+  e.waiters <- e.waiters + 1;
+  Sync.Event.wait e.event;
+  Engine.delay cost.wakeup_us;
+  let bucket =
+    if e.by_prefetch then B_prefetch
+    else match access with Proto.Read -> B_read | Proto.Write -> B_write
+  in
+  charge h bucket (Engine.now t.engine -. t0);
+  match e.ack_pending with
+  | Some (req_id, mp_id) ->
+    e.ack_pending <- None;
+    server_ack t h ~req_id ~mp_id
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let create engine ~hosts:nhosts ?(config = Config.default) () =
+  if nhosts <= 0 then invalid_arg "Dsm.create: hosts";
+  let fabric =
+    Fabric.create engine ~hosts:nhosts ~polling:config.polling ~seed:config.seed ()
+  in
+  let mk_host id =
+    let obj = Memobject.create ~page_size:config.page_size ~size:config.object_size () in
+    let vm = Vm.create obj in
+    for _ = 1 to config.views do
+      ignore (Vm.map_view vm Prot.No_access)
+    done;
+    ignore (Vm.map_privileged_view vm);
+    {
+      id;
+      vm;
+      inflight = Hashtbl.create 64;
+      barrier_events = Hashtbl.create 16;
+      lock_waiters = Hashtbl.create 8;
+      push_waiters = Hashtbl.create 8;
+      group_fetches = Hashtbl.create 8;
+      computing = 0;
+      bd = Breakdown.create ();
+    }
+  in
+  let t =
+    {
+      engine;
+      config;
+      fabric;
+      host_states = Array.init nhosts mk_host;
+      allocator =
+        Allocator.create ~chunking:config.chunking ~page_size:config.page_size
+          ~object_size:config.object_size ~views:config.views ();
+      dir = Directory.create ~initial_owner:manager;
+      next_req = 0;
+      total_threads = 0;
+      finished_threads = 0;
+      barrier_counts = Hashtbl.create 16;
+      locks = Hashtbl.create 8;
+      groups = Hashtbl.create 8;
+      next_group = 0;
+      counters = Stats.Counters.create ();
+      trace = Trace.create ();
+      started = false;
+    }
+  in
+  Array.iter
+    (fun h ->
+      Vm.set_fault_handler h.vm (fun f -> on_fault t h f);
+      Fabric.set_handler fabric ~host:h.id (fun m -> on_message t h m))
+    t.host_states;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Init phase                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let malloc t size =
+  if t.started then invalid_arg "Dsm.malloc: allocation only in the init phase";
+  let mp, off = Allocator.malloc t.allocator size in
+  (match Directory.entry t.dir ~mp_id:mp.Minipage.id with
+  | _ -> ()
+  | exception Not_found -> Directory.register t.dir mp);
+  (* host 0 owns fresh memory read-write; re-protect the whole (possibly
+     chunk-grown) minipage *)
+  protect_info t t.host_states.(manager) (info_of mp) Prot.Read_write;
+  Vm.address t.host_states.(manager).vm ~view:mp.Minipage.view off
+
+let malloc_array t ~count ~size = Array.init count (fun _ -> malloc t size)
+
+let init_vm t = t.host_states.(manager).vm
+let init_write_f64 t addr v = Vm.write_f64 (init_vm t) addr v
+let init_write_int t addr v = Vm.write_int (init_vm t) addr v
+let init_write_i32 t addr v = Vm.write_i32 (init_vm t) addr v
+let init_write_f32 t addr v = Vm.write_i32 (init_vm t) addr (Int32.bits_of_float v)
+let init_write_u8 t addr v = Vm.write_u8 (init_vm t) addr v
+
+let spawn t ~host ?name f =
+  if host < 0 || host >= hosts t then invalid_arg "Dsm.spawn: bad host";
+  t.total_threads <- t.total_threads + 1;
+  let name = Option.value ~default:(Printf.sprintf "app.h%d" host) name in
+  let ctx = { t; hs = t.host_states.(host); barrier_phase = 0 } in
+  Engine.spawn t.engine ~name (fun () ->
+      f ctx;
+      t.finished_threads <- t.finished_threads + 1)
+
+let run t =
+  t.started <- true;
+  Engine.run t.engine;
+  if t.finished_threads < t.total_threads then begin
+    let stuck =
+      Engine.blocked t.engine
+      |> List.filter (fun (proc, _) -> String.length proc >= 3 && String.sub proc 0 3 = "app")
+      |> List.map (fun (proc, on) -> Printf.sprintf "%s on %s" proc on)
+      |> String.concat ", "
+    in
+    failwith
+      (Printf.sprintf "millipage: %d/%d application threads did not finish (%s)"
+         (t.total_threads - t.finished_threads)
+         t.total_threads stuck)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Application-thread operations                                       *)
+(* ------------------------------------------------------------------ *)
+
+let host ctx = ctx.hs.id
+let my_engine ctx = ctx.t.engine
+
+let read_f64 ctx addr = Vm.read_f64 ctx.hs.vm addr
+let write_f64 ctx addr v = Vm.write_f64 ctx.hs.vm addr v
+let read_int ctx addr = Vm.read_int ctx.hs.vm addr
+let write_int ctx addr v = Vm.write_int ctx.hs.vm addr v
+let read_i32 ctx addr = Vm.read_i32 ctx.hs.vm addr
+let write_i32 ctx addr v = Vm.write_i32 ctx.hs.vm addr v
+let read_f32 ctx addr = Int32.float_of_bits (Vm.read_i32 ctx.hs.vm addr)
+let write_f32 ctx addr v = Vm.write_i32 ctx.hs.vm addr (Int32.bits_of_float v)
+let read_u8 ctx addr = Vm.read_u8 ctx.hs.vm addr
+let write_u8 ctx addr v = Vm.write_u8 ctx.hs.vm addr v
+
+let compute ctx us =
+  if us < 0.0 then invalid_arg "Dsm.compute: negative time";
+  let t = ctx.t and h = ctx.hs in
+  h.computing <- h.computing + 1;
+  if h.computing = 1 then Fabric.set_busy t.fabric ~host:h.id true;
+  Engine.delay us;
+  charge h B_compute us;
+  h.computing <- h.computing - 1;
+  if h.computing = 0 then Fabric.set_busy t.fabric ~host:h.id false
+
+let barrier ctx =
+  let t = ctx.t and h = ctx.hs in
+  let phase = ctx.barrier_phase in
+  ctx.barrier_phase <- phase + 1;
+  let ev =
+    match Hashtbl.find_opt h.barrier_events phase with
+    | Some ev -> ev
+    | None ->
+      let ev = Sync.Event.create ~auto_reset:false ~name:"barrier" () in
+      Hashtbl.add h.barrier_events phase ev;
+      ev
+  in
+  let t0 = Engine.now t.engine in
+  Stats.Counters.incr t.counters "barriers";
+  send t ~src:h.id ~dst:manager ~bytes:(header t)
+    (Proto.Barrier_enter { from = h.id; phase });
+  Sync.Event.wait ev;
+  Engine.delay t.config.cost.wakeup_us;
+  charge h B_synch (Engine.now t.engine -. t0)
+
+let lock ctx l =
+  let t = ctx.t and h = ctx.hs in
+  let ev = Sync.Event.create ~name:"lock" () in
+  let q =
+    match Hashtbl.find_opt h.lock_waiters l with
+    | Some q -> q
+    | None ->
+      let q = Queue.create () in
+      Hashtbl.add h.lock_waiters l q;
+      q
+  in
+  Queue.add ev q;
+  let t0 = Engine.now t.engine in
+  Stats.Counters.incr t.counters "locks";
+  send t ~src:h.id ~dst:manager ~bytes:(header t)
+    (Proto.Lock_acquire { req_id = fresh_req t; from = h.id; lock = l });
+  Sync.Event.wait ev;
+  Engine.delay t.config.cost.wakeup_us;
+  charge h B_synch (Engine.now t.engine -. t0)
+
+let unlock ctx l =
+  let t = ctx.t and h = ctx.hs in
+  send t ~src:h.id ~dst:manager ~bytes:(header t)
+    (Proto.Lock_release { from = h.id; lock = l })
+
+let prefetch ctx addr access =
+  let t = ctx.t and h = ctx.hs in
+  let view, vpage, _off = Vm.translate h.vm addr in
+  let prot = Vm.protection h.vm ~view ~vpage in
+  let needed = match access with Proto.Read -> Prot.Read | Proto.Write -> Prot.Write in
+  if Prot.allows prot needed then ()
+  else if find_joinable h ~view ~vpage access <> None then ()
+  else begin
+    Stats.Counters.incr t.counters "prefetches";
+    ignore (send_request t h ~view ~vpage ~access ~addr ~by_prefetch:true);
+    Engine.delay 2.0
+  end
+
+let push_to_all ctx addr =
+  let t = ctx.t and h = ctx.hs in
+  let view, vpage, off = Vm.translate h.vm addr in
+  (match Vm.protection h.vm ~view ~vpage with
+  | Prot.Read_write -> ()
+  | Prot.Read_only | Prot.No_access ->
+    invalid_arg "Dsm.push_to_all: caller must hold the writable copy");
+  (* the allocation layout is fixed after init, so hosts may consult the MPT
+     for their own pushes without a manager round-trip *)
+  let mp = Mpt.find_exn (Allocator.mpt t.allocator) off in
+  let info = info_of mp in
+  let cost = t.config.cost in
+  Engine.delay (set_prot_cost t info);
+  protect_info t h info Prot.Read_only;
+  let data = Vm.priv_read_bytes h.vm ~off:info.base_off ~len:info.length in
+  let req_id = fresh_req t in
+  let ev = Sync.Event.create ~auto_reset:false ~name:"push" () in
+  Hashtbl.replace h.push_waiters req_id ev;
+  Stats.Counters.incr t.counters "pushes";
+  let t0 = Engine.now t.engine in
+  send t ~src:h.id ~dst:manager
+    ~bytes:(header t + info.length)
+    (Proto.Push { req_id; from = h.id; info; data });
+  Sync.Event.wait ev;
+  Engine.delay cost.wakeup_us;
+  charge h B_synch (Engine.now t.engine -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Composed views: registration and thread-side fetch                  *)
+(* ------------------------------------------------------------------ *)
+
+let compose t addrs =
+  if t.started then invalid_arg "Dsm.compose: composed views are built in the init phase";
+  let mpt_table = Allocator.mpt t.allocator in
+  let vm = t.host_states.(manager).vm in
+  let ids =
+    Array.to_list addrs
+    |> List.map (fun addr ->
+           let _view, _vpage, off = Vm.translate vm addr in
+           (Mpt.find_exn mpt_table off).Minipage.id)
+    |> List.sort_uniq compare
+  in
+  let group_id = t.next_group in
+  t.next_group <- group_id + 1;
+  Hashtbl.add t.groups group_id ids;
+  group_id
+
+let fetch_group ctx group_id =
+  let t = ctx.t and h = ctx.hs in
+  if not (Hashtbl.mem t.groups group_id) then
+    invalid_arg "Dsm.fetch_group: unknown composed view";
+  let req_id = fresh_req t in
+  let gf = group_fetch_state h req_id in
+  Stats.Counters.incr t.counters "group.fetches";
+  let t0 = Engine.now t.engine in
+  send t ~src:h.id ~dst:manager ~bytes:(header t)
+    (Proto.Group_fetch { req_id; from = h.id; group_id });
+  Sync.Event.wait gf.gf_event;
+  Engine.delay t.config.cost.wakeup_us;
+  Hashtbl.remove h.group_fetches req_id;
+  charge h B_prefetch (Engine.now t.engine -. t0);
+  if gf.gf_mp_ids <> [] then
+    send t ~src:h.id ~dst:manager
+      ~bytes:(header t + (4 * List.length gf.gf_mp_ids))
+      (Proto.Group_ack { req_id; from = h.id; mp_ids = gf.gf_mp_ids })
+
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let breakdown t ~host = t.host_states.(host).bd
+
+let breakdown_total t =
+  Array.fold_left (fun acc h -> Breakdown.add acc h.bd) (Breakdown.zero ()) t.host_states
+
+let competing_requests t = Directory.competing_requests t.dir
+
+let sum_host_counter t key =
+  Array.fold_left
+    (fun acc h -> acc + Stats.Counters.get (Vm.counters h.vm) key)
+    0 t.host_states
+
+let read_faults t = sum_host_counter t "fault.read"
+let write_faults t = sum_host_counter t "fault.write"
+let barriers_entered t = Stats.Counters.get t.counters "barriers"
+let locks_acquired t = Stats.Counters.get t.counters "locks"
+let messages_sent t = Stats.Counters.get (Fabric.counters t.fabric) "send.count"
+let bytes_sent t = Stats.Counters.get (Fabric.counters t.fabric) "send.bytes"
+let mpt t = Allocator.mpt t.allocator
+let views_used t = Allocator.views_used t.allocator
+let counters t = t.counters
+let trace t = t.trace

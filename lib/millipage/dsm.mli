@@ -1,0 +1,138 @@
+(** Millipage: a thin-layer, sequentially consistent, fine-grain DSM.
+
+    One simulated process per host; host 0 is the manager and holds the MPT
+    and the directory.  Application threads run as simulated processes and
+    access shared memory through {!ctx} accessors; a protection violation
+    raises a (simulated) page fault whose handler executes the protocol of
+    Figure 3: request → manager translate/forward → replica reply directly
+    into the privileged view → protection upgrade → wake → ack.
+
+    Usage: create the system, allocate and initialize shared memory, spawn
+    one or more application threads per host, then {!run}.  Allocation and
+    initialization writes are an init-phase facility (host 0 owns every fresh
+    minipage, so they involve no protocol traffic). *)
+
+type t
+type ctx
+(** Handle given to each application thread. *)
+
+module Config : sig
+  type t = {
+    views : int;  (** application views mapped at initialization (§2.4) *)
+    object_size : int;  (** shared memory object size, bytes *)
+    page_size : int;
+    chunking : Mp_multiview.Allocator.chunking;
+    cost : Cost_model.t;
+    polling : Mp_net.Polling.mode;
+    seed : int;
+  }
+
+  val default : t
+  (** 32 views, 16 MB object, 4 KB pages, no chunking, Table 1 costs,
+      NT-timer polling. *)
+end
+
+val create : Mp_sim.Engine.t -> hosts:int -> ?config:Config.t -> unit -> t
+
+val engine : t -> Mp_sim.Engine.t
+val hosts : t -> int
+val manager_host : t -> int
+
+(** {2 Init phase} *)
+
+val malloc : t -> int -> int
+(** Allocate from the shared region; returns the virtual address (valid on
+    every host).  Must happen before {!run}. *)
+
+val malloc_array : t -> count:int -> size:int -> int array
+(** [count] successive allocations of [size] bytes each. *)
+
+val init_write_f64 : t -> int -> float -> unit
+val init_write_int : t -> int -> int -> unit
+val init_write_i32 : t -> int -> int32 -> unit
+val init_write_f32 : t -> int -> float -> unit
+val init_write_u8 : t -> int -> int -> unit
+(** Host-0 initialization writes; free of simulated cost. *)
+
+val spawn : t -> host:int -> ?name:string -> (ctx -> unit) -> unit
+(** Register an application thread.  Spawn all threads before {!run};
+    barriers synchronize every spawned thread. *)
+
+val run : t -> unit
+(** Drive the simulation to completion.  Raises [Failure] if application
+    threads deadlock. *)
+
+(** {2 Application-thread operations} *)
+
+val host : ctx -> int
+val my_engine : ctx -> Mp_sim.Engine.t
+
+val read_f64 : ctx -> int -> float
+val write_f64 : ctx -> int -> float -> unit
+val read_int : ctx -> int -> int
+val write_int : ctx -> int -> int -> unit
+val read_i32 : ctx -> int -> int32
+val write_i32 : ctx -> int -> int32 -> unit
+val read_f32 : ctx -> int -> float
+val write_f32 : ctx -> int -> float -> unit
+val read_u8 : ctx -> int -> int
+val write_u8 : ctx -> int -> int -> unit
+
+val compute : ctx -> float -> unit
+(** Occupy this host's CPU for the given µs of application computation (the
+    host is marked busy, degrading its responsiveness to requests under
+    NT-timer polling). *)
+
+val barrier : ctx -> unit
+(** Global barrier across every spawned thread (manager-centralized). *)
+
+val lock : ctx -> int -> unit
+val unlock : ctx -> int -> unit
+
+val prefetch : ctx -> int -> Proto.access -> unit
+(** Fire-and-forget fetch of the minipage holding the given address; a later
+    access that would have faulted finds the copy already present (§4.3.1's
+    LU prefetch calls).  No-op when access is already legal. *)
+
+val push_to_all : ctx -> int -> unit
+(** Distribute fresh read copies of the minipage holding the address to all
+    hosts (the TSP minimal-tour update).  The caller must hold the writable
+    copy; blocks until every host has been updated. *)
+
+(** {2 Composed views (§5)}
+
+    A composed view groups minipages so the application can arbitrate
+    between granularities: fetch the whole group in one coarse-grain
+    operation (per-supplier gathered data messages instead of one fault per
+    minipage), then keep writing fine-grain.  This is the paper's proposed
+    fix for WATER's read phase. *)
+
+val compose : t -> int array -> int
+(** [compose t addrs] registers the minipages holding the given addresses
+    as a composed view (init phase only) and returns its id. *)
+
+val fetch_group : ctx -> int -> unit
+(** Bring read copies of every group member this host doesn't already hold.
+    Members busy with a conflicting operation are skipped (they fault later
+    on demand).  Blocks until all batches have landed. *)
+
+(** {2 Statistics} *)
+
+val breakdown : t -> host:int -> Breakdown.t
+val breakdown_total : t -> Breakdown.t
+val competing_requests : t -> int
+val read_faults : t -> int
+val write_faults : t -> int
+val barriers_entered : t -> int
+val locks_acquired : t -> int
+val messages_sent : t -> int
+val bytes_sent : t -> int
+val mpt : t -> Mp_multiview.Mpt.t
+val views_used : t -> int
+val counters : t -> Mp_util.Stats.Counters.t
+(** Protocol-level counters: ["invalidations"], ["acks"], ["pushes"],
+    ["replies.data"], ["grant.upgrades"], ... *)
+
+val trace : t -> Trace.t
+(** Protocol event trace (disabled by default; [Trace.set_enabled] it before
+    {!run} to capture faults and message receptions). *)

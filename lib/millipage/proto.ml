@@ -1,0 +1,58 @@
+type access = Read | Write
+
+type info = { mp_id : int; base_off : int; length : int; mp_view : int }
+
+type body =
+  | Request of { req_id : int; from : int; access : access; addr : int }
+  | Forward of { req_id : int; from : int; access : access; info : info }
+  | Reply_header of { req_id : int; access : access; info : info }
+  | Reply_data of { req_id : int; access : access; info : info; data : bytes }
+  | Write_grant of { req_id : int; info : info }
+  | Invalidate of { req_id : int; info : info }
+  | Invalidate_reply of { req_id : int; mp_id : int; from : int }
+  | Ack of { req_id : int; mp_id : int; from : int }
+  | Barrier_enter of { from : int; phase : int }
+  | Barrier_release of { phase : int }
+  | Lock_acquire of { req_id : int; from : int; lock : int }
+  | Lock_grant of { lock : int }
+  | Lock_release of { from : int; lock : int }
+  | Push of { req_id : int; from : int; info : info; data : bytes }
+  | Push_update of { info : info; data : bytes }
+  | Push_update_ack of { mp_id : int; from : int }
+  | Push_complete of { req_id : int }
+  | Group_fetch of { req_id : int; from : int; group_id : int }
+  | Group_plan of { req_id : int; batches : int }
+  | Forward_group of { req_id : int; from : int; members : info list }
+  | Group_data of { req_id : int; members : (info * bytes) list }
+  | Group_ack of { req_id : int; from : int; mp_ids : int list }
+
+let access_to_string = function Read -> "read" | Write -> "write"
+
+let describe = function
+  | Request { access; addr; _ } ->
+    Printf.sprintf "REQUEST(%s @%d)" (access_to_string access) addr
+  | Forward { access; info; _ } ->
+    Printf.sprintf "FORWARD(%s mp%d)" (access_to_string access) info.mp_id
+  | Reply_header { info; _ } -> Printf.sprintf "REPLY_HDR(mp%d)" info.mp_id
+  | Reply_data { info; _ } -> Printf.sprintf "REPLY_DATA(mp%d)" info.mp_id
+  | Write_grant { info; _ } -> Printf.sprintf "WRITE_GRANT(mp%d)" info.mp_id
+  | Invalidate { info; _ } -> Printf.sprintf "INVALIDATE(mp%d)" info.mp_id
+  | Invalidate_reply { mp_id; _ } -> Printf.sprintf "INVALIDATE_REPLY(mp%d)" mp_id
+  | Ack { mp_id; _ } -> Printf.sprintf "ACK(mp%d)" mp_id
+  | Barrier_enter { from; phase } -> Printf.sprintf "BARRIER_ENTER(h%d p%d)" from phase
+  | Barrier_release { phase } -> Printf.sprintf "BARRIER_RELEASE(p%d)" phase
+  | Lock_acquire { lock; from; _ } -> Printf.sprintf "LOCK_ACQ(l%d h%d)" lock from
+  | Lock_grant { lock } -> Printf.sprintf "LOCK_GRANT(l%d)" lock
+  | Lock_release { lock; from } -> Printf.sprintf "LOCK_REL(l%d h%d)" lock from
+  | Push { info; _ } -> Printf.sprintf "PUSH(mp%d)" info.mp_id
+  | Push_update { info; _ } -> Printf.sprintf "PUSH_UPDATE(mp%d)" info.mp_id
+  | Push_update_ack { mp_id; _ } -> Printf.sprintf "PUSH_UPDATE_ACK(mp%d)" mp_id
+  | Push_complete _ -> "PUSH_COMPLETE"
+  | Group_fetch { group_id; from; _ } ->
+    Printf.sprintf "GROUP_FETCH(g%d h%d)" group_id from
+  | Group_plan { batches; _ } -> Printf.sprintf "GROUP_PLAN(%d batches)" batches
+  | Forward_group { members; _ } ->
+    Printf.sprintf "FORWARD_GROUP(%d minipages)" (List.length members)
+  | Group_data { members; _ } ->
+    Printf.sprintf "GROUP_DATA(%d minipages)" (List.length members)
+  | Group_ack { mp_ids; _ } -> Printf.sprintf "GROUP_ACK(%d minipages)" (List.length mp_ids)

@@ -1,0 +1,57 @@
+(** Millipage protocol messages (Figure 3 of the paper, plus the
+    synchronization and push traffic).
+
+    All control messages are header-sized (32 bytes); data messages carry the
+    minipage contents and model the two-stage receive of §3.3 — the header
+    with the original request and translation information, then the contents
+    landing directly in the privileged view. *)
+
+type access = Read | Write
+
+(** Translation information filled in by the manager from the MPT: minipage
+    base, size, and its view — everything a non-manager host needs to set
+    protection without any local lookup. *)
+type info = { mp_id : int; base_off : int; length : int; mp_view : int }
+
+type body =
+  | Request of { req_id : int; from : int; access : access; addr : int }
+      (** faulting host → manager; carries only the faulting address *)
+  | Forward of { req_id : int; from : int; access : access; info : info }
+      (** manager → replica holding a copy *)
+  | Reply_header of { req_id : int; access : access; info : info }
+      (** replica → faulting host, stage 1 *)
+  | Reply_data of { req_id : int; access : access; info : info; data : bytes }
+      (** replica → faulting host, stage 2: minipage contents *)
+  | Write_grant of { req_id : int; info : info }
+      (** manager → faulting host that already holds a read copy: upgrade
+          without data transfer *)
+  | Invalidate of { req_id : int; info : info }  (** manager → read-copy holder *)
+  | Invalidate_reply of { req_id : int; mp_id : int; from : int }
+  | Ack of { req_id : int; mp_id : int; from : int }
+      (** faulting host → manager once the woken thread has its access: ends
+          the minipage's busy period (the delta-like mechanism of §3.3) *)
+  | Barrier_enter of { from : int; phase : int }
+  | Barrier_release of { phase : int }
+  | Lock_acquire of { req_id : int; from : int; lock : int }
+  | Lock_grant of { lock : int }
+  | Lock_release of { from : int; lock : int }
+  | Push of { req_id : int; from : int; info : info; data : bytes }
+      (** pushing host → manager: distribute fresh read copies to all hosts
+          (the TSP minimal-tour pattern of §4.3) *)
+  | Push_update of { info : info; data : bytes }  (** manager → every host *)
+  | Push_update_ack of { mp_id : int; from : int }
+  | Push_complete of { req_id : int }  (** manager → pushing host: resume *)
+  | Group_fetch of { req_id : int; from : int; group_id : int }
+      (** composed-view fetch (§5): bring read copies of a whole minipage
+          group in one operation *)
+  | Group_plan of { req_id : int; batches : int }
+      (** manager → fetching host: how many per-owner data batches follow *)
+  | Forward_group of { req_id : int; from : int; members : info list }
+      (** manager → a replica owning several of the group's minipages *)
+  | Group_data of { req_id : int; members : (info * bytes) list }
+      (** replica → fetching host: all requested minipages, gathered *)
+  | Group_ack of { req_id : int; from : int; mp_ids : int list }
+
+val access_to_string : access -> string
+val describe : body -> string
+(** Short tag for logging/debugging. *)

@@ -1,0 +1,46 @@
+type event = { time : float; host : int; kind : string; detail : string }
+
+type t = {
+  capacity : int;
+  buf : event option array;
+  mutable next : int;  (* total events ever recorded *)
+  mutable on : bool;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create";
+  { capacity; buf = Array.make capacity None; next = 0; on = false }
+
+let enabled t = t.on
+let set_enabled t on = t.on <- on
+
+let record t ~time ~host ~kind ~detail =
+  if t.on then begin
+    t.buf.(t.next mod t.capacity) <- Some { time; host; kind; detail };
+    t.next <- t.next + 1
+  end
+
+let events t =
+  let start = max 0 (t.next - t.capacity) in
+  let out = ref [] in
+  for i = t.next - 1 downto start do
+    match t.buf.(i mod t.capacity) with
+    | Some e -> out := e :: !out
+    | None -> ()
+  done;
+  !out
+
+let dropped t = max 0 (t.next - t.capacity)
+
+let clear t =
+  Array.fill t.buf 0 t.capacity None;
+  t.next <- 0
+
+let pp_event fmt e =
+  Format.fprintf fmt "[%8.1f] h%d  %-9s %s" e.time e.host e.kind e.detail
+
+let dump t fmt =
+  List.iter (fun e -> Format.fprintf fmt "%a@." pp_event e) (events t);
+  if dropped t > 0 then Format.fprintf fmt "(%d earlier events dropped)@." (dropped t)
+
+let find t ~kind = List.filter (fun e -> e.kind = kind) (events t)

@@ -1,0 +1,41 @@
+(** Protocol event tracing.
+
+    A bounded ring buffer of timestamped protocol events, cheap enough to
+    leave on in tests.  Traces read like the protocol walkthrough in §3.3:
+
+    {v
+    [  412.3] h1  FAULT     read @69632 (view 2, vpage 0)
+    [  424.3] h0  REQUEST   read mp#3 from h1
+    [  431.3] h0  FORWARD   -> h2
+    ...
+    v} *)
+
+type event = {
+  time : float;
+  host : int;
+  kind : string;  (** FAULT, REQUEST, FORWARD, REPLY, INVAL, ACK, ... *)
+  detail : string;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 4096 events; older events are dropped. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val record : t -> time:float -> host:int -> kind:string -> detail:string -> unit
+(** No-op when disabled. *)
+
+val events : t -> event list
+(** Oldest first. *)
+
+val dropped : t -> int
+val clear : t -> unit
+
+val pp_event : Format.formatter -> event -> unit
+val dump : t -> Format.formatter -> unit
+(** Print the whole buffer, oldest first. *)
+
+val find : t -> kind:string -> event list

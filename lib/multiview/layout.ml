@@ -1,0 +1,28 @@
+let check ~page_size ~minipages_per_page =
+  if minipages_per_page <= 0 || page_size mod minipages_per_page <> 0 then
+    invalid_arg "Layout.static: minipages_per_page must divide page_size"
+
+let static ~page_size ~object_size ~minipages_per_page =
+  check ~page_size ~minipages_per_page;
+  let mpt = Mpt.create () in
+  let size = minipages_per_page * ((object_size + minipages_per_page - 1) / minipages_per_page) in
+  let pages = (size + page_size - 1) / page_size in
+  let mp_size = page_size / minipages_per_page in
+  let id = ref 0 in
+  for page = 0 to pages - 1 do
+    for slot = 0 to minipages_per_page - 1 do
+      let offset = (page * page_size) + (slot * mp_size) in
+      if offset < object_size then begin
+        Mpt.add mpt (Minipage.make ~id:!id ~view:slot ~offset ~length:mp_size);
+        incr id
+      end
+    done
+  done;
+  mpt
+
+let static_minipage_of_offset ~page_size ~minipages_per_page off =
+  check ~page_size ~minipages_per_page;
+  if off < 0 then invalid_arg "Layout.static_minipage_of_offset";
+  let mp_size = page_size / minipages_per_page in
+  let slot = off mod page_size / mp_size in
+  (slot, off / mp_size * mp_size, mp_size)

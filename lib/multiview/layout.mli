@@ -1,0 +1,16 @@
+(** Static minipage layouts (§2.3).
+
+    The static layout divides every page of the memory object into [k]
+    equal minipages, the i-th minipage of each page associated with view [i].
+    Minipage borders are computable from the faulting address alone, which is
+    what makes the layout attractive for global-memory/subpage systems. *)
+
+val static : page_size:int -> object_size:int -> minipages_per_page:int -> Mpt.t
+(** Raises [Invalid_argument] when [minipages_per_page] does not divide
+    [page_size]. *)
+
+val static_minipage_of_offset :
+  page_size:int -> minipages_per_page:int -> int -> int * int * int
+(** [(view, minipage_offset, minipage_length)] for an object offset, computed
+    arithmetically — the "easy to calculate the minipage borders" property.
+    Agrees with {!static}'s table. *)

@@ -1,0 +1,13 @@
+type t = { id : int; view : int; offset : int; mutable length : int }
+
+let make ~id ~view ~offset ~length =
+  if offset < 0 || length <= 0 then invalid_arg "Minipage.make";
+  { id; view; offset; length }
+
+let first_vpage t ~page_size = t.offset / page_size
+let last_vpage t ~page_size = (t.offset + t.length - 1) / page_size
+let contains t off = off >= t.offset && off < t.offset + t.length
+let end_offset t = t.offset + t.length
+
+let pp fmt t =
+  Format.fprintf fmt "minipage#%d[view=%d off=%d len=%d]" t.id t.view t.offset t.length

@@ -1,0 +1,27 @@
+(** A minipage: the unit of sharing in MultiView.
+
+    A minipage is a contiguous region of the shared memory object, identified
+    by the application view it is accessed through plus an
+    [<offset, length>] pair.  Its size ranges from one byte up to many pages;
+    protection is enforced on the vpages of its view that it covers. *)
+
+type t = {
+  id : int;
+  view : int;  (** application view this minipage is associated with *)
+  offset : int;  (** byte offset of the minipage in the memory object *)
+  mutable length : int;
+      (** mutable because chunking grows an open minipage as successive
+          allocations join it (§4.4) *)
+}
+
+val make : id:int -> view:int -> offset:int -> length:int -> t
+
+val first_vpage : t -> page_size:int -> int
+val last_vpage : t -> page_size:int -> int
+val contains : t -> int -> bool
+(** Does the byte at this object offset belong to the minipage? *)
+
+val end_offset : t -> int
+(** First offset past the minipage. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,119 @@
+open Mp_util
+open Mp_sim
+
+type 'a msg = { src : int; dst : int; bytes : int; body : 'a }
+
+type 'a node = {
+  id : int;
+  ready : 'a msg Queue.t;
+  wake : Sync.Event.t;
+  mutable handler : ('a msg -> unit) option;
+  polling : Polling.t;
+  mutable busy : bool;
+  mutable pending_poll : float;  (* earliest scheduled wake; infinity when none *)
+}
+
+type 'a t = {
+  engine : Engine.t;
+  nodes : 'a node array;
+  latency : bytes:int -> float;
+  chan_last : float array;  (* per (src,dst) last arrival, for FIFO *)
+  counters : Stats.Counters.t;
+}
+
+let default_latency ~bytes = 11.4 +. (0.0196 *. float_of_int bytes)
+
+let create engine ~hosts ?(latency = default_latency) ?(poll_idle_us = 2.0)
+    ?(polling = Polling.nt_mode) ?(seed = 1) () =
+  if hosts <= 0 then invalid_arg "Fabric.create: hosts";
+  let root_rng = Prng.create ~seed in
+  let node id =
+    {
+      id;
+      ready = Queue.create ();
+      wake = Sync.Event.create ~name:(Printf.sprintf "fabric.wake.h%d" id) ();
+      handler = None;
+      polling = Polling.create polling ~poll_idle_us ~rng:(Prng.split root_rng);
+      busy = false;
+      pending_poll = infinity;
+    }
+  in
+  let t =
+    {
+      engine;
+      nodes = Array.init hosts node;
+      latency;
+      chan_last = Array.make (hosts * hosts) neg_infinity;
+      counters = Stats.Counters.create ();
+    }
+  in
+  (* One server process per host: FM handlers run to completion, one message
+     at a time, on the host's DSM server thread. *)
+  Array.iter
+    (fun n ->
+      Engine.spawn engine ~name:(Printf.sprintf "fabric.server.h%d" n.id) (fun () ->
+          let rec loop () =
+            Sync.Event.wait n.wake;
+            let rec drain () =
+              match Queue.take_opt n.ready with
+              | Some m ->
+                (match n.handler with
+                | Some h -> h m
+                | None -> failwith "Fabric: message for host without handler");
+                Stats.Counters.incr t.counters (Printf.sprintf "handled.h%d" n.id);
+                drain ()
+              | None -> ()
+            in
+            drain ();
+            loop ()
+          in
+          loop ()))
+    t.nodes;
+  t
+
+let hosts t = Array.length t.nodes
+let engine t = t.engine
+
+let node t host =
+  if host < 0 || host >= Array.length t.nodes then invalid_arg "Fabric: bad host";
+  t.nodes.(host)
+
+let set_handler t ~host h = (node t host).handler <- Some h
+
+let schedule_poll t n ~arrival =
+  let pt = Polling.next_poll_time n.polling ~now:arrival ~busy:n.busy in
+  if n.pending_poll <= Engine.now t.engine || n.pending_poll > pt then begin
+    n.pending_poll <- pt;
+    Engine.schedule t.engine ~at:pt (fun () ->
+        if n.pending_poll <= Engine.now t.engine then n.pending_poll <- infinity;
+        Sync.Event.set n.wake)
+  end
+
+let send t ~src ~dst ~bytes body =
+  if bytes < 0 then invalid_arg "Fabric.send: negative size";
+  let dst_node = node t dst in
+  let _ = node t src in
+  Stats.Counters.incr t.counters "send.count";
+  Stats.Counters.add t.counters "send.bytes" bytes;
+  Stats.Counters.incr t.counters (Printf.sprintf "send.count.h%d" src);
+  let now = Engine.now t.engine in
+  let chan = (src * Array.length t.nodes) + dst in
+  let arrival = Float.max (now +. t.latency ~bytes) (t.chan_last.(chan) +. 0.001) in
+  t.chan_last.(chan) <- arrival;
+  let m = { src; dst; bytes; body } in
+  Engine.schedule t.engine ~at:arrival (fun () ->
+      Queue.add m dst_node.ready;
+      schedule_poll t dst_node ~arrival:(Engine.now t.engine))
+
+let set_busy t ~host b =
+  let n = node t host in
+  let was = n.busy in
+  n.busy <- b;
+  (* Returning to idle re-arms the poller: pending messages get picked up
+     promptly instead of waiting for the sweeper. *)
+  if was && (not b) && not (Queue.is_empty n.ready) then
+    schedule_poll t n ~arrival:(Engine.now t.engine)
+
+let busy t ~host = (node t host).busy
+let counters t = t.counters
+let queue_depth t ~host = Queue.length (node t host).ready

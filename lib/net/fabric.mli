@@ -1,0 +1,59 @@
+(** A switched cluster interconnect with FastMessages semantics.
+
+    Reliable, FIFO-ordered per (src, dst) channel, calibrated by default to
+    the Illinois FM on Myrinet numbers of §3.5 / Table 1 (≈12 µs for a 32-byte
+    header message, ≈90 µs for 4 KB, linear in between).
+
+    Delivery is polling-driven: each host runs a server process that drains
+    its receive queue and runs the registered handler on each message, one at
+    a time — FM's run-to-completion handler model.  {e When} the queue is
+    drained depends on the host's CPU state and the {!Polling.mode}: an idle
+    host's poller notices messages almost immediately, a busy host waits for
+    its sweeper tick (see {!Polling}).
+
+    The message body is a type parameter; [bytes] is the simulated wire size
+    used for cost accounting. *)
+
+type 'a msg = { src : int; dst : int; bytes : int; body : 'a }
+
+type 'a t
+
+val create :
+  Mp_sim.Engine.t ->
+  hosts:int ->
+  ?latency:(bytes:int -> float) ->
+  ?poll_idle_us:float ->
+  ?polling:Polling.mode ->
+  ?seed:int ->
+  unit ->
+  'a t
+(** Defaults: the FM latency fit [11.4 µs + 0.0196 µs/byte], 2 µs idle-poll
+    pickup, {!Polling.nt_mode}, seed 1. *)
+
+val default_latency : bytes:int -> float
+
+val hosts : 'a t -> int
+val engine : 'a t -> Mp_sim.Engine.t
+
+val set_handler : 'a t -> host:int -> ('a msg -> unit) -> unit
+(** Must be installed before the first send to [host].  The handler runs
+    inside a simulated process and may delay/suspend; messages on one host
+    are handled strictly sequentially in arrival order. *)
+
+val send : 'a t -> src:int -> dst:int -> bytes:int -> 'a -> unit
+(** Fire-and-forget, like [FM_send].  May be called from any process or
+    callback.  Sending to yourself is allowed and goes through the same
+    polling path. *)
+
+val set_busy : 'a t -> host:int -> bool -> unit
+(** Mark the host CPU as occupied by application computation; this is what
+    routes message pickup to the sweeper instead of the poller. *)
+
+val busy : 'a t -> host:int -> bool
+
+val counters : 'a t -> Mp_util.Stats.Counters.t
+(** ["send.count"], ["send.bytes"], ["send.count.h<i>"], and
+    ["handled.h<i>"]. *)
+
+val queue_depth : 'a t -> host:int -> int
+(** Messages arrived but not yet handled (for tests). *)

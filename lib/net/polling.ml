@@ -1,0 +1,56 @@
+open Mp_util
+
+type nt_params = {
+  p_short : float;
+  short_lo : float;
+  short_hi : float;
+  long_lo : float;
+  long_hi : float;
+}
+
+type mode = Fast | Nt_timer of nt_params
+
+let default_nt =
+  { p_short = 0.4; short_lo = 20.0; short_hi = 80.0; long_lo = 600.0; long_hi = 1600.0 }
+
+let nt_mode = Nt_timer default_nt
+
+type t = { mode : mode; poll_idle_us : float; rng : Prng.t; mutable next_tick : float }
+
+let create mode ~poll_idle_us ~rng = { mode; poll_idle_us; rng; next_tick = 0.0 }
+
+let sample_interval rng p =
+  if Prng.float rng 1.0 < p.p_short then
+    p.short_lo +. Prng.float rng (p.short_hi -. p.short_lo)
+  else p.long_lo +. Prng.float rng (p.long_hi -. p.long_lo)
+
+let next_poll_time t ~now ~busy =
+  match t.mode with
+  | Fast -> now +. t.poll_idle_us
+  | Nt_timer p ->
+    if not busy then now +. t.poll_idle_us
+    else begin
+      (* advance the sweeper's tick stream past [now] *)
+      while t.next_tick <= now do
+        t.next_tick <- t.next_tick +. sample_interval t.rng p
+      done;
+      t.next_tick
+    end
+
+let mean_busy_wait p =
+  (* A random arrival falls into an interval with probability proportional to
+     its length; expected residual wait is E[I²] / (2 E[I]). *)
+  let mean_u lo hi = (lo +. hi) /. 2.0 in
+  let m2_u lo hi =
+    (* E[X²] for X ~ U(lo,hi) *)
+    ((hi -. lo) ** 2.0 /. 12.0) +. (mean_u lo hi ** 2.0)
+  in
+  let ei =
+    (p.p_short *. mean_u p.short_lo p.short_hi)
+    +. ((1.0 -. p.p_short) *. mean_u p.long_lo p.long_hi)
+  in
+  let ei2 =
+    (p.p_short *. m2_u p.short_lo p.short_hi)
+    +. ((1.0 -. p.p_short) *. m2_u p.long_lo p.long_hi)
+  in
+  ei2 /. (2.0 *. ei)

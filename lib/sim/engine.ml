@@ -1,0 +1,137 @@
+type t = {
+  mutable now : float;
+  queue : (unit -> unit) Pqueue.t;
+  mutable seq : int;
+  mutable live : int;
+  mutable stopped : bool;
+  blocked_tbl : (int, string * string) Hashtbl.t;
+  mutable susp_id : int;
+}
+
+exception Not_in_process
+exception Stopped
+
+type _ Effect.t +=
+  | Delay : (t * float) -> unit Effect.t
+  | Suspend : (t * string * ((unit -> unit) -> unit)) -> unit Effect.t
+  | Self_name : string Effect.t
+
+let create () =
+  {
+    now = 0.0;
+    queue = Pqueue.create ();
+    seq = 0;
+    live = 0;
+    stopped = false;
+    blocked_tbl = Hashtbl.create 32;
+    susp_id = 0;
+  }
+
+let now t = t.now
+
+let schedule_raw t ~at thunk =
+  let at = if at < t.now then t.now else at in
+  t.seq <- t.seq + 1;
+  Pqueue.push t.queue ~time:at ~seq:t.seq thunk
+
+let schedule = schedule_raw
+
+let spawn t ?(name = "proc") f =
+  t.live <- t.live + 1;
+  let finish () = t.live <- t.live - 1 in
+  let handler =
+    {
+      Effect.Deep.retc = (fun () -> finish ());
+      exnc =
+        (function
+        | Stopped -> finish ()
+        | e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Delay (t, d) ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                let d = if d < 0.0 then 0.0 else d in
+                schedule_raw t ~at:(t.now +. d) (fun () -> Effect.Deep.continue k ()))
+          | Suspend (t, label, register) ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                t.susp_id <- t.susp_id + 1;
+                let id = t.susp_id in
+                Hashtbl.replace t.blocked_tbl id (name, label);
+                let resumed = ref false in
+                let resume () =
+                  if not !resumed then begin
+                    resumed := true;
+                    Hashtbl.remove t.blocked_tbl id;
+                    if t.stopped then
+                      (* Unwind the fiber so daemon loops exit cleanly. *)
+                      Effect.Deep.discontinue k Stopped
+                    else
+                      schedule_raw t ~at:t.now (fun () -> Effect.Deep.continue k ())
+                  end
+                in
+                register resume)
+          | Self_name -> Some (fun k -> Effect.Deep.continue k name)
+          | _ -> None);
+    }
+  in
+  schedule_raw t ~at:t.now (fun () -> Effect.Deep.match_with f () handler)
+
+(* The engine of the innermost handler is the one stored in the effect
+   payload; processes capture it at spawn time via these helpers.  A process
+   discovers its engine with a dedicated effect would be circular, so instead
+   we thread the engine through a domain-local "current engine" set around
+   each event execution. *)
+let current : t option ref = ref None
+
+let with_current t thunk =
+  let saved = !current in
+  current := Some t;
+  Fun.protect ~finally:(fun () -> current := saved) thunk
+
+let the_engine () = match !current with Some t -> t | None -> raise Not_in_process
+
+let delay d =
+  let t = the_engine () in
+  try Effect.perform (Delay (t, d)) with Effect.Unhandled _ -> raise Not_in_process
+
+let yield () = delay 0.0
+
+let suspend ~name register =
+  let t = the_engine () in
+  try Effect.perform (Suspend (t, name, register))
+  with Effect.Unhandled _ -> raise Not_in_process
+
+let self_name () =
+  try Effect.perform Self_name with Effect.Unhandled _ -> raise Not_in_process
+
+let step t =
+  match Pqueue.pop t.queue with
+  | None -> false
+  | Some (time, thunk) ->
+    t.now <- time;
+    with_current t thunk;
+    true
+
+let run t =
+  t.stopped <- false;
+  let rec go () = if (not t.stopped) && step t then go () in
+  go ()
+
+let run_until t limit =
+  t.stopped <- false;
+  let rec go () =
+    match Pqueue.peek_time t.queue with
+    | Some time when time <= limit && not t.stopped ->
+      ignore (step t);
+      go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  if t.now < limit then t.now <- limit
+
+let stop t = t.stopped <- true
+let live t = t.live
+let blocked t = Hashtbl.fold (fun _ v acc -> v :: acc) t.blocked_tbl []

@@ -1,0 +1,63 @@
+(** Discrete-event simulation engine with cooperative processes.
+
+    Time is a [float] number of microseconds.  Processes are ordinary OCaml
+    functions run under an effect handler: inside a process, {!delay} advances
+    simulated time and {!suspend} parks the process until some other party
+    resumes it.  Everything is deterministic: events scheduled for the same
+    instant fire in scheduling order. *)
+
+type t
+
+exception Not_in_process
+(** Raised when {!delay} / {!suspend} / {!self_name} is performed outside a
+    process spawned on an engine. *)
+
+exception Stopped
+(** Raised inside a process that is resumed after {!stop} was called, letting
+    daemon-style loops unwind cleanly. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time in µs. *)
+
+val spawn : t -> ?name:string -> (unit -> unit) -> unit
+(** [spawn t f] registers process [f] to start at the current time.  An
+    exception escaping [f] (other than {!Stopped}) aborts the whole run. *)
+
+val schedule : t -> at:float -> (unit -> unit) -> unit
+(** Run a plain callback (not a process: it must not perform effects) at
+    absolute time [at].  [at] below the current time is clamped to now. *)
+
+val delay : float -> unit
+(** Advance this process's clock by the given number of µs. *)
+
+val yield : unit -> unit
+(** Let every other event scheduled for the current instant run first. *)
+
+val suspend : name:string -> ((unit -> unit) -> unit) -> unit
+(** [suspend ~name register] parks the calling process and hands a one-shot
+    [resume] thunk to [register].  Calling [resume] schedules the process to
+    continue at the engine's then-current time; calling it twice is a no-op.
+    [name] labels the suspension for deadlock reports. *)
+
+val self_name : unit -> string
+(** Name of the running process (["proc"] when spawned without a name). *)
+
+val run : t -> unit
+(** Execute events until the queue drains or {!stop} is called.  Returns
+    normally even if some processes are still suspended; inspect {!blocked}
+    to detect deadlock. *)
+
+val run_until : t -> float -> unit
+(** Like {!run} but stops once the clock would pass the given time. *)
+
+val stop : t -> unit
+(** Make {!run} return after the current event; subsequently resumed
+    processes receive {!Stopped}. *)
+
+val live : t -> int
+(** Number of spawned processes that have not finished. *)
+
+val blocked : t -> (string * string) list
+(** [(process, suspension)] pairs for every currently suspended process. *)

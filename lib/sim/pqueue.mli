@@ -1,0 +1,17 @@
+(** Binary min-heap keyed by [(time, seq)].
+
+    The secondary [seq] key makes pops of equal-time entries FIFO, which keeps
+    the whole simulation deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> time:float -> seq:int -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Smallest [(time, seq)] entry, or [None] when empty. *)
+
+val peek_time : 'a t -> float option

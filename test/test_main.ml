@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "millipage"
+    [
+      ("prng", Test_prng.suite);
+      ("stats", Test_stats.suite);
+      ("sim", Test_sim.suite);
+      ("memsim", Test_memsim.suite);
+      ("net", Test_net.suite);
+      ("multiview", Test_multiview.suite);
+      ("millipage", Test_millipage.suite);
+      ("millipage-extra", Test_millipage_extra.suite);
+      ("composed-views", Test_composed.suite);
+      ("baselines", Test_baselines.suite);
+      ("apps", Test_apps.suite);
+      ("gms", Test_gms.suite);
+      ("mrc", Test_mrc.suite);
+      ("coherence", Test_coherence.suite);
+      ("errors", Test_errors.suite);
+      ("tab", Test_tab.suite);
+      ("properties", Test_properties.suite);
+    ]

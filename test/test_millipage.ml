@@ -1,0 +1,414 @@
+open Mp_sim
+open Mp_millipage
+
+let fast_config =
+  { Dsm.Config.default with polling = Mp_net.Polling.Fast }
+
+let scenario ?(hosts = 2) ?(config = fast_config) setup =
+  let e = Engine.create () in
+  let dsm = Dsm.create e ~hosts ~config () in
+  setup dsm;
+  Dsm.run dsm;
+  dsm
+
+let test_read_sharing () =
+  let seen = ref 0.0 in
+  let dsm =
+    scenario (fun dsm ->
+        let x = Dsm.malloc dsm 128 in
+        Dsm.init_write_f64 dsm x 42.5;
+        Dsm.spawn dsm ~host:1 (fun ctx -> seen := Dsm.read_f64 ctx x))
+  in
+  Alcotest.(check (float 0.0)) "value transferred" 42.5 !seen;
+  Alcotest.(check int) "one read fault" 1 (Dsm.read_faults dsm);
+  Alcotest.(check int) "no write faults" 0 (Dsm.write_faults dsm)
+
+let test_second_read_hits () =
+  let dsm =
+    scenario (fun dsm ->
+        let x = Dsm.malloc dsm 128 in
+        Dsm.init_write_f64 dsm x 1.0;
+        Dsm.spawn dsm ~host:1 (fun ctx ->
+            ignore (Dsm.read_f64 ctx x);
+            ignore (Dsm.read_f64 ctx x);
+            ignore (Dsm.read_f64 ctx (x + 8))))
+  in
+  Alcotest.(check int) "only the first read faults" 1 (Dsm.read_faults dsm)
+
+let test_write_invalidates_readers () =
+  let final = ref 0.0 in
+  let dsm =
+    scenario ~hosts:3 (fun dsm ->
+        let x = Dsm.malloc dsm 64 in
+        Dsm.init_write_f64 dsm x 1.0;
+        (* h1 and h2 read, then h1 writes, then h2 re-reads *)
+        Dsm.spawn dsm ~host:1 (fun ctx ->
+            ignore (Dsm.read_f64 ctx x);
+            Dsm.barrier ctx;
+            Dsm.write_f64 ctx x 2.0;
+            Dsm.barrier ctx);
+        Dsm.spawn dsm ~host:2 (fun ctx ->
+            ignore (Dsm.read_f64 ctx x);
+            Dsm.barrier ctx;
+            Dsm.barrier ctx;
+            final := Dsm.read_f64 ctx x))
+  in
+  Alcotest.(check (float 0.0)) "reader sees the write" 2.0 !final;
+  Alcotest.(check bool) "invalidations happened" true
+    (Mp_util.Stats.Counters.get (Dsm.counters dsm) "invalidations" >= 1)
+
+let test_write_upgrade_no_data () =
+  (* single reader upgrading to writer: grant without data transfer *)
+  let dsm =
+    scenario (fun dsm ->
+        let x = Dsm.malloc dsm 64 in
+        Dsm.spawn dsm ~host:1 (fun ctx ->
+            ignore (Dsm.read_f64 ctx x);
+            Dsm.write_f64 ctx x 5.0))
+  in
+  Alcotest.(check int) "one upgrade grant" 1
+    (Mp_util.Stats.Counters.get (Dsm.counters dsm) "grant.upgrades")
+
+let test_no_false_sharing () =
+  (* two variables on the same physical page, each written by its own host:
+     exactly one write fault per host, no ping-pong *)
+  let iterations = 50 in
+  let dsm =
+    scenario ~hosts:3 (fun dsm ->
+        let x = Dsm.malloc dsm 256 in
+        let y = Dsm.malloc dsm 256 in
+        let worker addr host =
+          Dsm.spawn dsm ~host (fun ctx ->
+              for i = 1 to iterations do
+                Dsm.write_f64 ctx addr (float_of_int i);
+                Dsm.compute ctx 10.0
+              done)
+        in
+        worker x 1;
+        worker y 2)
+  in
+  Alcotest.(check int) "one write fault each" 2 (Dsm.write_faults dsm)
+
+let test_page_grain_false_sharing_ping_pong () =
+  (* same workload under page-grain chunking: the page bounces between the
+     two writers *)
+  let iterations = 50 in
+  let config =
+    { fast_config with chunking = Mp_multiview.Allocator.Page_grain }
+  in
+  let dsm =
+    scenario ~hosts:3 ~config (fun dsm ->
+        let x = Dsm.malloc dsm 256 in
+        let y = Dsm.malloc dsm 256 in
+        let worker addr host =
+          Dsm.spawn dsm ~host (fun ctx ->
+              for i = 1 to iterations do
+                Dsm.write_f64 ctx addr (float_of_int i);
+                Dsm.compute ctx 10.0
+              done)
+        in
+        worker x 1;
+        worker y 2)
+  in
+  (* each holder sneaks in a few iterations before the next invalidation
+     lands, so the fault count is well below 2x50 but far above the
+     fine-grain case's 2 *)
+  Alcotest.(check bool) "ping-pong write faults" true (Dsm.write_faults dsm >= 10)
+
+let test_sequential_consistency_lock_counter () =
+  let hosts = 4 and per_host = 25 in
+  let final = ref 0 in
+  let dsm =
+    scenario ~hosts (fun dsm ->
+        let c = Dsm.malloc dsm 64 in
+        Dsm.init_write_int dsm c 0;
+        for h = 0 to hosts - 1 do
+          Dsm.spawn dsm ~host:h (fun ctx ->
+              for _ = 1 to per_host do
+                Dsm.lock ctx 0;
+                Dsm.write_int ctx c (Dsm.read_int ctx c + 1);
+                Dsm.unlock ctx 0
+              done;
+              Dsm.barrier ctx;
+              if Dsm.host ctx = 0 then final := Dsm.read_int ctx c)
+        done)
+  in
+  Alcotest.(check int) "no lost updates" (hosts * per_host) !final;
+  ignore dsm
+
+let test_barrier_synchronizes () =
+  let order = ref [] in
+  let _dsm =
+    scenario ~hosts:3 (fun dsm ->
+        for h = 0 to 2 do
+          Dsm.spawn dsm ~host:h (fun ctx ->
+              Dsm.compute ctx (float_of_int (100 * (3 - h)));
+              order := (`Before, h) :: !order;
+              Dsm.barrier ctx;
+              order := (`After, h) :: !order)
+        done)
+  in
+  let events = List.rev !order in
+  let first_after =
+    List.mapi (fun i (k, _) -> (i, k)) events
+    |> List.find (fun (_, k) -> k = `After)
+    |> fst
+  in
+  Alcotest.(check int) "all befores precede afters" 3 first_after
+
+let test_lock_mutual_exclusion_timing () =
+  let e = Engine.create () in
+  let dsm = Dsm.create e ~hosts:2 ~config:fast_config () in
+  let in_section = ref 0 and overlapped = ref false in
+  for h = 0 to 1 do
+    Dsm.spawn dsm ~host:h (fun ctx ->
+        for _ = 1 to 10 do
+          Dsm.lock ctx 7;
+          incr in_section;
+          if !in_section > 1 then overlapped := true;
+          Dsm.compute ctx 30.0;
+          decr in_section;
+          Dsm.unlock ctx 7
+        done)
+  done;
+  Dsm.run dsm;
+  Alcotest.(check bool) "mutual exclusion" false !overlapped
+
+let test_read_fault_cost_128 () =
+  (* §4.2: bringing in a 128-byte minipage for reading costs ≈ 204 µs *)
+  let cost = ref 0.0 in
+  let _dsm =
+    scenario (fun dsm ->
+        let x = Dsm.malloc dsm 128 in
+        Dsm.spawn dsm ~host:1 (fun ctx ->
+            let t0 = Engine.now (Dsm.my_engine ctx) in
+            ignore (Dsm.read_f64 ctx x);
+            cost := Engine.now (Dsm.my_engine ctx) -. t0))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "read 128B in [180,230] (got %.0f)" !cost)
+    true
+    (!cost > 180.0 && !cost < 230.0)
+
+let test_read_fault_cost_4k () =
+  (* §4.2: ≈ 314 µs for a 4 KB minipage *)
+  let config = { fast_config with views = 4; chunking = Mp_multiview.Allocator.Fine 1 } in
+  let cost = ref 0.0 in
+  let _dsm =
+    scenario ~config (fun dsm ->
+        let x = Dsm.malloc dsm 4096 in
+        Dsm.spawn dsm ~host:1 (fun ctx ->
+            let t0 = Engine.now (Dsm.my_engine ctx) in
+            ignore (Dsm.read_f64 ctx x);
+            cost := Engine.now (Dsm.my_engine ctx) -. t0))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "read 4KB in [280,350] (got %.0f)" !cost)
+    true
+    (!cost > 280.0 && !cost < 350.0)
+
+let test_write_fault_cost_range () =
+  (* §4.2: writes cost 212-366 µs for 128 B depending on invalidations *)
+  let no_inval = ref 0.0 and with_invals = ref 0.0 in
+  let _dsm =
+    scenario ~hosts:5 (fun dsm ->
+        let x = Dsm.malloc dsm 128 in
+        let y = Dsm.malloc dsm 128 in
+        Dsm.spawn dsm ~host:1 (fun ctx ->
+            (* y has a single foreign copy: write transfers, no invals *)
+            let t0 = Engine.now (Dsm.my_engine ctx) in
+            Dsm.write_f64 ctx y 1.0;
+            no_inval := Engine.now (Dsm.my_engine ctx) -. t0;
+            Dsm.barrier ctx;
+            Dsm.barrier ctx;
+            (* now x has 3 read copies: write must invalidate them *)
+            let t0 = Engine.now (Dsm.my_engine ctx) in
+            Dsm.write_f64 ctx x 1.0;
+            with_invals := Engine.now (Dsm.my_engine ctx) -. t0);
+        for h = 2 to 4 do
+          Dsm.spawn dsm ~host:h (fun ctx ->
+              Dsm.barrier ctx;
+              ignore (Dsm.read_f64 ctx x);
+              Dsm.barrier ctx)
+        done)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "no-inval write in [190,260] (got %.0f)" !no_inval)
+    true
+    (!no_inval > 190.0 && !no_inval < 260.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "3-inval write in [260,420] (got %.0f)" !with_invals)
+    true
+    (!with_invals > 260.0 && !with_invals < 420.0);
+  Alcotest.(check bool) "invals cost more" true (!with_invals > !no_inval +. 30.0)
+
+let test_competing_requests_counted () =
+  let dsm =
+    scenario ~hosts:3 (fun dsm ->
+        let x = Dsm.malloc dsm 64 in
+        (* both hosts write-fault on x at the same instant: writes conflict,
+           so the second queues *)
+        Dsm.spawn dsm ~host:1 (fun ctx -> Dsm.write_f64 ctx x 1.0);
+        Dsm.spawn dsm ~host:2 (fun ctx -> Dsm.write_f64 ctx x 2.0))
+  in
+  Alcotest.(check int) "one competing request" 1 (Dsm.competing_requests dsm)
+
+let test_concurrent_reads_do_not_compete () =
+  let dsm =
+    scenario ~hosts:3 (fun dsm ->
+        let x = Dsm.malloc dsm 64 in
+        Dsm.spawn dsm ~host:1 (fun ctx -> ignore (Dsm.read_f64 ctx x));
+        Dsm.spawn dsm ~host:2 (fun ctx -> ignore (Dsm.read_f64 ctx x)))
+  in
+  (* the manager forwards concurrent reads without queuing *)
+  Alcotest.(check int) "no competing requests" 0 (Dsm.competing_requests dsm)
+
+let test_prefetch_hides_latency () =
+  let cold = ref 0.0 and prefetched = ref 0.0 in
+  let _dsm =
+    scenario (fun dsm ->
+        let x = Dsm.malloc dsm 128 in
+        let y = Dsm.malloc dsm 128 in
+        Dsm.spawn dsm ~host:1 (fun ctx ->
+            let t0 = Engine.now (Dsm.my_engine ctx) in
+            ignore (Dsm.read_f64 ctx x);
+            cold := Engine.now (Dsm.my_engine ctx) -. t0;
+            Dsm.prefetch ctx y Proto.Read;
+            Dsm.compute ctx 1000.0;
+            let t0 = Engine.now (Dsm.my_engine ctx) in
+            ignore (Dsm.read_f64 ctx y);
+            prefetched := Engine.now (Dsm.my_engine ctx) -. t0))
+  in
+  Alcotest.(check bool) "prefetched access is free" true (!prefetched < 1.0);
+  Alcotest.(check bool) "cold access is not" true (!cold > 100.0)
+
+let test_prefetch_fault_waits_correctly () =
+  (* faulting on an in-flight prefetch blocks until the copy lands *)
+  let v = ref 0.0 in
+  let _dsm =
+    scenario (fun dsm ->
+        let x = Dsm.malloc dsm 128 in
+        Dsm.init_write_f64 dsm x 9.0;
+        Dsm.spawn dsm ~host:1 (fun ctx ->
+            Dsm.prefetch ctx x Proto.Read;
+            v := Dsm.read_f64 ctx x))
+  in
+  Alcotest.(check (float 0.0)) "value correct" 9.0 !v
+
+let test_push_to_all () =
+  let seen = Array.make 4 0.0 in
+  let dsm =
+    scenario ~hosts:4 (fun dsm ->
+        let m = Dsm.malloc dsm 148 in
+        Dsm.init_write_f64 dsm m 0.0;
+        Dsm.spawn dsm ~host:1 (fun ctx ->
+            Dsm.write_f64 ctx m 7.7;
+            Dsm.push_to_all ctx m;
+            Dsm.barrier ctx;
+            seen.(1) <- Dsm.read_f64 ctx m);
+        List.iter
+          (fun h ->
+            Dsm.spawn dsm ~host:h (fun ctx ->
+                Dsm.barrier ctx;
+                seen.(h) <- Dsm.read_f64 ctx m))
+          [ 0; 2; 3 ])
+  in
+  Array.iteri
+    (fun h v -> Alcotest.(check (float 0.0)) (Printf.sprintf "host %d" h) 7.7 v)
+    seen;
+  (* pushes mean the post-barrier reads fault nowhere *)
+  Alcotest.(check int) "no read faults after push" 0 (Dsm.read_faults dsm)
+
+let test_deadlock_detection () =
+  let e = Engine.create () in
+  let dsm = Dsm.create e ~hosts:2 ~config:fast_config () in
+  Dsm.spawn dsm ~host:1 (fun ctx -> Dsm.lock ctx 3 (* never granted back *));
+  Dsm.spawn dsm ~host:0 (fun ctx ->
+      Dsm.lock ctx 3;
+      (* holds forever: never unlocks, h1 starves *)
+      ignore ctx);
+  Alcotest.(check bool) "run reports stuck threads" true
+    (try
+       Dsm.run dsm;
+       false
+     with Failure msg ->
+       String.length msg > 0)
+
+let test_breakdown_accounted () =
+  let dsm =
+    scenario (fun dsm ->
+        let x = Dsm.malloc dsm 128 in
+        Dsm.spawn dsm ~host:1 (fun ctx ->
+            Dsm.compute ctx 500.0;
+            ignore (Dsm.read_f64 ctx x);
+            Dsm.write_f64 ctx x 1.0;
+            Dsm.barrier ctx);
+        Dsm.spawn dsm ~host:0 (fun ctx -> Dsm.barrier ctx))
+  in
+  let bd = Dsm.breakdown dsm ~host:1 in
+  Alcotest.(check (float 1e-9)) "compute" 500.0 bd.Breakdown.compute;
+  Alcotest.(check bool) "read fault time" true (bd.Breakdown.read_fault > 100.0);
+  Alcotest.(check bool) "write fault time" true (bd.Breakdown.write_fault > 50.0);
+  Alcotest.(check bool) "synch time" true (bd.Breakdown.synch > 10.0)
+
+let test_wrong_view_access_rejected () =
+  let e = Engine.create () in
+  let dsm = Dsm.create e ~hosts:2 ~config:fast_config () in
+  let x = Dsm.malloc dsm 64 in
+  let _y = Dsm.malloc dsm 64 in
+  (* y lives in view 1; accessing x's offset through view 1 is an
+     application bug that the manager rejects *)
+  let view_stride = 16 * 1024 * 1024 + 4096 in
+  Dsm.spawn dsm ~host:1 (fun ctx -> ignore (Dsm.read_f64 ctx (x + view_stride)));
+  Alcotest.(check bool) "manager detects wrong view" true
+    (try
+       Dsm.run dsm;
+       false
+     with Failure _ -> true)
+
+let test_many_minipages_stress () =
+  let n = 100 in
+  let sum = ref 0.0 in
+  let dsm =
+    scenario ~hosts:4 (fun dsm ->
+        let addrs = Dsm.malloc_array dsm ~count:n ~size:256 in
+        Array.iteri (fun i a -> Dsm.init_write_f64 dsm a (float_of_int i)) addrs;
+        Dsm.spawn dsm ~host:1 (fun ctx ->
+            Array.iter (fun a -> Dsm.write_f64 ctx a (Dsm.read_f64 ctx a +. 1.0)) addrs;
+            Dsm.barrier ctx);
+        Dsm.spawn dsm ~host:2 (fun ctx ->
+            Dsm.barrier ctx;
+            sum := 0.0;
+            Array.iter (fun a -> sum := !sum +. Dsm.read_f64 ctx a) addrs);
+        Dsm.spawn dsm ~host:0 (fun ctx -> Dsm.barrier ctx);
+        Dsm.spawn dsm ~host:3 (fun ctx -> Dsm.barrier ctx))
+  in
+  let expected = float_of_int (n * (n - 1) / 2 + n) in
+  Alcotest.(check (float 0.001)) "sum correct" expected !sum;
+  Alcotest.(check bool) "views bounded" true (Dsm.views_used dsm <= 32)
+
+let suite =
+  [
+    Alcotest.test_case "read sharing" `Quick test_read_sharing;
+    Alcotest.test_case "second read hits" `Quick test_second_read_hits;
+    Alcotest.test_case "write invalidates readers" `Quick test_write_invalidates_readers;
+    Alcotest.test_case "write upgrade without data" `Quick test_write_upgrade_no_data;
+    Alcotest.test_case "no false sharing" `Quick test_no_false_sharing;
+    Alcotest.test_case "page grain ping-pong" `Quick test_page_grain_false_sharing_ping_pong;
+    Alcotest.test_case "SC lock counter" `Quick test_sequential_consistency_lock_counter;
+    Alcotest.test_case "barrier synchronizes" `Quick test_barrier_synchronizes;
+    Alcotest.test_case "lock mutual exclusion" `Quick test_lock_mutual_exclusion_timing;
+    Alcotest.test_case "read fault cost 128B" `Quick test_read_fault_cost_128;
+    Alcotest.test_case "read fault cost 4KB" `Quick test_read_fault_cost_4k;
+    Alcotest.test_case "write fault cost range" `Quick test_write_fault_cost_range;
+    Alcotest.test_case "competing requests" `Quick test_competing_requests_counted;
+    Alcotest.test_case "concurrent reads don't compete" `Quick
+      test_concurrent_reads_do_not_compete;
+    Alcotest.test_case "prefetch hides latency" `Quick test_prefetch_hides_latency;
+    Alcotest.test_case "prefetch fault waits" `Quick test_prefetch_fault_waits_correctly;
+    Alcotest.test_case "push to all" `Quick test_push_to_all;
+    Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+    Alcotest.test_case "breakdown accounting" `Quick test_breakdown_accounted;
+    Alcotest.test_case "wrong view rejected" `Quick test_wrong_view_access_rejected;
+    Alcotest.test_case "many minipages stress" `Quick test_many_minipages_stress;
+  ]

@@ -1,0 +1,144 @@
+(* Millipage-RC (§5): relaxed consistency at minipage granularity. *)
+
+open Mp_sim
+open Mp_baselines
+
+let scenario ?(hosts = 2) ?chunking setup =
+  let e = Engine.create () in
+  let t = Mrc.create e ~hosts ?chunking ~polling:Mp_net.Polling.Fast () in
+  setup t;
+  Mrc.run t;
+  (e, t)
+
+let test_read_from_home () =
+  let v = ref 0.0 in
+  let _e, t =
+    scenario ~hosts:3 (fun t ->
+        let x = Mrc.malloc t 64 in
+        Mrc.init_write_f64 t x 5.5;
+        Mrc.spawn t ~host:1 (fun ctx -> v := Mrc.read_f64 ctx x))
+  in
+  Alcotest.(check (float 0.0)) "home copy" 5.5 !v;
+  Alcotest.(check int) "one fault" 1 (Mrc.read_faults t)
+
+let test_local_writes_no_traffic () =
+  let _e, t =
+    scenario (fun t ->
+        let x = Mrc.malloc t 64 in
+        Mrc.spawn t ~host:1 (fun ctx ->
+            for i = 1 to 100 do
+              Mrc.write_f64 ctx x (float_of_int i)
+            done))
+  in
+  Alcotest.(check int) "one twin" 1 (Mrc.twins_created t);
+  Alcotest.(check int) "no diffs before release" 0 (Mrc.diffs_created t)
+
+let test_barrier_propagates () =
+  let v = ref 0.0 in
+  let _e, t =
+    scenario (fun t ->
+        let x = Mrc.malloc t 64 in
+        Mrc.init_write_f64 t x 1.0;
+        Mrc.spawn t ~host:1 (fun ctx ->
+            Mrc.write_f64 ctx x 4.0;
+            Mrc.barrier ctx);
+        Mrc.spawn t ~host:0 (fun ctx ->
+            ignore (Mrc.read_f64 ctx x);
+            Mrc.barrier ctx;
+            v := Mrc.read_f64 ctx x))
+  in
+  Alcotest.(check (float 0.0)) "visible after barrier" 4.0 !v;
+  Alcotest.(check bool) "diff shipped" true (Mrc.diffs_created t >= 1)
+
+let test_multi_writer_chunk () =
+  (* the §5 point: two hosts write different variables inside ONE chunked
+     minipage concurrently; the diffs merge at the home with no ping-pong *)
+  let a = ref 0.0 and b = ref 0.0 in
+  let _e, t =
+    scenario ~hosts:3 ~chunking:(Mp_multiview.Allocator.Fine 2) (fun t ->
+        let x = Mrc.malloc t 64 in
+        let y = Mrc.malloc t 64 in
+        Mrc.spawn t ~host:1 (fun ctx ->
+            Mrc.write_f64 ctx x 1.25;
+            Mrc.barrier ctx;
+            Mrc.barrier ctx;
+            a := Mrc.read_f64 ctx x;
+            b := Mrc.read_f64 ctx y);
+        Mrc.spawn t ~host:2 (fun ctx ->
+            Mrc.write_f64 ctx y 2.25;
+            Mrc.barrier ctx;
+            Mrc.barrier ctx))
+  in
+  Alcotest.(check (float 0.0)) "own write survives merge" 1.25 !a;
+  Alcotest.(check (float 0.0)) "other's write merged" 2.25 !b;
+  Alcotest.(check bool) "two diffs" true (Mrc.diffs_created t >= 2)
+
+let test_diff_cost_scales_with_minipage () =
+  (* small minipages mean small diffs on the wire *)
+  let bytes chunking alloc =
+    let _e, t =
+      scenario ~chunking (fun t ->
+          let x = Mrc.malloc t alloc in
+          Mrc.spawn t ~host:1 (fun ctx ->
+              Mrc.write_f64 ctx x 9.0;
+              Mrc.barrier ctx);
+          Mrc.spawn t ~host:0 (fun ctx -> Mrc.barrier ctx))
+    in
+    Mrc.diff_bytes t
+  in
+  let fine = bytes (Mp_multiview.Allocator.Fine 1) 64 in
+  Alcotest.(check bool) "tiny diff for a tiny minipage" true (fine < 32)
+
+let test_lock_counter () =
+  let hosts = 3 and per_host = 10 in
+  let final = ref 0 in
+  let _e, _t =
+    scenario ~hosts (fun t ->
+        let c = Mrc.malloc t 64 in
+        Mrc.init_write_int t c 0;
+        for h = 0 to hosts - 1 do
+          Mrc.spawn t ~host:h (fun ctx ->
+              for _ = 1 to per_host do
+                Mrc.lock ctx 0;
+                Mrc.write_int ctx c (Mrc.read_int ctx c + 1);
+                Mrc.unlock ctx 0
+              done;
+              Mrc.barrier ctx;
+              if Mrc.host ctx = 0 then final := Mrc.read_int ctx c)
+        done)
+  in
+  Alcotest.(check int) "no lost updates" (hosts * per_host) !final
+
+module Water_mrc = Mp_apps.Water.Make (Mrc)
+
+let test_water_on_mrc_chunked () =
+  let e = Engine.create () in
+  let t =
+    Mrc.create e ~hosts:4 ~chunking:(Mp_multiview.Allocator.Fine 6)
+      ~polling:Mp_net.Polling.Fast ()
+  in
+  let p = { Mp_apps.Water.default_params with molecules = 36; iterations = 2 } in
+  let h = Water_mrc.setup t p in
+  Mrc.run t;
+  Alcotest.(check bool) "water verifies on chunked mrc" true (Water_mrc.verify h)
+
+module Sor_mrc = Mp_apps.Sor.Make (Mrc)
+
+let test_sor_on_mrc () =
+  let e = Engine.create () in
+  let t = Mrc.create e ~hosts:4 ~polling:Mp_net.Polling.Fast () in
+  let h = Sor_mrc.setup t { Mp_apps.Sor.default_params with rows = 64; iterations = 3 } in
+  Mrc.run t;
+  Alcotest.(check bool) "sor verifies on mrc" true (Sor_mrc.verify h)
+
+let suite =
+  [
+    Alcotest.test_case "read from home" `Quick test_read_from_home;
+    Alcotest.test_case "local writes" `Quick test_local_writes_no_traffic;
+    Alcotest.test_case "barrier propagates" `Quick test_barrier_propagates;
+    Alcotest.test_case "multi-writer chunk" `Quick test_multi_writer_chunk;
+    Alcotest.test_case "diff scales with minipage" `Quick test_diff_cost_scales_with_minipage;
+    Alcotest.test_case "lock counter" `Quick test_lock_counter;
+    Alcotest.test_case "water on chunked mrc" `Quick test_water_on_mrc_chunked;
+    Alcotest.test_case "sor on mrc" `Quick test_sor_on_mrc;
+  ]

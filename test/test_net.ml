@@ -1,0 +1,157 @@
+open Mp_sim
+open Mp_net
+
+let test_latency_calibration () =
+  (* Table 1: 32 B ≈ 12 µs, 0.5 KB ≈ 22 µs, 1 KB ≈ 34 µs, 4 KB ≈ 90 µs *)
+  let l bytes = Fabric.default_latency ~bytes in
+  Alcotest.(check bool) "32B" true (Float.abs (l 32 -. 12.0) < 1.0);
+  Alcotest.(check bool) "512B" true (Float.abs (l 512 -. 22.0) < 2.0);
+  Alcotest.(check bool) "1KB" true (Float.abs (l 1024 -. 34.0) < 3.0);
+  Alcotest.(check bool) "4KB" true (Float.abs (l 4096 -. 90.0) < 5.0)
+
+let with_fabric ?polling ?(hosts = 2) f =
+  let e = Engine.create () in
+  let fab = Fabric.create e ~hosts ?polling () in
+  f e fab;
+  Engine.run e
+
+let test_message_delivery () =
+  with_fabric ~polling:Polling.Fast (fun e fab ->
+      let got = ref None in
+      Fabric.set_handler fab ~host:1 (fun m -> got := Some (m.Fabric.body, Engine.now e));
+      Engine.spawn e (fun () -> Fabric.send fab ~src:0 ~dst:1 ~bytes:32 "hello");
+      Engine.schedule e ~at:1000.0 (fun () ->
+          match !got with
+          | Some ("hello", at) ->
+            (* wire ≈ 12 µs + 2 µs idle poll *)
+            if Float.abs (at -. 14.0) > 1.5 then
+              Alcotest.failf "delivered at %.1f, expected ~14" at
+          | Some _ | None -> Alcotest.fail "message not delivered"))
+
+let test_fifo_per_channel () =
+  with_fabric ~polling:Polling.Fast (fun e fab ->
+      let got = ref [] in
+      Fabric.set_handler fab ~host:1 (fun m -> got := m.Fabric.body :: !got);
+      Engine.spawn e (fun () ->
+          (* big then small: the small one must NOT overtake *)
+          Fabric.send fab ~src:0 ~dst:1 ~bytes:4096 1;
+          Fabric.send fab ~src:0 ~dst:1 ~bytes:32 2;
+          Fabric.send fab ~src:0 ~dst:1 ~bytes:32 3);
+      Engine.schedule e ~at:10000.0 (fun () ->
+          Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] (List.rev !got)))
+
+let test_sequential_handling () =
+  with_fabric ~polling:Polling.Fast (fun e fab ->
+      let active = ref 0 and overlap = ref false and handled = ref 0 in
+      Fabric.set_handler fab ~host:1 (fun _ ->
+          incr active;
+          if !active > 1 then overlap := true;
+          Engine.delay 50.0;
+          decr active;
+          incr handled);
+      Engine.spawn e (fun () ->
+          for i = 1 to 5 do
+            Fabric.send fab ~src:0 ~dst:1 ~bytes:32 i
+          done);
+      Engine.schedule e ~at:100000.0 (fun () ->
+          Alcotest.(check int) "all handled" 5 !handled;
+          Alcotest.(check bool) "no overlap" false !overlap))
+
+let test_busy_host_waits_for_sweeper () =
+  with_fabric (fun e fab ->
+      let delays = ref [] in
+      Fabric.set_handler fab ~host:1 (fun m ->
+          delays := (Engine.now e -. float_of_int m.Fabric.body) :: !delays);
+      Fabric.set_busy fab ~host:1 true;
+      Engine.spawn e (fun () ->
+          for _ = 1 to 200 do
+            Fabric.send fab ~src:0 ~dst:1 ~bytes:32 (int_of_float (Engine.now e));
+            Engine.delay 5000.0
+          done);
+      Engine.schedule e ~at:2_000_000.0 (fun () ->
+          let n = List.length !delays in
+          Alcotest.(check bool) "handled most" true (n > 150);
+          let mean = List.fold_left ( +. ) 0.0 !delays /. float_of_int n in
+          (* wire 12 + busy wait ≈ 500 µs on average *)
+          if mean < 200.0 || mean > 900.0 then
+            Alcotest.failf "mean busy service delay %.0f outside [200,900]" mean))
+
+let test_idle_host_fast_pickup () =
+  with_fabric (fun e fab ->
+      let at = ref 0.0 in
+      Fabric.set_handler fab ~host:1 (fun _ -> at := Engine.now e);
+      Engine.spawn e (fun () ->
+          Engine.delay 100.0;
+          Fabric.send fab ~src:0 ~dst:1 ~bytes:32 ());
+      Engine.schedule e ~at:10_000.0 (fun () ->
+          Alcotest.(check bool) "fast pickup when idle" true (!at -. 100.0 < 20.0)))
+
+let test_set_idle_rearms_poller () =
+  with_fabric (fun e fab ->
+      let at = ref infinity in
+      Fabric.set_handler fab ~host:1 (fun _ -> at := Engine.now e);
+      Fabric.set_busy fab ~host:1 true;
+      Engine.spawn e (fun () ->
+          Fabric.send fab ~src:0 ~dst:1 ~bytes:32 ();
+          (* before any sweeper tick at ~600+µs, host goes idle at 50 µs *)
+          Engine.delay 50.0;
+          Fabric.set_busy fab ~host:1 false);
+      Engine.schedule e ~at:100_000.0 (fun () ->
+          Alcotest.(check bool) "picked up shortly after idle" true (!at < 80.0)))
+
+let test_counters () =
+  with_fabric ~polling:Polling.Fast (fun e fab ->
+      Fabric.set_handler fab ~host:1 (fun _ -> ());
+      Engine.spawn e (fun () ->
+          Fabric.send fab ~src:0 ~dst:1 ~bytes:100 ();
+          Fabric.send fab ~src:0 ~dst:1 ~bytes:200 ());
+      Engine.schedule e ~at:10_000.0 (fun () ->
+          let c = Fabric.counters fab in
+          Alcotest.(check int) "count" 2 Mp_util.Stats.Counters.(get c "send.count");
+          Alcotest.(check int) "bytes" 300 Mp_util.Stats.Counters.(get c "send.bytes");
+          Alcotest.(check int) "handled" 2 Mp_util.Stats.Counters.(get c "handled.h1")))
+
+let test_mean_busy_wait_analytic_vs_empirical () =
+  let p = Polling.default_nt in
+  let analytic = Polling.mean_busy_wait p in
+  Alcotest.(check bool) "calibrated near 500us" true (analytic > 350.0 && analytic < 700.0);
+  (* empirical check of the tick-stream sampler *)
+  let rng = Mp_util.Prng.create ~seed:99 in
+  let t = Polling.create (Polling.Nt_timer p) ~poll_idle_us:2.0 ~rng in
+  let total = ref 0.0 and n = 20_000 in
+  let arrival_rng = Mp_util.Prng.create ~seed:7 in
+  let now = ref 0.0 in
+  for _ = 1 to n do
+    now := !now +. Mp_util.Prng.float arrival_rng 3000.0;
+    let pt = Polling.next_poll_time t ~now:!now ~busy:true in
+    total := !total +. (pt -. !now)
+  done;
+  let mean = !total /. float_of_int n in
+  Alcotest.(check bool) "empirical matches analytic" true
+    (Float.abs (mean -. analytic) /. analytic < 0.1)
+
+let test_handler_can_reply () =
+  with_fabric ~polling:Polling.Fast (fun e fab ->
+      let done_at = ref 0.0 in
+      Fabric.set_handler fab ~host:1 (fun m ->
+          Fabric.send fab ~src:1 ~dst:m.Fabric.src ~bytes:32 "reply");
+      Fabric.set_handler fab ~host:0 (fun _ -> done_at := Engine.now e);
+      Engine.spawn e (fun () -> Fabric.send fab ~src:0 ~dst:1 ~bytes:32 "req");
+      Engine.schedule e ~at:10_000.0 (fun () ->
+          (* roundtrip of two 32 B messages ≈ 25 µs (the paper's figure) *)
+          Alcotest.(check bool) "roundtrip ~25-30us" true
+            (!done_at > 24.0 && !done_at < 35.0)))
+
+let suite =
+  [
+    Alcotest.test_case "latency calibration" `Quick test_latency_calibration;
+    Alcotest.test_case "delivery" `Quick test_message_delivery;
+    Alcotest.test_case "fifo per channel" `Quick test_fifo_per_channel;
+    Alcotest.test_case "sequential handling" `Quick test_sequential_handling;
+    Alcotest.test_case "busy waits for sweeper" `Quick test_busy_host_waits_for_sweeper;
+    Alcotest.test_case "idle fast pickup" `Quick test_idle_host_fast_pickup;
+    Alcotest.test_case "idle rearms poller" `Quick test_set_idle_rearms_poller;
+    Alcotest.test_case "counters" `Quick test_counters;
+    Alcotest.test_case "nt wait calibration" `Quick test_mean_busy_wait_analytic_vs_empirical;
+    Alcotest.test_case "roundtrip" `Quick test_handler_can_reply;
+  ]

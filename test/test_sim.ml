@@ -1,0 +1,252 @@
+open Mp_sim
+
+let test_pqueue_orders_by_time () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~time:3.0 ~seq:1 "c";
+  Pqueue.push q ~time:1.0 ~seq:2 "a";
+  Pqueue.push q ~time:2.0 ~seq:3 "b";
+  let pop () = match Pqueue.pop q with Some (_, v) -> v | None -> "!" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] [ first; second; third ]
+
+let test_pqueue_fifo_at_equal_time () =
+  let q = Pqueue.create () in
+  for i = 1 to 10 do
+    Pqueue.push q ~time:1.0 ~seq:i i
+  done;
+  let out = ref [] in
+  let rec drain () =
+    match Pqueue.pop q with
+    | Some (_, v) ->
+      out := v :: !out;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "fifo" (List.init 10 (fun i -> i + 1)) (List.rev !out)
+
+let qcheck_pqueue_sorted =
+  QCheck.Test.make ~name:"pqueue pops in nondecreasing time order" ~count:200
+    QCheck.(list (float_range 0. 1000.))
+    (fun times ->
+      let q = Pqueue.create () in
+      List.iteri (fun i time -> Pqueue.push q ~time ~seq:i i) times;
+      let rec drain last =
+        match Pqueue.pop q with
+        | Some (t, _) -> t >= last && drain t
+        | None -> true
+      in
+      drain neg_infinity)
+
+let test_delay_advances_clock () =
+  let e = Engine.create () in
+  let final = ref 0.0 in
+  Engine.spawn e (fun () ->
+      Engine.delay 10.0;
+      Engine.delay 5.0;
+      final := Engine.now e);
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "clock" 15.0 !final
+
+let test_interleaving_is_deterministic () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let emit tag = log := (tag, Engine.now e) :: !log in
+  Engine.spawn e ~name:"a" (fun () ->
+      emit "a0";
+      Engine.delay 10.0;
+      emit "a1");
+  Engine.spawn e ~name:"b" (fun () ->
+      emit "b0";
+      Engine.delay 5.0;
+      emit "b1";
+      Engine.delay 5.0;
+      emit "b2");
+  Engine.run e;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "order"
+    [ ("a0", 0.0); ("b0", 0.0); ("b1", 5.0); ("a1", 10.0); ("b2", 10.0) ]
+    (List.rev !log)
+
+let test_schedule_callback () =
+  let e = Engine.create () in
+  let fired = ref (-1.0) in
+  Engine.schedule e ~at:42.0 (fun () -> fired := Engine.now e);
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "fired at 42" 42.0 !fired
+
+let test_spawn_inherits_current_time () =
+  let e = Engine.create () in
+  let child_start = ref (-1.0) in
+  Engine.spawn e (fun () ->
+      Engine.delay 7.0;
+      Engine.spawn e (fun () -> child_start := Engine.now e));
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "child starts at 7" 7.0 !child_start
+
+let test_yield_lets_peers_run () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.spawn e (fun () ->
+      log := "a-before" :: !log;
+      Engine.yield ();
+      log := "a-after" :: !log);
+  Engine.spawn e (fun () -> log := "b" :: !log);
+  Engine.run e;
+  Alcotest.(check (list string)) "yield order" [ "a-before"; "b"; "a-after" ] (List.rev !log)
+
+let test_not_in_process () =
+  Alcotest.check_raises "delay outside" Engine.Not_in_process (fun () -> Engine.delay 1.0)
+
+let test_event_auto_reset () =
+  let e = Engine.create () in
+  let ev = Sync.Event.create () in
+  let got = ref [] in
+  Engine.spawn e ~name:"waiter1" (fun () ->
+      Sync.Event.wait ev;
+      got := ("w1", Engine.now e) :: !got);
+  Engine.spawn e ~name:"waiter2" (fun () ->
+      Sync.Event.wait ev;
+      got := ("w2", Engine.now e) :: !got);
+  Engine.spawn e ~name:"setter" (fun () ->
+      Engine.delay 3.0;
+      Sync.Event.set ev;
+      Engine.delay 3.0;
+      Sync.Event.set ev);
+  Engine.run e;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "one waiter per set"
+    [ ("w1", 3.0); ("w2", 6.0) ]
+    (List.rev !got)
+
+let test_event_manual_reset_wakes_all () =
+  let e = Engine.create () in
+  let ev = Sync.Event.create ~auto_reset:false () in
+  let woke = ref 0 in
+  for _ = 1 to 5 do
+    Engine.spawn e (fun () ->
+        Sync.Event.wait ev;
+        incr woke)
+  done;
+  Engine.spawn e (fun () ->
+      Engine.delay 1.0;
+      Sync.Event.set ev);
+  Engine.run e;
+  Alcotest.(check int) "all woke" 5 !woke;
+  Alcotest.(check bool) "stays signaled" true (Sync.Event.is_set ev)
+
+let test_event_latched_signal () =
+  let e = Engine.create () in
+  let ev = Sync.Event.create () in
+  let woke_at = ref (-1.0) in
+  Engine.spawn e (fun () ->
+      Sync.Event.set ev;
+      Engine.delay 10.0);
+  Engine.spawn e (fun () ->
+      Engine.delay 5.0;
+      Sync.Event.wait ev;
+      woke_at := Engine.now e);
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "latched wait returns immediately" 5.0 !woke_at
+
+let test_mutex_mutual_exclusion () =
+  let e = Engine.create () in
+  let m = Sync.Mutex.create () in
+  let inside = ref 0 and max_inside = ref 0 and done_count = ref 0 in
+  for _ = 1 to 4 do
+    Engine.spawn e (fun () ->
+        Sync.Mutex.with_lock m (fun () ->
+            incr inside;
+            if !inside > !max_inside then max_inside := !inside;
+            Engine.delay 2.0;
+            decr inside);
+        incr done_count)
+  done;
+  Engine.run e;
+  Alcotest.(check int) "all finished" 4 !done_count;
+  Alcotest.(check int) "never concurrent" 1 !max_inside;
+  Alcotest.(check (float 1e-9)) "serialized time" 8.0 (Engine.now e)
+
+let test_mutex_unlock_not_held () =
+  let m = Sync.Mutex.create () in
+  Alcotest.check_raises "unlock unheld"
+    (Invalid_argument "Sync.Mutex.unlock: not locked") (fun () -> Sync.Mutex.unlock m)
+
+let test_semaphore_limits_concurrency () =
+  let e = Engine.create () in
+  let s = Sync.Semaphore.create 2 in
+  let inside = ref 0 and max_inside = ref 0 in
+  for _ = 1 to 6 do
+    Engine.spawn e (fun () ->
+        Sync.Semaphore.acquire s;
+        incr inside;
+        if !inside > !max_inside then max_inside := !inside;
+        Engine.delay 1.0;
+        decr inside;
+        Sync.Semaphore.release s)
+  done;
+  Engine.run e;
+  Alcotest.(check int) "max 2 inside" 2 !max_inside;
+  Alcotest.(check (float 1e-9)) "three rounds" 3.0 (Engine.now e)
+
+let test_blocked_reports_deadlock () =
+  let e = Engine.create () in
+  let ev = Sync.Event.create ~name:"never" () in
+  Engine.spawn e ~name:"stuck" (fun () -> Sync.Event.wait ev);
+  Engine.run e;
+  Alcotest.(check int) "one live" 1 (Engine.live e);
+  match Engine.blocked e with
+  | [ (proc, susp) ] ->
+    Alcotest.(check string) "proc" "stuck" proc;
+    Alcotest.(check string) "susp" "never" susp
+  | other -> Alcotest.failf "unexpected blocked set: %d entries" (List.length other)
+
+let test_run_until () =
+  let e = Engine.create () in
+  let ticks = ref 0 in
+  Engine.spawn e (fun () ->
+      for _ = 1 to 100 do
+        Engine.delay 10.0;
+        incr ticks
+      done);
+  Engine.run_until e 55.0;
+  Alcotest.(check int) "five ticks" 5 !ticks;
+  Alcotest.(check (float 1e-9)) "clock at limit" 55.0 (Engine.now e);
+  Engine.run e;
+  Alcotest.(check int) "completes" 100 !ticks
+
+let test_stop () =
+  let e = Engine.create () in
+  let ticks = ref 0 in
+  Engine.spawn e (fun () ->
+      while true do
+        Engine.delay 1.0;
+        incr ticks;
+        if !ticks = 10 then Engine.stop e
+      done);
+  Engine.run e;
+  Alcotest.(check int) "stopped at 10" 10 !ticks
+
+let suite =
+  [
+    Alcotest.test_case "pqueue time order" `Quick test_pqueue_orders_by_time;
+    Alcotest.test_case "pqueue fifo ties" `Quick test_pqueue_fifo_at_equal_time;
+    QCheck_alcotest.to_alcotest qcheck_pqueue_sorted;
+    Alcotest.test_case "delay advances clock" `Quick test_delay_advances_clock;
+    Alcotest.test_case "deterministic interleaving" `Quick test_interleaving_is_deterministic;
+    Alcotest.test_case "schedule callback" `Quick test_schedule_callback;
+    Alcotest.test_case "nested spawn time" `Quick test_spawn_inherits_current_time;
+    Alcotest.test_case "yield" `Quick test_yield_lets_peers_run;
+    Alcotest.test_case "not in process" `Quick test_not_in_process;
+    Alcotest.test_case "event auto-reset" `Quick test_event_auto_reset;
+    Alcotest.test_case "event manual-reset" `Quick test_event_manual_reset_wakes_all;
+    Alcotest.test_case "event latched" `Quick test_event_latched_signal;
+    Alcotest.test_case "mutex exclusion" `Quick test_mutex_mutual_exclusion;
+    Alcotest.test_case "mutex unlock unheld" `Quick test_mutex_unlock_not_held;
+    Alcotest.test_case "semaphore concurrency" `Quick test_semaphore_limits_concurrency;
+    Alcotest.test_case "deadlock report" `Quick test_blocked_reports_deadlock;
+    Alcotest.test_case "run_until" `Quick test_run_until;
+    Alcotest.test_case "stop" `Quick test_stop;
+  ]

@@ -1,0 +1,50 @@
+open Mp_util
+
+let test_render_pads_and_aligns () =
+  let out =
+    Tab.render ~header:[ "name"; "value" ] [ [ "a"; "1" ]; [ "longer"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "header + rule + 2 rows" 4 (List.length lines);
+  (* all lines share the same width *)
+  let widths = List.map String.length lines in
+  Alcotest.(check bool) "rectangular" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_render_short_rows_padded () =
+  let out = Tab.render ~header:[ "a"; "b"; "c" ] [ [ "only" ] ] in
+  Alcotest.(check bool) "no exception, content present" true
+    (String.length out > 0)
+
+let contains_substring hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_chart_contains_series_letters () =
+  let out =
+    Tab.chart
+      ~series:
+        [ ("X line", [ (1.0, 1.0); (2.0, 2.0) ]); ("Y line", [ (1.0, 2.0); (2.0, 4.0) ]) ]
+      ()
+  in
+  Alcotest.(check bool) "has X" true (String.contains out 'X');
+  Alcotest.(check bool) "has Y" true (String.contains out 'Y');
+  Alcotest.(check bool) "has legend" true (contains_substring out "X = X line")
+
+let test_chart_empty () =
+  Alcotest.(check string) "no data" "(no data)\n" (Tab.chart ~series:[ ("a", []) ] ())
+
+let test_fu_formats () =
+  Alcotest.(check string) "small" "26.0" (Tab.fu 26.0);
+  Alcotest.(check string) "medium" "204" (Tab.fu 204.4);
+  Alcotest.(check bool) "large uses exponent" true (String.contains (Tab.fu 2.0e6) 'e')
+
+let suite =
+  [
+    Alcotest.test_case "render aligned" `Quick test_render_pads_and_aligns;
+    Alcotest.test_case "render short rows" `Quick test_render_short_rows_padded;
+    Alcotest.test_case "chart letters" `Quick test_chart_contains_series_letters;
+    Alcotest.test_case "chart empty" `Quick test_chart_empty;
+    Alcotest.test_case "fu formats" `Quick test_fu_formats;
+  ]
