@@ -40,34 +40,35 @@ let collect e dsm ~verified =
     breakdown = Dsm.breakdown_total dsm;
   }
 
-let with_dsm ?polling ?chunking ?views hosts f =
+let with_dsm ?polling ?chunking ?views ~name hosts f =
   let e, dsm = Harness.mk_dsm ?polling ?chunking ?views hosts in
   let verify = f dsm in
   Dsm.run dsm;
+  Harness.obs_dump (Printf.sprintf "%s-%dh" name hosts) dsm;
   collect e dsm ~verified:(verify ())
 
 let sor ?polling ?(p = Sor.default_params) hosts =
-  with_dsm ?polling hosts (fun dsm ->
+  with_dsm ?polling ~name:"sor" hosts (fun dsm ->
       let h = Sor_m.setup dsm p in
       fun () -> Sor_m.verify h)
 
 let is ?polling ?(p = Is.default_params) hosts =
-  with_dsm ?polling hosts (fun dsm ->
+  with_dsm ?polling ~name:"is" hosts (fun dsm ->
       let h = Is_m.setup dsm p in
       fun () -> Is_m.verify ~hosts h)
 
 let water ?polling ?chunking ?(p = Water.default_params) hosts =
-  with_dsm ?polling ?chunking hosts (fun dsm ->
+  with_dsm ?polling ?chunking ~name:"water" hosts (fun dsm ->
       let h = Water_m.setup dsm p in
       fun () -> Water_m.verify h)
 
 let lu ?polling ?(p = Lu.default_params) hosts =
-  with_dsm ?polling ~views:4 hosts (fun dsm ->
+  with_dsm ?polling ~views:4 ~name:"lu" hosts (fun dsm ->
       let h = Lu_m.setup dsm p in
       fun () -> Lu_m.verify h)
 
 let tsp ?polling ?(p = Tsp.default_params) hosts =
-  with_dsm ?polling hosts (fun dsm ->
+  with_dsm ?polling ~name:"tsp" hosts (fun dsm ->
       let h = Tsp_m.setup dsm p in
       fun () -> Tsp_m.verify h)
 

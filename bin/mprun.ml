@@ -6,11 +6,20 @@
     mprun --app water --hosts 4 --chunking 5
     mprun --app is --system ivy --hosts 8 --polling fast
     mprun --app tsp --system lrc --hosts 4
+    mprun --app sor --dsm millipage --hosts 4 --perfetto /tmp/t.json --metrics
     v} *)
 
 open Cmdliner
 open Mp_sim
 open Mp_apps
+
+(** Observability options shared by every system branch. *)
+module Obs_opts = struct
+  type t = { trace_out : string option; perfetto : string option; metrics : bool }
+
+  let active o = o.metrics || o.trace_out <> None || o.perfetto <> None
+  let tracing o = o.trace_out <> None || o.perfetto <> None
+end
 
 module Runner (D : Mp_dsm.Dsm_intf.S) = struct
   let run (t : D.t) app paper =
@@ -56,9 +65,75 @@ module Runner (D : Mp_dsm.Dsm_intf.S) = struct
     Printf.printf "messages:     %d (%d bytes)\n" (D.messages_sent t) (D.bytes_sent t);
     Printf.printf "result:       %s\n" (if verified then "verified" else "MISMATCH");
     if not verified then exit 1
+
+  (* The Figure 6 execution-time breakdown, the same table for every system. *)
+  let report_breakdown (t : D.t) =
+    let bd = D.breakdown t in
+    let total = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 bd in
+    if total > 0.0 then begin
+      let rows =
+        List.map
+          (fun (label, v) ->
+            [ label; Mp_util.Tab.fu v; Printf.sprintf "%.1f%%" (100.0 *. v /. total) ])
+          bd
+      in
+      print_newline ();
+      Mp_util.Tab.print ~header:[ "breakdown"; "us"; "share" ] rows
+    end
+
+  let try_write what writer file events =
+    try writer file events
+    with Sys_error msg ->
+      Printf.eprintf "mprun: cannot write %s: %s\n" what msg;
+      exit 1
+
+  let report_obs (t : D.t) (o : Obs_opts.t) =
+    let obs = D.obs t in
+    let events = Mp_obs.Recorder.events obs in
+    Option.iter
+      (fun file ->
+        try_write "trace" Mp_obs.Export.write_jsonl file events;
+        Printf.printf "trace:        %s (%d events, %d dropped)\n" file
+          (List.length events) (Mp_obs.Recorder.dropped obs))
+      o.Obs_opts.trace_out;
+    Option.iter
+      (fun file ->
+        try_write "perfetto trace" Mp_obs.Export.write_perfetto file events;
+        Printf.printf "perfetto:     %s (open at https://ui.perfetto.dev)\n" file)
+      o.Obs_opts.perfetto;
+    if o.Obs_opts.metrics then begin
+      let r = Mp_obs.Metrics.report (Mp_obs.Recorder.metrics obs) in
+      if r <> "" then Printf.printf "\n%s" r
+    end;
+    (* The invariant checker needs the lossless stream. *)
+    let dropped = Mp_obs.Recorder.dropped obs in
+    if Obs_opts.tracing o then
+      if dropped > 0 then
+        Printf.printf "invariants:   skipped (%d events dropped; ring too small)\n" dropped
+      else
+        match Mp_obs.Invariants.check events with
+        | [] -> Printf.printf "invariants:   ok (%d events)\n" (List.length events)
+        | violations ->
+          Printf.printf "invariants:   %d VIOLATION(S)\n" (List.length violations);
+          List.iter (fun v -> Printf.printf "  %s\n" v) violations;
+          exit 1
+
+  (* Full pipeline: arm the recorder, run the app, print every report. *)
+  let exec (t : D.t) engine app paper (o : Obs_opts.t) ?(extra = fun () -> ()) () =
+    if Obs_opts.active o then begin
+      let obs = D.obs t in
+      if Obs_opts.tracing o then Mp_obs.Recorder.set_capacity obs (1 lsl 20);
+      Mp_obs.Recorder.set_enabled obs true
+    end;
+    let ok = run t app paper in
+    report t engine ok;
+    extra ();
+    report_breakdown t;
+    if Obs_opts.active o then report_obs t o
 end
 
-let execute app system hosts chunking polling paper =
+let execute app system hosts chunking polling paper trace_out perfetto metrics =
+  let obs_opts = { Obs_opts.trace_out; perfetto; metrics } in
   let polling_mode =
     match polling with
     | "nt" -> Mp_net.Polling.nt_mode
@@ -82,44 +157,40 @@ let execute app system hosts chunking polling paper =
     in
     let t = Mp_millipage.Dsm.create engine ~hosts ~config () in
     let module R = Runner (Mp_dsm.Millipage_impl) in
-    let ok = R.run t app paper in
-    R.report t engine ok;
-    Printf.printf "views used:   %d, competing requests: %d\n"
-      (Mp_millipage.Dsm.views_used t)
-      (Mp_millipage.Dsm.competing_requests t);
-    let bd = Mp_millipage.Dsm.breakdown_total t in
-    Printf.printf "breakdown:    %s\n"
-      (String.concat ", "
-         (List.map
-            (fun (label, share) -> Printf.sprintf "%s %.0f%%" label (100.0 *. share))
-            (Mp_millipage.Breakdown.fractions bd)))
+    R.exec t engine app paper obs_opts
+      ~extra:(fun () ->
+        Printf.printf "views used:   %d, competing requests: %d\n"
+          (Mp_millipage.Dsm.views_used t)
+          (Mp_millipage.Dsm.competing_requests t))
+      ()
   | "ivy" ->
     let t = Mp_baselines.Ivy.create engine ~hosts ~polling:polling_mode () in
     let module R = Runner (Mp_baselines.Ivy) in
-    let ok = R.run t app paper in
-    R.report t engine ok
+    R.exec t engine app paper obs_opts ()
   | "lrc" ->
     let t = Mp_baselines.Lrc.create engine ~hosts ~polling:polling_mode () in
     let module R = Runner (Mp_baselines.Lrc) in
-    let ok = R.run t app paper in
-    R.report t engine ok;
-    Printf.printf "diffs:        %d (%d bytes), twins: %d\n"
-      (Mp_baselines.Lrc.diffs_created t)
-      (Mp_baselines.Lrc.diff_bytes t)
-      (Mp_baselines.Lrc.twins_created t)
+    R.exec t engine app paper obs_opts
+      ~extra:(fun () ->
+        Printf.printf "diffs:        %d (%d bytes), twins: %d\n"
+          (Mp_baselines.Lrc.diffs_created t)
+          (Mp_baselines.Lrc.diff_bytes t)
+          (Mp_baselines.Lrc.twins_created t))
+      ()
   | "mrc" ->
     let t =
       Mp_baselines.Mrc.create engine ~hosts ~chunking:chunking_mode
         ~polling:polling_mode ()
     in
     let module R = Runner (Mp_baselines.Mrc) in
-    let ok = R.run t app paper in
-    R.report t engine ok;
-    Printf.printf "diffs:        %d (%d bytes), twins: %d, views: %d\n"
-      (Mp_baselines.Mrc.diffs_created t)
-      (Mp_baselines.Mrc.diff_bytes t)
-      (Mp_baselines.Mrc.twins_created t)
-      (Mp_baselines.Mrc.views_used t)
+    R.exec t engine app paper obs_opts
+      ~extra:(fun () ->
+        Printf.printf "diffs:        %d (%d bytes), twins: %d, views: %d\n"
+          (Mp_baselines.Mrc.diffs_created t)
+          (Mp_baselines.Mrc.diff_bytes t)
+          (Mp_baselines.Mrc.twins_created t)
+          (Mp_baselines.Mrc.views_used t))
+      ()
   | other -> invalid_arg (Printf.sprintf "unknown system %S (millipage|ivy|lrc|mrc)" other)
 
 let app_arg =
@@ -131,7 +202,9 @@ let app_arg =
 let system_arg =
   Arg.(
     value & opt string "millipage"
-    & info [ "s"; "system" ] ~docv:"SYS"
+    & info
+        [ "s"; "system"; "dsm" ]
+        ~docv:"SYS"
         ~doc:"DSM system: millipage, ivy, lrc, or mrc (relaxed consistency on minipages).")
 
 let hosts_arg =
@@ -153,10 +226,34 @@ let paper_arg =
     value & flag
     & info [ "paper-size" ] ~doc:"Use the paper's full input sets (slow).")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Write the typed protocol event trace as JSON-lines to $(docv).")
+
+let perfetto_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "perfetto" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON trace to $(docv); open it at \
+           https://ui.perfetto.dev or chrome://tracing.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print the metrics registry after the run: per-phase fault-service \
+           latency percentiles, protocol counters and gauges.")
+
 let () =
   let term =
     Term.(const execute $ app_arg $ system_arg $ hosts_arg $ chunking_arg $ polling_arg
-          $ paper_arg)
+          $ paper_arg $ trace_out_arg $ perfetto_arg $ metrics_arg)
   in
   let info =
     Cmd.info "mprun" ~doc:"Run a Millipage benchmark application on a simulated cluster"

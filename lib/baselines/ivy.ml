@@ -59,3 +59,5 @@ let messages_sent = Dsm.messages_sent
 let bytes_sent = Dsm.bytes_sent
 let read_faults = Dsm.read_faults
 let write_faults = Dsm.write_faults
+let breakdown t = Breakdown.to_list (Dsm.breakdown_total t)
+let obs = Dsm.obs

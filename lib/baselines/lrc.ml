@@ -40,6 +40,21 @@ type body =
   | L_grant of { lock : int; invalidate : int list }
   | L_release of { from : int; lock : int }
 
+let describe = function
+  | Fetch _ -> "FETCH"
+  | Fetch_reply _ -> "FETCH_REPLY"
+  | Diff_msg _ -> "DIFF"
+  | Diff_ack _ -> "DIFF_ACK"
+  | Rel_notice _ -> "REL_NOTICE"
+  | B_enter _ -> "B_ENTER"
+  | B_release _ -> "B_RELEASE"
+  | L_acquire _ -> "L_ACQUIRE"
+  | L_grant _ -> "L_GRANT"
+  | L_release _ -> "L_RELEASE"
+
+module Obs = Mp_obs.Recorder
+module Breakdown = Mp_millipage.Breakdown
+
 type pstate = Invalid | Clean | Dirty of bytes  (* twin *)
 
 type fetch_wait = { event : Sync.Event.t; mutable waiters : int }
@@ -54,6 +69,7 @@ type host_state = {
   barrier_events : (int, Sync.Event.t) Hashtbl.t;
   lock_waiters : (int, Sync.Event.t Queue.t) Hashtbl.t;
   mutable computing : int;
+  bd : Breakdown.t;
 }
 
 type lock_state = { mutable held : bool; lock_queue : int Queue.t }
@@ -61,6 +77,7 @@ type lock_state = { mutable held : bool; lock_queue : int Queue.t }
 type t = {
   engine : Engine.t;
   cost : Cost.t;
+  obs : Obs.t;
   page_size : int;
   pages : int;
   object_size : int;
@@ -235,9 +252,14 @@ let fetch_page ctx page =
 
 let on_fault ctx (f : Vm.fault) =
   let t = ctx.t and h = ctx.hs in
+  let t0 = Engine.now t.engine in
+  let span = fresh_req t in
+  let access = match f.access with Prot.Read -> Mp_obs.Event.Read | _ -> Mp_obs.Event.Write in
+  Obs.fault_begin t.obs ~time:t0 ~host:h.id ~span ~access ~addr:f.addr ~view:f.view
+    ~vpage:f.vpage;
   Engine.delay t.cost.fault_us;
   let page = f.vpage in
-  match (f.access, h.pstate.(page)) with
+  (match (f.access, h.pstate.(page)) with
   | Prot.Read, Invalid -> fetch_page ctx page
   | Prot.Write, Invalid ->
     fetch_page ctx page;
@@ -249,7 +271,12 @@ let on_fault ctx (f : Vm.fault) =
     h.pstate.(page) <- Dirty (Twin_diff.twin (page_bytes t h page));
     set_page_prot t h page Prot.Read_write
   | Prot.Read, (Clean | Dirty _) | Prot.Write, Dirty _ ->
-    failwith "lrc: fault on an accessible page"
+    failwith "lrc: fault on an accessible page");
+  let dt = Engine.now t.engine -. t0 in
+  (match f.access with
+  | Prot.Read -> h.bd.Breakdown.read_fault <- h.bd.Breakdown.read_fault +. dt
+  | Prot.Write -> h.bd.Breakdown.write_fault <- h.bd.Breakdown.write_fault +. dt);
+  Obs.fault_end t.obs ~time:(Engine.now t.engine) ~host:h.id ~span
 
 (* ------------------------------------------------------------------ *)
 (* Message dispatch (runs in each host's server process)               *)
@@ -377,12 +404,14 @@ let create engine ~hosts:nhosts ?(object_size = 16 * 1024 * 1024) ?(page_size = 
       barrier_events = Hashtbl.create 16;
       lock_waiters = Hashtbl.create 8;
       computing = 0;
+      bd = Breakdown.create ();
     }
   in
   let t =
     {
       engine;
       cost;
+      obs = Obs.create ();
       page_size;
       pages;
       object_size;
@@ -402,6 +431,7 @@ let create engine ~hosts:nhosts ?(object_size = 16 * 1024 * 1024) ?(page_size = 
       started = false;
     }
   in
+  Fabric.attach_obs fabric ~obs:t.obs ~describe;
   Array.iter
     (fun h -> Fabric.set_handler fabric ~host:h.id (fun m -> on_message t h m))
     t.host_states;
@@ -499,17 +529,21 @@ let write_f32 ctx addr v = write_i32 ctx addr (Int32.bits_of_float v)
 let read_u8 ctx addr = with_handler ctx (fun () -> Vm.read_u8 ctx.hs.vm addr)
 let write_u8 ctx addr v = with_handler ctx (fun () -> Vm.write_u8 ctx.hs.vm addr v)
 
+let charge_synch (h : host_state) dt = h.bd.Breakdown.synch <- h.bd.Breakdown.synch +. dt
+
 let compute ctx us =
   if us < 0.0 then invalid_arg "Lrc.compute: negative time";
   let t = ctx.t and h = ctx.hs in
   h.computing <- h.computing + 1;
   if h.computing = 1 then Fabric.set_busy t.fabric ~host:h.id true;
   Engine.delay us;
+  h.bd.Breakdown.compute <- h.bd.Breakdown.compute +. us;
   h.computing <- h.computing - 1;
   if h.computing = 0 then Fabric.set_busy t.fabric ~host:h.id false
 
 let barrier ctx =
   let t = ctx.t and h = ctx.hs in
+  let t0 = Engine.now t.engine in
   flush ctx;
   let phase = ctx.barrier_phase in
   ctx.barrier_phase <- phase + 1;
@@ -521,9 +555,13 @@ let barrier ctx =
       Hashtbl.add h.barrier_events phase ev;
       ev
   in
+  Obs.barrier_enter t.obs ~time:(Engine.now t.engine) ~host:h.id ~bphase:phase;
   send t ~src:h.id ~dst:manager ~bytes:(header t) (B_enter { from = h.id; phase });
   Sync.Event.wait ev;
-  Engine.delay t.cost.wakeup_us
+  Engine.delay t.cost.wakeup_us;
+  Obs.barrier_exit t.obs ~time:(Engine.now t.engine) ~host:h.id ~bphase:phase
+    ~waited_us:(Engine.now t.engine -. t0);
+  charge_synch h (Engine.now t.engine -. t0)
 
 let lock ctx l =
   let t = ctx.t and h = ctx.hs in
@@ -537,14 +575,22 @@ let lock ctx l =
       q
   in
   Queue.add ev q;
+  let t0 = Engine.now t.engine in
+  Obs.lock_acquire t.obs ~time:t0 ~host:h.id ~lock:l;
   send t ~src:h.id ~dst:manager ~bytes:(header t) (L_acquire { from = h.id; lock = l });
   Sync.Event.wait ev;
-  Engine.delay t.cost.wakeup_us
+  Engine.delay t.cost.wakeup_us;
+  Obs.lock_grant t.obs ~time:(Engine.now t.engine) ~host:h.id ~lock:l
+    ~waited_us:(Engine.now t.engine -. t0);
+  charge_synch h (Engine.now t.engine -. t0)
 
 let unlock ctx l =
   let t = ctx.t and h = ctx.hs in
+  let t0 = Engine.now t.engine in
   flush ctx;
-  send t ~src:h.id ~dst:manager ~bytes:(header t) (L_release { from = h.id; lock = l })
+  Obs.lock_release t.obs ~time:(Engine.now t.engine) ~host:h.id ~lock:l;
+  send t ~src:h.id ~dst:manager ~bytes:(header t) (L_release { from = h.id; lock = l });
+  charge_synch h (Engine.now t.engine -. t0)
 
 let prefetch ctx addr _access =
   let t = ctx.t and h = ctx.hs in
@@ -561,7 +607,10 @@ let prefetch ctx addr _access =
     end
   end
 
-let push_to_all ctx _addr = flush ctx
+let push_to_all ctx _addr =
+  let t0 = Engine.now ctx.t.engine in
+  flush ctx;
+  charge_synch ctx.hs (Engine.now ctx.t.engine -. t0)
 
 (* Composed views, approximated: remember the member addresses and fetch
    them as a pipeline of page requests — the first read blocks while the
@@ -594,6 +643,13 @@ let sum_host_counter t key =
 
 let read_faults t = sum_host_counter t "fault.read"
 let write_faults t = sum_host_counter t "fault.write"
+
+let breakdown t =
+  Breakdown.to_list
+    (Array.fold_left (fun acc h -> Breakdown.add acc h.bd) (Breakdown.zero ())
+       t.host_states)
+
+let obs t = t.obs
 let diffs_created t = Stats.Counters.get t.counters "diffs"
 let diff_bytes t = Stats.Counters.get t.counters "diff.bytes"
 let twins_created t = Stats.Counters.get t.counters "twins"

@@ -16,6 +16,21 @@ type body =
   | L_grant of { lock : int; invalidate : int list }
   | L_release of { from : int; lock : int }
 
+let describe = function
+  | Fetch _ -> "FETCH"
+  | Fetch_reply _ -> "FETCH_REPLY"
+  | Diff_msg _ -> "DIFF"
+  | Diff_ack _ -> "DIFF_ACK"
+  | Rel_notice _ -> "REL_NOTICE"
+  | B_enter _ -> "B_ENTER"
+  | B_release _ -> "B_RELEASE"
+  | L_acquire _ -> "L_ACQUIRE"
+  | L_grant _ -> "L_GRANT"
+  | L_release _ -> "L_RELEASE"
+
+module Obs = Mp_obs.Recorder
+module Breakdown = Mp_millipage.Breakdown
+
 type mstate = Invalid | Clean | Dirty of bytes  (* twin *)
 
 type fetch_wait = { event : Sync.Event.t }
@@ -30,6 +45,7 @@ type host_state = {
   barrier_events : (int, Sync.Event.t) Hashtbl.t;
   lock_waiters : (int, Sync.Event.t Queue.t) Hashtbl.t;
   mutable computing : int;
+  bd : Breakdown.t;
 }
 
 type lock_state = { mutable held : bool; lock_queue : int Queue.t }
@@ -37,6 +53,7 @@ type lock_state = { mutable held : bool; lock_queue : int Queue.t }
 type t = {
   engine : Engine.t;
   cost : Lrc.Cost.t;
+  obs : Obs.t;
   page_size : int;
   object_size : int;
   fabric : body Fabric.t;
@@ -213,6 +230,11 @@ let fetch_minipage ctx mp_id =
 
 let on_fault ctx (f : Vm.fault) =
   let t = ctx.t and h = ctx.hs in
+  let t0 = Engine.now t.engine in
+  let span = fresh_req t in
+  let access = match f.access with Prot.Read -> Mp_obs.Event.Read | _ -> Mp_obs.Event.Write in
+  Obs.fault_begin t.obs ~time:t0 ~host:h.id ~span ~access ~addr:f.addr ~view:f.view
+    ~vpage:f.vpage;
   Engine.delay t.cost.Lrc.Cost.fault_us;
   let mp =
     let view, _vp, off = Vm.translate h.vm f.addr in
@@ -222,7 +244,7 @@ let on_fault ctx (f : Vm.fault) =
     | None -> failwith "mrc: wild access"
   in
   let mp_id = mp.Minipage.id in
-  match (f.access, state_of h mp_id) with
+  (match (f.access, state_of h mp_id) with
   | Prot.Read, Invalid -> fetch_minipage ctx mp_id
   | Prot.Write, Invalid -> fetch_minipage ctx mp_id (* retry twins via Clean *)
   | Prot.Write, Clean ->
@@ -232,7 +254,12 @@ let on_fault ctx (f : Vm.fault) =
     Hashtbl.replace h.mstate mp_id (Dirty (Twin_diff.twin (mp_bytes t h mp)));
     protect_mp t h mp Prot.Read_write
   | Prot.Read, (Clean | Dirty _) | Prot.Write, Dirty _ ->
-    failwith "mrc: fault on an accessible minipage"
+    failwith "mrc: fault on an accessible minipage");
+  let dt = Engine.now t.engine -. t0 in
+  (match f.access with
+  | Prot.Read -> h.bd.Breakdown.read_fault <- h.bd.Breakdown.read_fault +. dt
+  | Prot.Write -> h.bd.Breakdown.write_fault <- h.bd.Breakdown.write_fault +. dt);
+  Obs.fault_end t.obs ~time:(Engine.now t.engine) ~host:h.id ~span
 
 (* ------------------------------------------------------------------ *)
 (* Message dispatch                                                     *)
@@ -366,12 +393,14 @@ let create engine ~hosts:nhosts ?(views = 32) ?(object_size = 16 * 1024 * 1024)
       barrier_events = Hashtbl.create 16;
       lock_waiters = Hashtbl.create 8;
       computing = 0;
+      bd = Breakdown.create ();
     }
   in
   let t =
     {
       engine;
       cost = Lrc.Cost.default;
+      obs = Obs.create ();
       page_size;
       object_size;
       fabric;
@@ -390,6 +419,7 @@ let create engine ~hosts:nhosts ?(views = 32) ?(object_size = 16 * 1024 * 1024)
       started = false;
     }
   in
+  Fabric.attach_obs fabric ~obs:t.obs ~describe;
   Array.iter
     (fun h -> Fabric.set_handler fabric ~host:h.id (fun m -> on_message t h m))
     t.host_states;
@@ -478,17 +508,21 @@ let write_f32 ctx addr v = write_i32 ctx addr (Int32.bits_of_float v)
 let read_u8 ctx addr = with_handler ctx (fun () -> Vm.read_u8 ctx.hs.vm addr)
 let write_u8 ctx addr v = with_handler ctx (fun () -> Vm.write_u8 ctx.hs.vm addr v)
 
+let charge_synch (h : host_state) dt = h.bd.Breakdown.synch <- h.bd.Breakdown.synch +. dt
+
 let compute ctx us =
   if us < 0.0 then invalid_arg "Mrc.compute: negative time";
   let t = ctx.t and h = ctx.hs in
   h.computing <- h.computing + 1;
   if h.computing = 1 then Fabric.set_busy t.fabric ~host:h.id true;
   Engine.delay us;
+  h.bd.Breakdown.compute <- h.bd.Breakdown.compute +. us;
   h.computing <- h.computing - 1;
   if h.computing = 0 then Fabric.set_busy t.fabric ~host:h.id false
 
 let barrier ctx =
   let t = ctx.t and h = ctx.hs in
+  let t0 = Engine.now t.engine in
   flush ctx;
   let phase = ctx.barrier_phase in
   ctx.barrier_phase <- phase + 1;
@@ -500,9 +534,13 @@ let barrier ctx =
       Hashtbl.add h.barrier_events phase ev;
       ev
   in
+  Obs.barrier_enter t.obs ~time:(Engine.now t.engine) ~host:h.id ~bphase:phase;
   send t ~src:h.id ~dst:manager ~bytes:(header t) (B_enter { from = h.id; phase });
   Sync.Event.wait ev;
-  Engine.delay t.cost.Lrc.Cost.wakeup_us
+  Engine.delay t.cost.Lrc.Cost.wakeup_us;
+  Obs.barrier_exit t.obs ~time:(Engine.now t.engine) ~host:h.id ~bphase:phase
+    ~waited_us:(Engine.now t.engine -. t0);
+  charge_synch h (Engine.now t.engine -. t0)
 
 let lock ctx l =
   let t = ctx.t and h = ctx.hs in
@@ -516,14 +554,22 @@ let lock ctx l =
       q
   in
   Queue.add ev q;
+  let t0 = Engine.now t.engine in
+  Obs.lock_acquire t.obs ~time:t0 ~host:h.id ~lock:l;
   send t ~src:h.id ~dst:manager ~bytes:(header t) (L_acquire { from = h.id; lock = l });
   Sync.Event.wait ev;
-  Engine.delay t.cost.Lrc.Cost.wakeup_us
+  Engine.delay t.cost.Lrc.Cost.wakeup_us;
+  Obs.lock_grant t.obs ~time:(Engine.now t.engine) ~host:h.id ~lock:l
+    ~waited_us:(Engine.now t.engine -. t0);
+  charge_synch h (Engine.now t.engine -. t0)
 
 let unlock ctx l =
   let t = ctx.t and h = ctx.hs in
+  let t0 = Engine.now t.engine in
   flush ctx;
-  send t ~src:h.id ~dst:manager ~bytes:(header t) (L_release { from = h.id; lock = l })
+  Obs.lock_release t.obs ~time:(Engine.now t.engine) ~host:h.id ~lock:l;
+  send t ~src:h.id ~dst:manager ~bytes:(header t) (L_release { from = h.id; lock = l });
+  charge_synch h (Engine.now t.engine -. t0)
 
 let prefetch ctx addr _access =
   let t = ctx.t and h = ctx.hs in
@@ -541,7 +587,10 @@ let prefetch ctx addr _access =
         (Fetch { req_id = fresh_req t; mp_id; from = h.id })
     end
 
-let push_to_all ctx _addr = flush ctx
+let push_to_all ctx _addr =
+  let t0 = Engine.now ctx.t.engine in
+  flush ctx;
+  charge_synch ctx.hs (Engine.now ctx.t.engine -. t0)
 
 let compose t addrs =
   let id = fresh_req t in
@@ -570,6 +619,13 @@ let sum_host_counter t key =
 
 let read_faults t = sum_host_counter t "fault.read"
 let write_faults t = sum_host_counter t "fault.write"
+
+let breakdown t =
+  Breakdown.to_list
+    (Array.fold_left (fun acc h -> Breakdown.add acc h.bd) (Breakdown.zero ())
+       t.host_states)
+
+let obs t = t.obs
 let diffs_created t = Stats.Counters.get t.counters "diffs"
 let diff_bytes t = Stats.Counters.get t.counters "diff.bytes"
 let twins_created t = Stats.Counters.get t.counters "twins"

@@ -67,4 +67,15 @@ module type S = sig
   val bytes_sent : t -> int
   val read_faults : t -> int
   val write_faults : t -> int
+
+  val breakdown : t -> (string * float) list
+  (** [(bucket, µs)] execution-time breakdown summed over every host's
+      application threads (compute / prefetch / read fault / write fault /
+      synch — the Figure 6 buckets).  Every system reports the same labels so
+      runners can print one table per system. *)
+
+  val obs : t -> Mp_obs.Recorder.t
+  (** The system's observability recorder: typed protocol events, fault-span
+      latency metrics, Perfetto export.  Disabled by default; enable it (and
+      widen its ring) before {!run} to capture a trace. *)
 end

@@ -21,6 +21,15 @@ let add a b =
     synch = a.synch +. b.synch;
   }
 
+let to_list t =
+  [
+    ("comp", t.compute);
+    ("prefetch", t.prefetch);
+    ("read fault", t.read_fault);
+    ("write fault", t.write_fault);
+    ("synch", t.synch);
+  ]
+
 let fractions t =
   let tot = total t in
   let f x = if tot = 0.0 then 0.0 else x /. tot in

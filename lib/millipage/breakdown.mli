@@ -15,6 +15,9 @@ val total : t -> float
 val add : t -> t -> t
 val zero : unit -> t
 
+val to_list : t -> (string * float) list
+(** [(label, µs)] rows in bucket order. *)
+
 val fractions : t -> (string * float) list
 (** [(label, share)] rows summing to 1 (all zeros when total is 0). *)
 

@@ -23,9 +23,18 @@ type t = {
   initial_owner : int;
   table : (int, entry) Hashtbl.t;
   mutable competing : int;
+  mutable queued_now : int;
+  mutable queued_max : int;
 }
 
-let create ~initial_owner = { initial_owner; table = Hashtbl.create 256; competing = 0 }
+let create ~initial_owner =
+  {
+    initial_owner;
+    table = Hashtbl.create 256;
+    competing = 0;
+    queued_now = 0;
+    queued_max = 0;
+  }
 
 let register t mp =
   let entry =
@@ -48,9 +57,17 @@ let busy e = e.pending <> No_op
 
 let enqueue t e q =
   t.competing <- t.competing + 1;
+  t.queued_now <- t.queued_now + 1;
+  if t.queued_now > t.queued_max then t.queued_max <- t.queued_now;
   Queue.add q e.queue
 
-let dequeue e = Queue.take_opt e.queue
+let dequeue t e =
+  let q = Queue.take_opt e.queue in
+  (match q with Some _ -> t.queued_now <- t.queued_now - 1 | None -> ());
+  q
+
 let peek e = Queue.peek_opt e.queue
 let competing_requests t = t.competing
+let queue_depth t = t.queued_now
+let max_queue_depth t = t.queued_max
 let entries t = Hashtbl.to_seq_values t.table

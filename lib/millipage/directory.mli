@@ -46,11 +46,17 @@ val busy : entry -> bool
 val enqueue : t -> entry -> queued -> unit
 (** Queue a competing request and bump the competing-requests counter. *)
 
-val dequeue : entry -> queued option
+val dequeue : t -> entry -> queued option
 val peek : entry -> queued option
 
 val competing_requests : t -> int
 (** Total number of requests that ever had to queue behind an in-flight one
     (the quantity reported in §4.4 / Figure 7). *)
+
+val queue_depth : t -> int
+(** Requests currently queued behind in-flight ones, across all minipages. *)
+
+val max_queue_depth : t -> int
+(** High-water mark of {!queue_depth} over the run. *)
 
 val entries : t -> entry Seq.t

@@ -110,8 +110,16 @@ let set_prot_cost t info = t.config.cost.set_prot_us *. float_of_int (n_vpages t
 
 let send t ~src ~dst ~bytes body = Fabric.send t.fabric ~src ~dst ~bytes body
 
-let trace_event t ~host ~kind ~detail =
-  Trace.record t.trace ~time:(Engine.now t.engine) ~host ~kind ~detail
+module Obs = Mp_obs.Recorder
+
+(* [Trace.t] is the observability recorder, so the string-trace shim and the
+   typed hooks below feed one ring. *)
+let obs t = t.trace
+let rnow t = Engine.now t.engine
+
+let obs_access = function
+  | Proto.Read -> Mp_obs.Event.Read
+  | Proto.Write -> Mp_obs.Event.Write
 
 let header t = t.config.cost.header_bytes
 
@@ -128,6 +136,9 @@ let choose_supplier (e : Directory.entry) ~from =
 
 let proceed_write t (e : Directory.entry) ~req_id ~from ~supplier =
   e.pending <- Directory.Write_in_flight { req_id; from };
+  Obs.forward (obs t) ~time:(rnow t) ~host:manager ~span:req_id
+    ~access:Mp_obs.Event.Write ~mp_id:e.mp.Minipage.id
+    ~supplier:(Option.value ~default:(-1) supplier);
   match supplier with
   | None ->
     Stats.Counters.incr t.counters "grant.upgrades";
@@ -150,6 +161,8 @@ let manager_start t (e : Directory.entry) (q : Directory.queued) =
       | Directory.No_op -> e.pending <- Directory.Reads_in_flight { count = 1 }
       | _ -> failwith "millipage: read started during a conflicting operation");
       let replica = choose_read_replica e in
+      Obs.forward (obs t) ~time:(rnow t) ~host:manager ~span:req_id
+        ~access:Mp_obs.Event.Read ~mp_id:info.mp_id ~supplier:replica;
       send t ~src:manager ~dst:replica ~bytes:(header t)
         (Proto.Forward { req_id; from; access = Proto.Read; info })
     | Proto.Write ->
@@ -167,6 +180,8 @@ let manager_start t (e : Directory.entry) (q : Directory.queued) =
         Host_set.iter
           (fun target ->
             Stats.Counters.incr t.counters "invalidations";
+            Obs.inval_send (obs t) ~time:(rnow t) ~host:manager ~span:req_id
+              ~mp_id:info.mp_id ~target;
             send t ~src:manager ~dst:target ~bytes:(header t)
               (Proto.Invalidate { req_id; info }))
           targets
@@ -199,6 +214,14 @@ let can_start (e : Directory.entry) (q : Directory.queued) =
   | Directory.Reads_in_flight _, Directory.Q_request { access = Proto.Read; _ } -> true
   | _ -> false
 
+let queued_span = function
+  | Directory.Q_request { req_id; _ } | Directory.Q_push { req_id; _ } -> req_id
+
+let manager_enqueue t (e : Directory.entry) (q : Directory.queued) =
+  Directory.enqueue t.dir e q;
+  Obs.queue_enter (obs t) ~time:(rnow t) ~host:manager ~span:(queued_span q)
+    ~mp_id:e.mp.Minipage.id ~depth:(Directory.queue_depth t.dir)
+
 let manager_submit t (q : Directory.queued) =
   let addr_entry addr =
     let view, _vpage, off = Vm.translate t.host_states.(manager).vm addr in
@@ -217,27 +240,31 @@ let manager_submit t (q : Directory.queued) =
     | Directory.Q_push { req_id = _; from = _; data = _ } ->
       invalid_arg "manager_submit: push must resolve its entry at the call site"
   in
-  if can_start e q then manager_start t e q else Directory.enqueue t.dir e q
+  if can_start e q then manager_start t e q else manager_enqueue t e q
 
 let manager_submit_push t ~mp_id (q : Directory.queued) =
   let e = Directory.entry t.dir ~mp_id in
-  if can_start e q then manager_start t e q else Directory.enqueue t.dir e q
+  if can_start e q then manager_start t e q else manager_enqueue t e q
 
 (* Start every queued request that has become compatible, in arrival order:
    after a write completes this drains the whole leading run of reads. *)
 let rec manager_drain_queue t (e : Directory.entry) =
   match Directory.peek e with
   | Some q when can_start e q ->
-    ignore (Directory.dequeue e);
+    ignore (Directory.dequeue t.dir e);
+    Obs.queue_exit (obs t) ~time:(rnow t) ~host:manager ~span:(queued_span q)
+      ~mp_id:e.mp.Minipage.id ~depth:(Directory.queue_depth t.dir);
     manager_start t e q;
     manager_drain_queue t e
   | Some _ | None -> ()
 
-let manager_inval_reply t ~mp_id =
+let manager_inval_reply t ~mp_id ~from =
   let e = Directory.entry t.dir ~mp_id in
   match e.pending with
   | Directory.Write_waiting_invals w ->
     w.missing <- w.missing - 1;
+    Obs.inval_ack (obs t) ~time:(rnow t) ~host:manager ~span:w.req_id ~mp_id ~from
+      ~last:(w.missing = 0);
     if w.missing = 0 then begin
       let upgrade = Host_set.mem w.from e.copyset in
       let supplier = if upgrade then None else Some (choose_supplier e ~from:w.from) in
@@ -245,8 +272,9 @@ let manager_inval_reply t ~mp_id =
     end
   | _ -> failwith "millipage: unexpected INVALIDATE_REPLY"
 
-let manager_ack t ~mp_id ~from =
+let manager_ack t ~req_id ~mp_id ~from =
   let e = Directory.entry t.dir ~mp_id in
+  Obs.ack (obs t) ~time:(rnow t) ~host:manager ~span:req_id ~mp_id ~from;
   (match e.pending with
   | Directory.Reads_in_flight r ->
     e.copyset <- Host_set.add from e.copyset;
@@ -411,6 +439,8 @@ let host_reply t (h : host_state) ~req_id ~access (info : Proto.info) data =
   Engine.delay (set_prot_cost t info);
   protect_info t h info
     (match access with Proto.Read -> Prot.Read_only | Proto.Write -> Prot.Read_write);
+  Obs.reply (obs t) ~time:(rnow t) ~host:h.id ~span:req_id ~mp_id:info.mp_id
+    ~bytes:info.length;
   let first, last = vpages_of t info in
   let matched = ref false in
   for vp = first to last do
@@ -552,19 +582,16 @@ let host_push_complete (h : host_state) ~req_id =
 
 let on_message t (h : host_state) (m : Proto.body Fabric.msg) =
   let cost = t.config.cost in
-  if Trace.enabled t.trace then
-    trace_event t ~host:h.id ~kind:"RECV"
-      ~detail:(Printf.sprintf "%s from h%d" (Proto.describe m.Fabric.body) m.Fabric.src);
   match m.Fabric.body with
   | Proto.Request { req_id; from; access; addr } ->
     Engine.delay cost.dispatch_us;
     manager_submit t (Directory.Q_request { req_id; from; access; addr })
-  | Proto.Invalidate_reply { req_id = _; mp_id; from = _ } ->
+  | Proto.Invalidate_reply { req_id = _; mp_id; from } ->
     Engine.delay cost.sync_dispatch_us;
-    manager_inval_reply t ~mp_id
-  | Proto.Ack { req_id = _; mp_id; from } ->
+    manager_inval_reply t ~mp_id ~from
+  | Proto.Ack { req_id; mp_id; from } ->
     Engine.delay cost.sync_dispatch_us;
-    manager_ack t ~mp_id ~from
+    manager_ack t ~req_id ~mp_id ~from
   | Proto.Forward { req_id; from; access; info } ->
     Engine.delay cost.dispatch_us;
     host_forward t h ~req_id ~from ~access info
@@ -649,6 +676,8 @@ let send_request t (h : host_state) ~view ~vpage ~access ~addr ~by_prefetch =
     }
   in
   Hashtbl.replace h.inflight (view, vpage, access_idx access) e;
+  Obs.request_sent (obs t) ~time:(rnow t) ~host:h.id ~span:req_id
+    ~access:(obs_access access) ~addr ~prefetch:by_prefetch;
   send t ~src:h.id ~dst:manager ~bytes:(header t)
     (Proto.Request { req_id; from = h.id; access; addr });
   e
@@ -667,12 +696,6 @@ let charge (h : host_state) bucket dt =
 let on_fault t (h : host_state) (f : Vm.fault) =
   let cost = t.config.cost in
   let access = match f.access with Prot.Read -> Proto.Read | Prot.Write -> Proto.Write in
-  if Trace.enabled t.trace then
-    trace_event t ~host:h.id ~kind:"FAULT"
-      ~detail:
-        (Printf.sprintf "%s @%d (view %d, vpage %d)"
-           (Proto.access_to_string access)
-           f.addr f.view f.vpage);
   let t0 = Engine.now t.engine in
   Engine.delay cost.fault_us;
   let e =
@@ -682,6 +705,8 @@ let on_fault t (h : host_state) (f : Vm.fault) =
       send_request t h ~view:f.view ~vpage:f.vpage ~access ~addr:f.addr
         ~by_prefetch:false
   in
+  Obs.fault_begin (obs t) ~time:t0 ~host:h.id ~span:e.req_id
+    ~access:(obs_access access) ~addr:f.addr ~view:f.view ~vpage:f.vpage;
   e.waiters <- e.waiters + 1;
   Sync.Event.wait e.event;
   Engine.delay cost.wakeup_us;
@@ -690,6 +715,7 @@ let on_fault t (h : host_state) (f : Vm.fault) =
     else match access with Proto.Read -> B_read | Proto.Write -> B_write
   in
   charge h bucket (Engine.now t.engine -. t0);
+  Obs.fault_end (obs t) ~time:(rnow t) ~host:h.id ~span:e.req_id;
   match e.ack_pending with
   | Some (req_id, mp_id) ->
     e.ack_pending <- None;
@@ -746,6 +772,7 @@ let create engine ~hosts:nhosts ?(config = Config.default) () =
       started = false;
     }
   in
+  Fabric.attach_obs fabric ~obs:t.trace ~describe:Proto.describe;
   Array.iter
     (fun h ->
       Vm.set_fault_handler h.vm (fun f -> on_fault t h f);
@@ -844,10 +871,13 @@ let barrier ctx =
   in
   let t0 = Engine.now t.engine in
   Stats.Counters.incr t.counters "barriers";
+  Obs.barrier_enter (obs t) ~time:t0 ~host:h.id ~bphase:phase;
   send t ~src:h.id ~dst:manager ~bytes:(header t)
     (Proto.Barrier_enter { from = h.id; phase });
   Sync.Event.wait ev;
   Engine.delay t.config.cost.wakeup_us;
+  Obs.barrier_exit (obs t) ~time:(rnow t) ~host:h.id ~bphase:phase
+    ~waited_us:(Engine.now t.engine -. t0);
   charge h B_synch (Engine.now t.engine -. t0)
 
 let lock ctx l =
@@ -864,14 +894,18 @@ let lock ctx l =
   Queue.add ev q;
   let t0 = Engine.now t.engine in
   Stats.Counters.incr t.counters "locks";
+  Obs.lock_acquire (obs t) ~time:t0 ~host:h.id ~lock:l;
   send t ~src:h.id ~dst:manager ~bytes:(header t)
     (Proto.Lock_acquire { req_id = fresh_req t; from = h.id; lock = l });
   Sync.Event.wait ev;
   Engine.delay t.config.cost.wakeup_us;
+  Obs.lock_grant (obs t) ~time:(rnow t) ~host:h.id ~lock:l
+    ~waited_us:(Engine.now t.engine -. t0);
   charge h B_synch (Engine.now t.engine -. t0)
 
 let unlock ctx l =
   let t = ctx.t and h = ctx.hs in
+  Obs.lock_release (obs t) ~time:(rnow t) ~host:h.id ~lock:l;
   send t ~src:h.id ~dst:manager ~bytes:(header t)
     (Proto.Lock_release { from = h.id; lock = l })
 
@@ -884,7 +918,9 @@ let prefetch ctx addr access =
   else if find_joinable h ~view ~vpage access <> None then ()
   else begin
     Stats.Counters.incr t.counters "prefetches";
-    ignore (send_request t h ~view ~vpage ~access ~addr ~by_prefetch:true);
+    let e = send_request t h ~view ~vpage ~access ~addr ~by_prefetch:true in
+    Obs.prefetch_issued (obs t) ~time:(rnow t) ~host:h.id ~span:e.req_id
+      ~access:(obs_access access) ~addr;
     Engine.delay 2.0
   end
 
@@ -980,3 +1016,4 @@ let mpt t = Allocator.mpt t.allocator
 let views_used t = Allocator.views_used t.allocator
 let counters t = t.counters
 let trace t = t.trace
+let max_queue_depth t = Directory.max_queue_depth t.dir

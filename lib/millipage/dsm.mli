@@ -136,3 +136,11 @@ val counters : t -> Mp_util.Stats.Counters.t
 val trace : t -> Trace.t
 (** Protocol event trace (disabled by default; [Trace.set_enabled] it before
     {!run} to capture faults and message receptions). *)
+
+val obs : t -> Mp_obs.Recorder.t
+(** The typed observability recorder behind {!trace} (they are the same
+    object): per-fault spans, phase latency metrics, Perfetto export. *)
+
+val max_queue_depth : t -> int
+(** High-water mark of requests queued at the manager behind in-flight
+    operations. *)

@@ -1,40 +1,24 @@
 type event = { time : float; host : int; kind : string; detail : string }
+type t = Mp_obs.Recorder.t
 
-type t = {
-  capacity : int;
-  buf : event option array;
-  mutable next : int;  (* total events ever recorded *)
-  mutable on : bool;
-}
-
-let create ?(capacity = 4096) () =
-  if capacity <= 0 then invalid_arg "Trace.create";
-  { capacity; buf = Array.make capacity None; next = 0; on = false }
-
-let enabled t = t.on
-let set_enabled t on = t.on <- on
+let create ?(capacity = 4096) () = Mp_obs.Recorder.create ~capacity ()
+let enabled = Mp_obs.Recorder.enabled
+let set_enabled = Mp_obs.Recorder.set_enabled
 
 let record t ~time ~host ~kind ~detail =
-  if t.on then begin
-    t.buf.(t.next mod t.capacity) <- Some { time; host; kind; detail };
-    t.next <- t.next + 1
-  end
+  Mp_obs.Recorder.record t ~time ~host (Mp_obs.Event.Mark { kind; detail })
 
-let events t =
-  let start = max 0 (t.next - t.capacity) in
-  let out = ref [] in
-  for i = t.next - 1 downto start do
-    match t.buf.(i mod t.capacity) with
-    | Some e -> out := e :: !out
-    | None -> ()
-  done;
-  !out
+let of_typed (e : Mp_obs.Event.t) =
+  {
+    time = e.time;
+    host = e.host;
+    kind = Mp_obs.Event.kind_name e.kind;
+    detail = Mp_obs.Event.detail e.kind;
+  }
 
-let dropped t = max 0 (t.next - t.capacity)
-
-let clear t =
-  Array.fill t.buf 0 t.capacity None;
-  t.next <- 0
+let events t = List.map of_typed (Mp_obs.Recorder.events t)
+let dropped = Mp_obs.Recorder.dropped
+let clear = Mp_obs.Recorder.clear
 
 let pp_event fmt e =
   Format.fprintf fmt "[%8.1f] h%d  %-9s %s" e.time e.host e.kind e.detail

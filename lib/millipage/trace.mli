@@ -1,7 +1,11 @@
-(** Protocol event tracing.
+(** Protocol event tracing (compatibility shim).
 
-    A bounded ring buffer of timestamped protocol events, cheap enough to
-    leave on in tests.  Traces read like the protocol walkthrough in §3.3:
+    Historically this module owned its own string-event ring buffer; it is now
+    a thin view over {!Mp_obs.Recorder}, the typed observability recorder
+    shared by every DSM.  [t] {e is} a recorder, so the same buffer feeds both
+    these string events and the typed exporters/checkers in [Mp_obs].
+
+    Traces read like the protocol walkthrough in §3.3:
 
     {v
     [  412.3] h1  FAULT     read @69632 (view 2, vpage 0)
@@ -17,7 +21,7 @@ type event = {
   detail : string;
 }
 
-type t
+type t = Mp_obs.Recorder.t
 
 val create : ?capacity:int -> unit -> t
 (** Default capacity 4096 events; older events are dropped. *)
@@ -26,10 +30,12 @@ val enabled : t -> bool
 val set_enabled : t -> bool -> unit
 
 val record : t -> time:float -> host:int -> kind:string -> detail:string -> unit
-(** No-op when disabled. *)
+(** No-op when disabled.  Recorded as an {!Mp_obs.Event.Mark}; typed protocol
+    events come from the instrumentation hooks in {!Mp_obs.Recorder}. *)
 
 val events : t -> event list
-(** Oldest first. *)
+(** Oldest first, rendered from the typed events via
+    {!Mp_obs.Event.kind_name} / {!Mp_obs.Event.detail}. *)
 
 val dropped : t -> int
 val clear : t -> unit

@@ -19,6 +19,7 @@ type 'a t = {
   latency : bytes:int -> float;
   chan_last : float array;  (* per (src,dst) last arrival, for FIFO *)
   counters : Stats.Counters.t;
+  mutable obs : (Mp_obs.Recorder.t * ('a -> string)) option;
 }
 
 let default_latency ~bytes = 11.4 +. (0.0196 *. float_of_int bytes)
@@ -45,6 +46,7 @@ let create engine ~hosts ?(latency = default_latency) ?(poll_idle_us = 2.0)
       latency;
       chan_last = Array.make (hosts * hosts) neg_infinity;
       counters = Stats.Counters.create ();
+      obs = None;
     }
   in
   (* One server process per host: FM handlers run to completion, one message
@@ -57,6 +59,12 @@ let create engine ~hosts ?(latency = default_latency) ?(poll_idle_us = 2.0)
             let rec drain () =
               match Queue.take_opt n.ready with
               | Some m ->
+                (match t.obs with
+                | Some (obs, describe) ->
+                  Mp_obs.Recorder.msg_recv obs ~time:(Engine.now engine) ~host:n.id
+                    ~src:m.src ~bytes:m.bytes ~label:(describe m.body)
+                    ~queue_depth:(Queue.length n.ready)
+                | None -> ());
                 (match n.handler with
                 | Some h -> h m
                 | None -> failwith "Fabric: message for host without handler");
@@ -70,6 +78,8 @@ let create engine ~hosts ?(latency = default_latency) ?(poll_idle_us = 2.0)
           loop ()))
     t.nodes;
   t
+
+let attach_obs t ~obs ~describe = t.obs <- Some (obs, describe)
 
 let hosts t = Array.length t.nodes
 let engine t = t.engine
@@ -86,6 +96,10 @@ let schedule_poll t n ~arrival =
     n.pending_poll <- pt;
     Engine.schedule t.engine ~at:pt (fun () ->
         if n.pending_poll <= Engine.now t.engine then n.pending_poll <- infinity;
+        (match t.obs with
+        | Some (obs, _) when n.busy ->
+          Mp_obs.Recorder.sweeper_wake obs ~time:(Engine.now t.engine) ~host:n.id
+        | _ -> ());
         Sync.Event.set n.wake)
   end
 
@@ -96,6 +110,11 @@ let send t ~src ~dst ~bytes body =
   Stats.Counters.incr t.counters "send.count";
   Stats.Counters.add t.counters "send.bytes" bytes;
   Stats.Counters.incr t.counters (Printf.sprintf "send.count.h%d" src);
+  (match t.obs with
+  | Some (obs, describe) ->
+    Mp_obs.Recorder.msg_send obs ~time:(Engine.now t.engine) ~host:src ~dst ~bytes
+      ~label:(describe body)
+  | None -> ());
   let now = Engine.now t.engine in
   let chan = (src * Array.length t.nodes) + dst in
   let arrival = Float.max (now +. t.latency ~bytes) (t.chan_last.(chan) +. 0.001) in

@@ -57,3 +57,10 @@ val counters : 'a t -> Mp_util.Stats.Counters.t
 
 val queue_depth : 'a t -> host:int -> int
 (** Messages arrived but not yet handled (for tests). *)
+
+val attach_obs :
+  'a t -> obs:Mp_obs.Recorder.t -> describe:('a -> string) -> unit
+(** Mirror every send, delivery and sweeper wake-up into [obs] as typed
+    [Msg_send] / [Msg_recv] / [Sweeper_wake] events; [describe] renders a
+    message body for trace labels.  At most one recorder is attached; a second
+    call replaces the first. *)

@@ -1,0 +1,120 @@
+type access = Read | Write
+
+let access_to_string = function Read -> "read" | Write -> "write"
+
+type phase = Queue_wait | Network | Invalidation | Wakeup
+
+let phase_name = function
+  | Queue_wait -> "queue wait"
+  | Network -> "network"
+  | Invalidation -> "invalidation"
+  | Wakeup -> "wakeup"
+
+type kind =
+  | Fault of { access : access; addr : int; view : int; vpage : int }
+  | Fault_done of { access : access }
+  | Request of { access : access; addr : int; prefetch : bool }
+  | Queued of { mp_id : int; depth : int }
+  | Dequeued of { mp_id : int; waited_us : float }
+  | Forward of { access : access; mp_id : int; supplier : int }
+  | Reply of { mp_id : int; bytes : int }
+  | Inval of { mp_id : int; target : int }
+  | Inval_ack of { mp_id : int; from : int }
+  | Ack of { mp_id : int; from : int }
+  | Barrier_enter of { bphase : int }
+  | Barrier_exit of { bphase : int }
+  | Lock_acquire of { lock : int }
+  | Lock_grant of { lock : int }
+  | Lock_release of { lock : int }
+  | Prefetch of { access : access; addr : int }
+  | Msg_send of { dst : int; bytes : int; label : string }
+  | Msg_recv of { src : int; bytes : int; label : string }
+  | Sweeper_wake
+  | Proc_block of { proc : string; on : string }
+  | Proc_resume of { proc : string }
+  | Mark of { kind : string; detail : string }
+
+type t = { time : float; host : int; span : int; kind : kind }
+
+let no_span = 0
+
+let kind_name = function
+  | Fault _ -> "FAULT"
+  | Fault_done _ -> "FAULT_DONE"
+  | Request _ -> "REQUEST"
+  | Queued _ -> "QUEUE"
+  | Dequeued _ -> "DEQUEUE"
+  | Forward _ -> "FORWARD"
+  | Reply _ -> "REPLY"
+  | Inval _ -> "INVAL"
+  | Inval_ack _ -> "INVAL_ACK"
+  | Ack _ -> "ACK"
+  | Barrier_enter _ -> "BARRIER_ENTER"
+  | Barrier_exit _ -> "BARRIER_EXIT"
+  | Lock_acquire _ -> "LOCK_ACQ"
+  | Lock_grant _ -> "LOCK_GRANT"
+  | Lock_release _ -> "LOCK_REL"
+  | Prefetch _ -> "PREFETCH"
+  | Msg_send _ -> "SEND"
+  | Msg_recv _ -> "RECV"
+  | Sweeper_wake -> "SWEEPER"
+  | Proc_block _ -> "BLOCK"
+  | Proc_resume _ -> "RESUME"
+  | Mark m -> m.kind
+
+let detail = function
+  | Fault { access; addr; view; vpage } ->
+    Printf.sprintf "%s @%d (view %d, vpage %d)" (access_to_string access) addr view vpage
+  | Fault_done { access } -> access_to_string access
+  | Request { access; addr; prefetch } ->
+    Printf.sprintf "%s @%d%s" (access_to_string access) addr
+      (if prefetch then " (prefetch)" else "")
+  | Queued { mp_id; depth } -> Printf.sprintf "mp%d depth %d" mp_id depth
+  | Dequeued { mp_id; waited_us } -> Printf.sprintf "mp%d waited %.1f" mp_id waited_us
+  | Forward { access; mp_id; supplier } ->
+    if supplier < 0 then Printf.sprintf "%s mp%d (upgrade)" (access_to_string access) mp_id
+    else Printf.sprintf "%s mp%d via h%d" (access_to_string access) mp_id supplier
+  | Reply { mp_id; bytes } -> Printf.sprintf "mp%d (%d bytes)" mp_id bytes
+  | Inval { mp_id; target } -> Printf.sprintf "mp%d -> h%d" mp_id target
+  | Inval_ack { mp_id; from } -> Printf.sprintf "mp%d from h%d" mp_id from
+  | Ack { mp_id; from } -> Printf.sprintf "mp%d from h%d" mp_id from
+  | Barrier_enter { bphase } -> Printf.sprintf "phase %d" bphase
+  | Barrier_exit { bphase } -> Printf.sprintf "phase %d" bphase
+  | Lock_acquire { lock } -> Printf.sprintf "l%d" lock
+  | Lock_grant { lock } -> Printf.sprintf "l%d" lock
+  | Lock_release { lock } -> Printf.sprintf "l%d" lock
+  | Prefetch { access; addr } -> Printf.sprintf "%s @%d" (access_to_string access) addr
+  | Msg_send { dst; bytes; label } -> Printf.sprintf "%s -> h%d (%d bytes)" label dst bytes
+  | Msg_recv { src; bytes; label } ->
+    Printf.sprintf "%s from h%d (%d bytes)" label src bytes
+  | Sweeper_wake -> ""
+  | Proc_block { proc; on } -> Printf.sprintf "%s on %s" proc on
+  | Proc_resume { proc } -> proc
+  | Mark m -> m.detail
+
+let pp fmt e =
+  Format.fprintf fmt "[%8.1f] h%d  %-13s %s" e.time e.host (kind_name e.kind)
+    (detail e.kind)
+
+(* minimal JSON string escaping: the labels we emit are ASCII *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json e =
+  Printf.sprintf
+    "{\"ts\":%.3f,\"host\":%d,\"span\":%d,\"kind\":\"%s\",\"detail\":\"%s\"}" e.time
+    e.host e.span
+    (json_escape (kind_name e.kind))
+    (json_escape (detail e.kind))

@@ -1,0 +1,62 @@
+(** Typed protocol events.
+
+    The full vocabulary of the fault → request → queue → forward → reply →
+    ack pipeline, plus synchronization, messaging and simulator-level events.
+    Events carry a [span] — the request id of the fault service they belong
+    to ({!no_span} when unattributed) — so a whole fault service can be
+    reassembled from the stream and attributed phase by phase. *)
+
+type access = Read | Write
+
+val access_to_string : access -> string
+
+type phase =
+  | Queue_wait  (** queued at the manager behind a conflicting operation *)
+  | Network  (** request/forward/reply message time, incl. remote handlers *)
+  | Invalidation  (** write faults: invalidation round outstanding *)
+  | Wakeup  (** reply landed to faulting thread running again *)
+
+val phase_name : phase -> string
+
+type kind =
+  | Fault of { access : access; addr : int; view : int; vpage : int }
+  | Fault_done of { access : access }
+  | Request of { access : access; addr : int; prefetch : bool }
+  | Queued of { mp_id : int; depth : int }
+  | Dequeued of { mp_id : int; waited_us : float }
+  | Forward of { access : access; mp_id : int; supplier : int }
+      (** [supplier < 0] means an ownership upgrade (no data supplier). *)
+  | Reply of { mp_id : int; bytes : int }
+  | Inval of { mp_id : int; target : int }
+  | Inval_ack of { mp_id : int; from : int }
+  | Ack of { mp_id : int; from : int }
+  | Barrier_enter of { bphase : int }
+  | Barrier_exit of { bphase : int }
+  | Lock_acquire of { lock : int }
+  | Lock_grant of { lock : int }
+  | Lock_release of { lock : int }
+  | Prefetch of { access : access; addr : int }
+  | Msg_send of { dst : int; bytes : int; label : string }
+  | Msg_recv of { src : int; bytes : int; label : string }
+  | Sweeper_wake
+  | Proc_block of { proc : string; on : string }
+  | Proc_resume of { proc : string }
+  | Mark of { kind : string; detail : string }
+      (** Escape hatch for untyped events (the {!Mp_millipage.Trace} shim). *)
+
+type t = { time : float; host : int; span : int; kind : kind }
+
+val no_span : int
+(** Span id of unattributed events (0; real spans are request ids ≥ 1). *)
+
+val kind_name : kind -> string
+(** Stable upper-case tag, e.g. ["FAULT"], ["RECV"] — what the string-based
+    trace used as its [kind]. *)
+
+val detail : kind -> string
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> string
+(** One-line JSON object: [ts], [host], [span], [kind], [detail]. *)
+
+val json_escape : string -> string

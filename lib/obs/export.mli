@@ -1,0 +1,17 @@
+(** Trace exporters.
+
+    {!perfetto_json} renders the typed event stream as Chrome trace-event
+    JSON — open it at {:https://ui.perfetto.dev} or [chrome://tracing].  One
+    process ("track group") per host, fault services as duration slices,
+    manager queue-wait / invalidation rounds as slices on the manager track,
+    messages as instant events, manager queue depth as a counter series.
+    Timestamps are simulated µs.
+
+    {!jsonl} is one JSON object per event, one per line — easy to post-process
+    with jq or load into a dataframe. *)
+
+val perfetto_json : Event.t list -> string
+val jsonl : Event.t list -> string
+
+val write_perfetto : string -> Event.t list -> unit
+val write_jsonl : string -> Event.t list -> unit

@@ -1,0 +1,79 @@
+(* Replays a typed event stream and asserts protocol invariants of the
+   single-writer / multiple-reader protocol.  The stream must be complete
+   (check Recorder.dropped before calling) and chronologically ordered, which
+   is how the recorder hands it out. *)
+
+let check (events : Event.t list) =
+  let violations = ref [] in
+  let flag fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  (* -- fault completion: every Fault is eventually Fault_done'd ---------- *)
+  let faults = Hashtbl.create 64 in (* (span, host) -> open count *)
+  let bump tbl key d =
+    let v = d + Option.value ~default:0 (Hashtbl.find_opt tbl key) in
+    Hashtbl.replace tbl key v;
+    v
+  in
+  (* -- request/reply matching ------------------------------------------- *)
+  let requested = Hashtbl.create 64 in (* span -> unit *)
+  (* -- manager queue conservation --------------------------------------- *)
+  let queued = ref 0 and dequeued = ref 0 in
+  let queue_open = Hashtbl.create 16 in (* span -> unit *)
+  (* -- single writer per minipage --------------------------------------- *)
+  let write_open = Hashtbl.create 16 in (* mp_id -> (span, time) *)
+  (* -- invalidation conservation ---------------------------------------- *)
+  let inval_balance = Hashtbl.create 16 in (* span -> sent - acked *)
+  List.iter
+    (fun (e : Event.t) ->
+      match e.kind with
+      | Event.Fault _ -> ignore (bump faults (e.span, e.host) 1)
+      | Event.Fault_done _ ->
+        if bump faults (e.span, e.host) (-1) < 0 then
+          flag "span %d: FAULT_DONE at h%d without a preceding FAULT" e.span e.host
+      | Event.Request _ -> Hashtbl.replace requested e.span ()
+      | Event.Reply _ ->
+        if not (Hashtbl.mem requested e.span) then
+          flag "span %d: REPLY at t=%.1f without a matching REQUEST" e.span e.time
+      | Event.Queued _ ->
+        incr queued;
+        if Hashtbl.mem queue_open e.span then
+          flag "span %d: queued twice at the manager" e.span;
+        Hashtbl.replace queue_open e.span ()
+      | Event.Dequeued _ ->
+        incr dequeued;
+        if not (Hashtbl.mem queue_open e.span) then
+          flag "span %d: dequeued at t=%.1f but never queued" e.span e.time
+        else Hashtbl.remove queue_open e.span
+      | Event.Forward { access = Event.Write; mp_id; _ } -> (
+        match Hashtbl.find_opt write_open mp_id with
+        | Some (other, t0) when other <> e.span ->
+          flag
+            "mp %d: concurrent writers — span %d granted at t=%.1f while span %d \
+             (granted t=%.1f) still holds the write"
+            mp_id e.span e.time other t0
+        | Some _ | None -> Hashtbl.replace write_open mp_id (e.span, e.time))
+      | Event.Ack { mp_id; _ } -> (
+        match Hashtbl.find_opt write_open mp_id with
+        | Some (span, _) when span = e.span -> Hashtbl.remove write_open mp_id
+        | Some _ | None -> ())
+      | Event.Inval _ -> ignore (bump inval_balance e.span 1)
+      | Event.Inval_ack _ ->
+        if bump inval_balance e.span (-1) < 0 then
+          flag "span %d: INVAL_ACK at t=%.1f without a matching INVAL" e.span e.time
+      | _ -> ())
+    events;
+  Hashtbl.iter
+    (fun (span, host) n ->
+      if n > 0 then flag "span %d: fault at h%d never completed (%d outstanding)" span host n)
+    faults;
+  Hashtbl.iter
+    (fun span () -> flag "span %d: still queued at the manager at end of run" span)
+    queue_open;
+  if !queued <> !dequeued then
+    flag "manager queue not conserved: %d queued vs %d dequeued" !queued !dequeued;
+  Hashtbl.iter
+    (fun span n ->
+      if n > 0 then flag "span %d: %d invalidation(s) never acknowledged" span n)
+    inval_balance;
+  List.rev !violations
+
+let ok events = check events = []

@@ -1,0 +1,268 @@
+type fault_state = {
+  mutable f_access : Event.access;
+  mutable f_host : int;  (* primary faulting host; -1 for pure prefetch *)
+  mutable f_start : float;  (* fault (or request) begin time *)
+  mutable f_started : bool;  (* a thread is actually blocked on this span *)
+  mutable f_queue : float;  (* accumulated manager queue wait *)
+  mutable f_queue_enter : float;
+  mutable f_inval : float;  (* accumulated invalidation round time *)
+  mutable f_inval_enter : float;
+  mutable f_reply : float;  (* when the reply/grant landed; nan until then *)
+  mutable f_waiters : int;
+}
+
+type t = {
+  mutable capacity : int;
+  mutable buf : Event.t option array;
+  mutable next : int;  (* total events ever recorded *)
+  mutable on : bool;
+  metrics : Metrics.t;
+  faults : (int, fault_state) Hashtbl.t;
+}
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Recorder.create";
+  {
+    capacity;
+    buf = Array.make capacity None;
+    next = 0;
+    on = false;
+    metrics = Metrics.create ();
+    faults = Hashtbl.create 64;
+  }
+
+let enabled t = t.on
+let set_enabled t on = t.on <- on
+let metrics t = t.metrics
+
+let set_capacity t capacity =
+  if capacity <= 0 then invalid_arg "Recorder.set_capacity";
+  t.capacity <- capacity;
+  t.buf <- Array.make capacity None;
+  t.next <- 0
+
+let record t ~time ~host ?(span = Event.no_span) kind =
+  if t.on then begin
+    t.buf.(t.next mod t.capacity) <- Some { Event.time; host; span; kind };
+    t.next <- t.next + 1
+  end
+
+let events t =
+  let start = max 0 (t.next - t.capacity) in
+  let out = ref [] in
+  for i = t.next - 1 downto start do
+    match t.buf.(i mod t.capacity) with
+    | Some e -> out := e :: !out
+    | None -> ()
+  done;
+  !out
+
+let dropped t = max 0 (t.next - t.capacity)
+
+let clear t =
+  Array.fill t.buf 0 t.capacity None;
+  t.next <- 0;
+  Hashtbl.reset t.faults
+
+let observe t ?bucket_width ?buckets name x =
+  if t.on then Metrics.observe t.metrics ?bucket_width ?buckets name x
+
+let incr t name = if t.on then Metrics.incr t.metrics name
+let gauge_set t name v = if t.on then Metrics.gauge_set t.metrics name v
+
+(* ------------------------------------------------------------------ *)
+(* Fault-service spans                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_state () =
+  {
+    f_access = Event.Read;
+    f_host = -1;
+    f_start = nan;
+    f_started = false;
+    f_queue = 0.0;
+    f_queue_enter = nan;
+    f_inval = 0.0;
+    f_inval_enter = nan;
+    f_reply = nan;
+    f_waiters = 0;
+  }
+
+let state t span =
+  match Hashtbl.find_opt t.faults span with
+  | Some s -> s
+  | None ->
+    let s = fresh_state () in
+    Hashtbl.add t.faults span s;
+    s
+
+let fault_begin t ~time ~host ~span ~access ~addr ~view ~vpage =
+  if t.on then begin
+    record t ~time ~host ~span (Event.Fault { access; addr; view; vpage });
+    incr t (match access with Event.Read -> "fault.read" | Event.Write -> "fault.write");
+    let s = state t span in
+    s.f_waiters <- s.f_waiters + 1;
+    if not s.f_started then begin
+      (* first blocked thread claims the span (it may have started life as a
+         prefetch); its wait defines the span's latency attribution *)
+      s.f_started <- true;
+      s.f_access <- access;
+      s.f_host <- host;
+      s.f_start <- time
+    end
+  end
+
+let request_sent t ~time ~host ~span ~access ~addr ~prefetch =
+  if t.on then begin
+    record t ~time ~host ~span (Event.Request { access; addr; prefetch });
+    if prefetch then begin
+      let s = state t span in
+      s.f_access <- access;
+      s.f_start <- time
+    end
+  end
+
+let queue_enter t ~time ~host ~span ~mp_id ~depth =
+  if t.on then begin
+    record t ~time ~host ~span (Event.Queued { mp_id; depth });
+    gauge_set t "manager.queue_depth" (float_of_int depth);
+    incr t "manager.queued";
+    let s = state t span in
+    s.f_queue_enter <- time
+  end
+
+let queue_exit t ~time ~host ~span ~mp_id ~depth =
+  if t.on then begin
+    let s = state t span in
+    let waited =
+      if Float.is_nan s.f_queue_enter then 0.0 else time -. s.f_queue_enter
+    in
+    s.f_queue <- s.f_queue +. waited;
+    s.f_queue_enter <- nan;
+    record t ~time ~host ~span (Event.Dequeued { mp_id; waited_us = waited });
+    gauge_set t "manager.queue_depth" (float_of_int depth)
+  end
+
+let forward t ~time ~host ~span ~access ~mp_id ~supplier =
+  if t.on then record t ~time ~host ~span (Event.Forward { access; mp_id; supplier })
+
+let inval_send t ~time ~host ~span ~mp_id ~target =
+  if t.on then begin
+    record t ~time ~host ~span (Event.Inval { mp_id; target });
+    incr t "inval.sent";
+    let s = state t span in
+    if Float.is_nan s.f_inval_enter then s.f_inval_enter <- time
+  end
+
+let inval_ack t ~time ~host ~span ~mp_id ~from ~last =
+  if t.on then begin
+    record t ~time ~host ~span (Event.Inval_ack { mp_id; from });
+    if last then begin
+      let s = state t span in
+      if not (Float.is_nan s.f_inval_enter) then begin
+        s.f_inval <- s.f_inval +. (time -. s.f_inval_enter);
+        s.f_inval_enter <- nan
+      end
+    end
+  end
+
+let reply t ~time ~host ~span ~mp_id ~bytes =
+  if t.on then begin
+    record t ~time ~host ~span (Event.Reply { mp_id; bytes });
+    match Hashtbl.find_opt t.faults span with
+    | Some s ->
+      s.f_reply <- time;
+      if not s.f_started then begin
+        (* nobody is blocked on this span: a pure prefetch completed *)
+        let total = if Float.is_nan s.f_start then 0.0 else time -. s.f_start in
+        observe t "prefetch.service" total;
+        Hashtbl.remove t.faults span
+      end
+    | None -> ()
+  end
+
+let ack t ~time ~host ~span ~mp_id ~from =
+  if t.on then record t ~time ~host ~span (Event.Ack { mp_id; from })
+
+let fault_end t ~time ~host ~span =
+  if t.on then begin
+    match Hashtbl.find_opt t.faults span with
+    | None -> record t ~time ~host ~span (Event.Fault_done { access = Event.Read })
+    | Some s ->
+      record t ~time ~host ~span (Event.Fault_done { access = s.f_access });
+      if host = s.f_host then begin
+        let total = time -. s.f_start in
+        let wakeup = if Float.is_nan s.f_reply then 0.0 else time -. s.f_reply in
+        let queue = s.f_queue and inval = s.f_inval in
+        let network = Float.max 0.0 (total -. queue -. inval -. wakeup) in
+        let prefix =
+          match s.f_access with
+          | Event.Read -> "fault.read."
+          | Event.Write -> "fault.write."
+        in
+        observe t (prefix ^ "total") total;
+        observe t (prefix ^ "queue_wait") queue;
+        observe t (prefix ^ "network") network;
+        observe t (prefix ^ "invalidation") inval;
+        observe t (prefix ^ "wakeup") wakeup
+      end;
+      s.f_waiters <- s.f_waiters - 1;
+      if s.f_waiters <= 0 then Hashtbl.remove t.faults span
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Synchronization and messaging                                       *)
+(* ------------------------------------------------------------------ *)
+
+let barrier_enter t ~time ~host ~bphase =
+  if t.on then begin
+    record t ~time ~host (Event.Barrier_enter { bphase });
+    incr t "barrier.enter"
+  end
+
+let barrier_exit t ~time ~host ~bphase ~waited_us =
+  if t.on then begin
+    record t ~time ~host (Event.Barrier_exit { bphase });
+    observe t ~bucket_width:50.0 "barrier.wait" waited_us
+  end
+
+let lock_acquire t ~time ~host ~lock =
+  if t.on then record t ~time ~host (Event.Lock_acquire { lock })
+
+let lock_grant t ~time ~host ~lock ~waited_us =
+  if t.on then begin
+    record t ~time ~host (Event.Lock_grant { lock });
+    observe t ~bucket_width:50.0 "lock.wait" waited_us
+  end
+
+let lock_release t ~time ~host ~lock =
+  if t.on then record t ~time ~host (Event.Lock_release { lock })
+
+let prefetch_issued t ~time ~host ~span ~access ~addr =
+  if t.on then record t ~time ~host ~span (Event.Prefetch { access; addr })
+
+let msg_send t ~time ~host ~dst ~bytes ~label =
+  if t.on then record t ~time ~host (Event.Msg_send { dst; bytes; label })
+
+let msg_recv t ~time ~host ~src ~bytes ~label ~queue_depth =
+  if t.on then begin
+    record t ~time ~host (Event.Msg_recv { src; bytes; label });
+    gauge_set t "net.recv_queue_depth" (float_of_int queue_depth)
+  end
+
+let sweeper_wake t ~time ~host =
+  if t.on then begin
+    record t ~time ~host Event.Sweeper_wake;
+    incr t "sweeper.wakes"
+  end
+
+let proc_block t ~time ~proc ~on =
+  if t.on then record t ~time ~host:(-1) (Event.Proc_block { proc; on })
+
+let proc_resume t ~time ~proc =
+  if t.on then record t ~time ~host:(-1) (Event.Proc_resume { proc })
+
+let pp_dump t fmt =
+  List.iter (fun e -> Format.fprintf fmt "%a@." Event.pp e) (events t);
+  if dropped t > 0 then
+    Format.fprintf fmt "(%d earlier events dropped)@." (dropped t)

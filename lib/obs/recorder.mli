@@ -1,0 +1,94 @@
+(** The observability recorder: a bounded ring of typed events plus a
+    metrics registry, with span bookkeeping that attributes each fault
+    service phase by phase (manager queue wait / network / invalidation /
+    thread wakeup) into latency distributions.
+
+    Everything is a no-op while disabled (the default), so instrumentation
+    can stay in the hot path.  One recorder per DSM instance; hosts share it
+    (the simulation is single-threaded). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 65536 events; older events are dropped (the metrics
+    registry is unaffected by drops). *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val set_capacity : t -> int -> unit
+(** Replace the ring (clearing it) — call before a run that needs the full
+    event stream, e.g. for export or invariant checking. *)
+
+val record : t -> time:float -> host:int -> ?span:int -> Event.kind -> unit
+(** Raw append; the typed hooks below are preferred where they apply. *)
+
+val events : t -> Event.t list
+(** Oldest first. *)
+
+val dropped : t -> int
+val clear : t -> unit
+val metrics : t -> Metrics.t
+
+val observe : t -> ?bucket_width:float -> ?buckets:int -> string -> float -> unit
+val incr : t -> string -> unit
+val gauge_set : t -> string -> float -> unit
+(** Metrics pass-throughs, gated on {!enabled}. *)
+
+(** {2 Fault-service span hooks}
+
+    [span] is the protocol request id.  A span's life: [fault_begin] (or
+    [request_sent ~prefetch:true]) → optional [queue_enter]/[queue_exit] and
+    invalidation round at the manager → [reply] at the faulting host →
+    [fault_end] once the thread runs again.  The first blocked thread owns
+    the span; joiners only add {!Event.Fault}/{!Event.Fault_done} events. *)
+
+val fault_begin :
+  t -> time:float -> host:int -> span:int -> access:Event.access -> addr:int ->
+  view:int -> vpage:int -> unit
+
+val request_sent :
+  t -> time:float -> host:int -> span:int -> access:Event.access -> addr:int ->
+  prefetch:bool -> unit
+
+val queue_enter :
+  t -> time:float -> host:int -> span:int -> mp_id:int -> depth:int -> unit
+
+val queue_exit :
+  t -> time:float -> host:int -> span:int -> mp_id:int -> depth:int -> unit
+
+val forward :
+  t -> time:float -> host:int -> span:int -> access:Event.access -> mp_id:int ->
+  supplier:int -> unit
+
+val inval_send : t -> time:float -> host:int -> span:int -> mp_id:int -> target:int -> unit
+
+val inval_ack :
+  t -> time:float -> host:int -> span:int -> mp_id:int -> from:int -> last:bool -> unit
+
+val reply : t -> time:float -> host:int -> span:int -> mp_id:int -> bytes:int -> unit
+val ack : t -> time:float -> host:int -> span:int -> mp_id:int -> from:int -> unit
+val fault_end : t -> time:float -> host:int -> span:int -> unit
+
+(** {2 Synchronization, messaging, simulator} *)
+
+val barrier_enter : t -> time:float -> host:int -> bphase:int -> unit
+val barrier_exit : t -> time:float -> host:int -> bphase:int -> waited_us:float -> unit
+val lock_acquire : t -> time:float -> host:int -> lock:int -> unit
+val lock_grant : t -> time:float -> host:int -> lock:int -> waited_us:float -> unit
+val lock_release : t -> time:float -> host:int -> lock:int -> unit
+
+val prefetch_issued :
+  t -> time:float -> host:int -> span:int -> access:Event.access -> addr:int -> unit
+
+val msg_send : t -> time:float -> host:int -> dst:int -> bytes:int -> label:string -> unit
+
+val msg_recv :
+  t -> time:float -> host:int -> src:int -> bytes:int -> label:string ->
+  queue_depth:int -> unit
+
+val sweeper_wake : t -> time:float -> host:int -> unit
+val proc_block : t -> time:float -> proc:string -> on:string -> unit
+val proc_resume : t -> time:float -> proc:string -> unit
+
+val pp_dump : t -> Format.formatter -> unit

@@ -1,3 +1,5 @@
+type sched_event = Block of { proc : string; on : string } | Resume of { proc : string }
+
 type t = {
   mutable now : float;
   queue : (unit -> unit) Pqueue.t;
@@ -6,6 +8,7 @@ type t = {
   mutable stopped : bool;
   blocked_tbl : (int, string * string) Hashtbl.t;
   mutable susp_id : int;
+  mutable observer : (time:float -> sched_event -> unit) option;
 }
 
 exception Not_in_process
@@ -25,9 +28,14 @@ let create () =
     stopped = false;
     blocked_tbl = Hashtbl.create 32;
     susp_id = 0;
+    observer = None;
   }
 
 let now t = t.now
+
+let set_observer t obs = t.observer <- obs
+
+let notify t ev = match t.observer with Some f -> f ~time:t.now ev | None -> ()
 
 let schedule_raw t ~at thunk =
   let at = if at < t.now then t.now else at in
@@ -60,11 +68,13 @@ let spawn t ?(name = "proc") f =
                 t.susp_id <- t.susp_id + 1;
                 let id = t.susp_id in
                 Hashtbl.replace t.blocked_tbl id (name, label);
+                notify t (Block { proc = name; on = label });
                 let resumed = ref false in
                 let resume () =
                   if not !resumed then begin
                     resumed := true;
                     Hashtbl.remove t.blocked_tbl id;
+                    notify t (Resume { proc = name });
                     if t.stopped then
                       (* Unwind the fiber so daemon loops exit cleanly. *)
                       Effect.Deep.discontinue k Stopped

@@ -59,5 +59,12 @@ val stop : t -> unit
 val live : t -> int
 (** Number of spawned processes that have not finished. *)
 
+type sched_event = Block of { proc : string; on : string } | Resume of { proc : string }
+
+val set_observer : t -> (time:float -> sched_event -> unit) option -> unit
+(** Observability hook: called synchronously whenever a process parks on a
+    suspension or is resumed.  The callback must not perform effects.  [None]
+    (the default) removes the hook; it costs nothing when unset. *)
+
 val blocked : t -> (string * string) list
 (** [(process, suspension)] pairs for every currently suspended process. *)

@@ -88,9 +88,20 @@ module Histogram = struct
     if bucket_width <= 0.0 || buckets <= 0 then invalid_arg "Histogram.create";
     { width = bucket_width; counts = Array.make buckets 0; n = 0 }
 
+  (* NaN and out-of-range samples land in defined buckets: NaN and +inf /
+     overflow clamp into the last bucket, negatives (and -inf) into the
+     first.  The comparison happens in float space so [int_of_float] is
+     never applied to a value outside the bucket range (where its result is
+     unspecified). *)
   let add t x =
-    let i = int_of_float (x /. t.width) in
-    let i = if i < 0 then 0 else Stdlib.min i (Array.length t.counts - 1) in
+    let last = Array.length t.counts - 1 in
+    let q = x /. t.width in
+    let i =
+      if Float.is_nan q then last
+      else if q < 0.0 then 0
+      else if q >= float_of_int last then last
+      else int_of_float q
+    in
     t.counts.(i) <- t.counts.(i) + 1;
     t.n <- t.n + 1
 

@@ -48,7 +48,12 @@ module Histogram : sig
   type t
 
   val create : bucket_width:float -> buckets:int -> t
+
   val add : t -> float -> unit
+  (** Every input lands in a defined bucket: negative values (and [-inf])
+      count into the first bucket, while NaN, [+inf] and values at or beyond
+      the last bucket's edge count into the last. *)
+
   val count : t -> int
   val bucket_counts : t -> int array
   val percentile : t -> float -> float

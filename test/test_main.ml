@@ -18,4 +18,5 @@ let () =
       ("errors", Test_errors.suite);
       ("tab", Test_tab.suite);
       ("properties", Test_properties.suite);
+      ("obs", Test_obs.suite);
     ]

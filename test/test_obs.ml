@@ -1,0 +1,250 @@
+(* Observability layer: recorder gating, metrics percentiles, exporters
+   (golden Perfetto file from a deterministic 2-host run), and the
+   trace-driven invariant checker (unit + qcheck properties). *)
+
+open Mp_sim
+open Mp_millipage
+module Obs = Mp_obs.Recorder
+module Event = Mp_obs.Event
+module Invariants = Mp_obs.Invariants
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+(* ---------------- recorder basics ---------------- *)
+
+let test_disabled_records_nothing () =
+  let r = Obs.create () in
+  Obs.msg_send r ~time:1.0 ~host:0 ~dst:1 ~bytes:32 ~label:"X";
+  Obs.incr r "c";
+  Alcotest.(check int) "no events while disabled" 0 (List.length (Obs.events r));
+  Alcotest.(check int) "no counters while disabled" 0
+    (Mp_util.Stats.Counters.get (Mp_obs.Metrics.counters (Obs.metrics r)) "c")
+
+let test_ring_drops_oldest () =
+  let r = Obs.create ~capacity:4 () in
+  Obs.set_enabled r true;
+  for i = 1 to 6 do
+    Obs.msg_send r ~time:(float_of_int i) ~host:0 ~dst:1 ~bytes:i ~label:"m"
+  done;
+  let evs = Obs.events r in
+  Alcotest.(check int) "capacity bounds the ring" 4 (List.length evs);
+  Alcotest.(check int) "dropped counted" 2 (Obs.dropped r);
+  Alcotest.(check (float 0.0)) "oldest surviving event" 3.0 (List.hd evs).Event.time
+
+let test_metrics_percentiles () =
+  let r = Obs.create () in
+  Obs.set_enabled r true;
+  for i = 1 to 100 do
+    Obs.observe r "lat" (float_of_int i)
+  done;
+  let m = Obs.metrics r in
+  let p50 = Option.get (Mp_obs.Metrics.percentile m "lat" 0.50) in
+  let p99 = Option.get (Mp_obs.Metrics.percentile m "lat" 0.99) in
+  Alcotest.(check bool) "p50 near the median" true (p50 >= 40.0 && p50 <= 60.0);
+  Alcotest.(check bool) "p99 near the top" true (p99 >= 90.0);
+  Alcotest.(check bool) "p50 <= p99" true (p50 <= p99)
+
+(* ---------------- deterministic 2-host run ---------------- *)
+
+let deterministic_2host () =
+  let e = Engine.create () in
+  let config = { Dsm.Config.default with seed = 11 } in
+  let dsm = Dsm.create e ~hosts:2 ~config () in
+  let obs = Dsm.obs dsm in
+  Obs.set_capacity obs (1 lsl 16);
+  Obs.set_enabled obs true;
+  let x = Dsm.malloc dsm 256 in
+  Dsm.init_write_f64 dsm x 1.0;
+  Dsm.init_write_f64 dsm (x + 8) 2.0;
+  Dsm.spawn dsm ~host:0 (fun ctx ->
+      ignore (Dsm.read_f64 ctx x);
+      Dsm.write_f64 ctx x 3.0;
+      Dsm.barrier ctx;
+      Dsm.lock ctx 0;
+      Dsm.write_f64 ctx (x + 8) 4.0;
+      Dsm.unlock ctx 0;
+      Dsm.barrier ctx);
+  Dsm.spawn dsm ~host:1 (fun ctx ->
+      ignore (Dsm.read_f64 ctx x);
+      Dsm.barrier ctx;
+      Dsm.lock ctx 0;
+      Dsm.write_f64 ctx (x + 8) 5.0;
+      Dsm.unlock ctx 0;
+      Dsm.barrier ctx;
+      ignore (Dsm.read_f64 ctx x));
+  Dsm.run dsm;
+  obs
+
+(* cwd is test/ under `dune runtest`, the project root under `dune exec` *)
+let golden_path =
+  if Sys.file_exists "golden/perfetto_2host.json" then "golden/perfetto_2host.json"
+  else "test/golden/perfetto_2host.json"
+
+let test_perfetto_golden () =
+  let obs = deterministic_2host () in
+  Alcotest.(check int) "lossless trace" 0 (Obs.dropped obs);
+  let events = Obs.events obs in
+  let json = Mp_obs.Export.perfetto_json events in
+  match Sys.getenv_opt "MP_UPDATE_GOLDEN" with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc json;
+    close_out oc;
+    Printf.printf "golden updated: %s (%d bytes)\n" path (String.length json)
+  | None ->
+    let ic = open_in_bin golden_path in
+    let expected = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Alcotest.(check string) "perfetto export matches the golden file" expected json
+
+let test_perfetto_shape () =
+  let obs = deterministic_2host () in
+  let json = Mp_obs.Export.perfetto_json (Obs.events obs) in
+  Alcotest.(check bool) "chrome trace envelope" true
+    (String.length json > 2 && json.[0] = '{' && contains json {|"traceEvents":[|});
+  let count needle =
+    let n = String.length needle and total = ref 0 in
+    for i = 0 to String.length json - n do
+      if String.sub json i n = needle then incr total
+    done;
+    !total
+  in
+  Alcotest.(check bool) "has duration slices" true (count {|"ph":"X"|} > 0);
+  Alcotest.(check bool) "has a track per host" true
+    (count {|"name":"process_name"|} >= 2)
+
+let test_deterministic_run_invariants () =
+  let obs = deterministic_2host () in
+  Alcotest.(check (list string)) "protocol invariants hold" []
+    (Invariants.check (Obs.events obs))
+
+let test_jsonl_roundtrip_size () =
+  let obs = deterministic_2host () in
+  let events = Obs.events obs in
+  let lines =
+    String.split_on_char '\n' (String.trim (Mp_obs.Export.jsonl events))
+  in
+  Alcotest.(check int) "one JSON line per event" (List.length events)
+    (List.length lines)
+
+(* ---------------- invariant checker: unit ---------------- *)
+
+let ev time host span kind = { Event.time; host; span; kind }
+
+let test_checker_flags_unfinished_fault () =
+  let trace =
+    [ ev 1.0 1 7 (Event.Fault { access = Event.Read; addr = 0; view = 0; vpage = 0 }) ]
+  in
+  Alcotest.(check bool) "unfinished fault flagged" false (Invariants.ok trace)
+
+let test_checker_flags_orphan_reply () =
+  let trace = [ ev 1.0 1 7 (Event.Reply { mp_id = 0; bytes = 64 }) ] in
+  Alcotest.(check bool) "reply without request flagged" false (Invariants.ok trace)
+
+let test_checker_flags_unbalanced_queue () =
+  let trace = [ ev 1.0 0 7 (Event.Queued { mp_id = 0; depth = 1 }) ] in
+  Alcotest.(check bool) "stuck queue entry flagged" false (Invariants.ok trace)
+
+(* ---------------- invariant checker: properties ---------------- *)
+
+(* A well-formed fault service: fault -> request -> queue -> (invalidation
+   round) -> forward -> reply -> done -> ack, all on one span. *)
+let service ~t0 ~span ~host ~mp ~write ~readers =
+  let t = ref t0 in
+  let step k h =
+    t := !t +. 2.0;
+    ev !t h span k
+  in
+  let access = if write then Event.Write else Event.Read in
+  List.concat
+    [
+      [
+        step (Event.Fault { access; addr = mp * 64; view = 0; vpage = mp }) host;
+        step (Event.Request { access; addr = mp * 64; prefetch = false }) host;
+        step (Event.Queued { mp_id = mp; depth = 1 }) 0;
+        step (Event.Dequeued { mp_id = mp; waited_us = 2.0 }) 0;
+      ];
+      (if write then
+         List.concat_map
+           (fun r ->
+             [
+               step (Event.Inval { mp_id = mp; target = r }) 0;
+               step (Event.Inval_ack { mp_id = mp; from = r }) r;
+             ])
+           readers
+       else []);
+      [
+        step (Event.Forward { access; mp_id = mp; supplier = -1 }) 0;
+        step (Event.Reply { mp_id = mp; bytes = 64 }) host;
+        step (Event.Fault_done { access }) host;
+        step (Event.Ack { mp_id = mp; from = host }) 0;
+      ];
+    ]
+
+let build_program specs =
+  List.concat
+    (List.mapi
+       (fun i (write, host, mp, readers) ->
+         service ~t0:(float_of_int (i * 100)) ~span:(i + 1) ~host ~mp ~write ~readers)
+       specs)
+
+let program_gen =
+  QCheck.(
+    list_of_size (Gen.int_range 1 30)
+      (quad bool (int_range 1 3) (int_range 0 7)
+         (list_of_size (Gen.int_range 0 2) (int_range 1 3))))
+
+let qcheck_valid_programs_accepted =
+  QCheck.Test.make ~count:200
+    ~name:"invariants: random well-formed coherence programs are accepted"
+    program_gen
+    (fun specs -> Invariants.check (build_program specs) = [])
+
+let qcheck_second_writer_rejected =
+  QCheck.Test.make ~count:200
+    ~name:"invariants: an injected second concurrent writer is rejected"
+    program_gen
+    (fun specs ->
+      (* guarantee at least one write grant, then inject a conflicting write
+         Forward right after it — inside the open write interval *)
+      let specs = (true, 1, 0, [ 2 ]) :: specs in
+      let trace = build_program specs in
+      let rec inject = function
+        | [] -> []
+        | ({ Event.kind = Event.Forward { access = Event.Write; mp_id; _ }; time; _ }
+           as e)
+          :: rest ->
+          e
+          :: ev (time +. 0.5) 0 99999
+               (Event.Forward { access = Event.Write; mp_id; supplier = -1 })
+          :: rest
+        | e :: rest -> e :: inject rest
+      in
+      match Invariants.check (inject trace) with
+      | [] -> false
+      | violations -> List.exists (fun v -> contains v "concurrent writers") violations)
+
+let suite =
+  [
+    Alcotest.test_case "recorder: disabled is a no-op" `Quick
+      test_disabled_records_nothing;
+    Alcotest.test_case "recorder: bounded ring drops oldest" `Quick
+      test_ring_drops_oldest;
+    Alcotest.test_case "metrics: percentiles" `Quick test_metrics_percentiles;
+    Alcotest.test_case "export: perfetto golden file" `Quick test_perfetto_golden;
+    Alcotest.test_case "export: perfetto shape" `Quick test_perfetto_shape;
+    Alcotest.test_case "export: jsonl one line per event" `Quick
+      test_jsonl_roundtrip_size;
+    Alcotest.test_case "invariants: deterministic run is clean" `Quick
+      test_deterministic_run_invariants;
+    Alcotest.test_case "invariants: unfinished fault" `Quick
+      test_checker_flags_unfinished_fault;
+    Alcotest.test_case "invariants: orphan reply" `Quick test_checker_flags_orphan_reply;
+    Alcotest.test_case "invariants: stuck queue entry" `Quick
+      test_checker_flags_unbalanced_queue;
+    QCheck_alcotest.to_alcotest qcheck_valid_programs_accepted;
+    QCheck_alcotest.to_alcotest qcheck_second_writer_rejected;
+  ]

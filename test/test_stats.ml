@@ -73,6 +73,30 @@ let test_histogram () =
   Alcotest.(check int) "bucket1" 1 counts.(1);
   Alcotest.(check int) "bucket9 incl overflow" 2 counts.(9)
 
+let test_histogram_pathological_inputs () =
+  let h = Stats.Histogram.create ~bucket_width:10.0 ~buckets:4 in
+  (* NaN, +inf and overflowing values clamp into the last bucket; negatives
+     and -inf into the first — and every one of them is counted *)
+  List.iter (Stats.Histogram.add h)
+    [ Float.nan; Float.infinity; 1e300; 4.0e18 (* x/width > max_int *);
+      Float.neg_infinity; -5.0; 0.0 ];
+  Alcotest.(check int) "all counted" 7 (Stats.Histogram.count h);
+  let counts = Stats.Histogram.bucket_counts h in
+  Alcotest.(check int) "first bucket" 3 counts.(0);
+  Alcotest.(check int) "mid buckets empty" 0 (counts.(1) + counts.(2));
+  Alcotest.(check int) "last bucket" 4 counts.(3);
+  (* percentile stays well-defined on a histogram full of garbage *)
+  Alcotest.(check bool) "percentile defined" true
+    (Stats.Histogram.percentile h 0.99 <= 40.0)
+
+let test_histogram_boundary_values () =
+  let h = Stats.Histogram.create ~bucket_width:10.0 ~buckets:4 in
+  List.iter (Stats.Histogram.add h) [ 10.0; 29.999; 30.0; 39.0; 40.0 ];
+  let counts = Stats.Histogram.bucket_counts h in
+  Alcotest.(check int) "bucket1 gets exactly-on-edge 10.0" 1 counts.(1);
+  Alcotest.(check int) "bucket2" 1 counts.(2);
+  Alcotest.(check int) "last holds its edge and overflow" 3 counts.(3)
+
 let test_histogram_percentile () =
   let h = Stats.Histogram.create ~bucket_width:1.0 ~buckets:100 in
   for i = 0 to 99 do
@@ -117,6 +141,9 @@ let suite =
     Alcotest.test_case "counters" `Quick test_counters;
     Alcotest.test_case "counters merge/reset" `Quick test_counters_merge_reset;
     Alcotest.test_case "histogram buckets" `Quick test_histogram;
+    Alcotest.test_case "histogram pathological inputs" `Quick
+      test_histogram_pathological_inputs;
+    Alcotest.test_case "histogram boundary values" `Quick test_histogram_boundary_values;
     Alcotest.test_case "histogram percentile" `Quick test_histogram_percentile;
     QCheck_alcotest.to_alcotest qcheck_merge_commutative;
     Alcotest.test_case "tab render" `Quick test_tab_render;
