@@ -13,6 +13,7 @@ let all_experiments ~full ~fast () =
   Exp_fig7.run ();
   Exp_ablation.run ();
   Exp_gms.run ();
+  Exp_soak.run ();
   Bechamel_bench.run ()
 
 let full_flag =
@@ -48,6 +49,10 @@ let gms =
   cmd "gms" "Subpages in a global memory system (§5 extension)"
     Term.(const Exp_gms.run $ const ())
 
+let soak =
+  cmd "soak" "Fault-injection soak: SOR under loss/duplication/reordering"
+    Term.(const Exp_soak.run $ const ())
+
 let bechamel =
   cmd "bechamel" "Wall-clock microbenchmarks of simulator primitives"
     Term.(const Bechamel_bench.run $ const ())
@@ -66,4 +71,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ table1; costs; fig5; table2; fig6; fig7; ablation; gms; bechamel; all_cmd ]))
+          [ table1; costs; fig5; table2; fig6; fig7; ablation; gms; soak; bechamel; all_cmd ]))

@@ -132,8 +132,18 @@ module Runner (D : Mp_dsm.Dsm_intf.S) = struct
     if Obs_opts.active o then report_obs t o
 end
 
-let execute app system hosts chunking polling paper trace_out perfetto metrics =
+let execute app system hosts chunking polling paper trace_out perfetto metrics loss
+    dup reorder net_seed =
   let obs_opts = { Obs_opts.trace_out; perfetto; metrics } in
+  let faults =
+    { Mp_net.Fabric.no_faults with drop = loss; duplicate = dup; reorder }
+  in
+  if Mp_net.Fabric.faults_active faults && system <> "millipage" then
+    invalid_arg
+      (Printf.sprintf
+         "fault injection (--loss/--dup/--reorder) requires --system millipage; %s \
+          has no reliable transport"
+         system);
   let polling_mode =
     match polling with
     | "nt" -> Mp_net.Polling.nt_mode
@@ -153,6 +163,8 @@ let execute app system hosts chunking polling paper trace_out perfetto metrics =
         Mp_millipage.Dsm.Config.default with
         polling = polling_mode;
         chunking = chunking_mode;
+        faults;
+        net_seed;
       }
     in
     let t = Mp_millipage.Dsm.create engine ~hosts ~config () in
@@ -161,7 +173,16 @@ let execute app system hosts chunking polling paper trace_out perfetto metrics =
       ~extra:(fun () ->
         Printf.printf "views used:   %d, competing requests: %d\n"
           (Mp_millipage.Dsm.views_used t)
-          (Mp_millipage.Dsm.competing_requests t))
+          (Mp_millipage.Dsm.competing_requests t);
+        if Mp_millipage.Dsm.faulty t then
+          Printf.printf
+            "net faults:   %d dropped, %d duplicated, %d reordered; %d \
+             retransmits, %d dups suppressed\n"
+            (Mp_millipage.Dsm.net_dropped t)
+            (Mp_millipage.Dsm.net_duplicated t)
+            (Mp_millipage.Dsm.net_reordered t)
+            (Mp_millipage.Dsm.retransmits t)
+            (Mp_millipage.Dsm.dups_suppressed t))
       ()
   | "ivy" ->
     let t = Mp_baselines.Ivy.create engine ~hosts ~polling:polling_mode () in
@@ -250,10 +271,37 @@ let metrics_arg =
           "Print the metrics registry after the run: per-phase fault-service \
            latency percentiles, protocol counters and gauges.")
 
+let loss_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "loss" ] ~docv:"P"
+        ~doc:"Probability each message copy is dropped on the wire (millipage only).")
+
+let dup_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "dup" ] ~docv:"P"
+        ~doc:"Probability a message is delivered twice (millipage only).")
+
+let reorder_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "reorder" ] ~docv:"P"
+        ~doc:
+          "Probability a message escapes per-channel FIFO ordering and may \
+           overtake earlier traffic (millipage only).")
+
+let net_seed_arg =
+  Arg.(
+    value & opt int 9
+    & info [ "net-seed" ] ~docv:"SEED"
+        ~doc:"Seed of the fault-injection schedule (deterministic per seed).")
+
 let () =
   let term =
     Term.(const execute $ app_arg $ system_arg $ hosts_arg $ chunking_arg $ polling_arg
-          $ paper_arg $ trace_out_arg $ perfetto_arg $ metrics_arg)
+          $ paper_arg $ trace_out_arg $ perfetto_arg $ metrics_arg $ loss_arg
+          $ dup_arg $ reorder_arg $ net_seed_arg)
   in
   let info =
     Cmd.info "mprun" ~doc:"Run a Millipage benchmark application on a simulated cluster"

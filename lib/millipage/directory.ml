@@ -25,6 +25,11 @@ type t = {
   mutable competing : int;
   mutable queued_now : int;
   mutable queued_max : int;
+  (* idempotence state for the reliable transport: request ids the manager
+     has accepted, and those whose operation has fully completed.  Both only
+     ever grow; req_ids are globally unique so there is no reuse to fear. *)
+  seen_reqs : (int, unit) Hashtbl.t;
+  completed_reqs : (int, unit) Hashtbl.t;
 }
 
 let create ~initial_owner =
@@ -34,6 +39,8 @@ let create ~initial_owner =
     competing = 0;
     queued_now = 0;
     queued_max = 0;
+    seen_reqs = Hashtbl.create 64;
+    completed_reqs = Hashtbl.create 64;
   }
 
 let register t mp =
@@ -65,6 +72,16 @@ let dequeue t e =
   let q = Queue.take_opt e.queue in
   (match q with Some _ -> t.queued_now <- t.queued_now - 1 | None -> ());
   q
+
+let note_request t ~req_id =
+  if Hashtbl.mem t.seen_reqs req_id then false
+  else begin
+    Hashtbl.add t.seen_reqs req_id ();
+    true
+  end
+
+let mark_completed t ~req_id = Hashtbl.replace t.completed_reqs req_id ()
+let completed t ~req_id = Hashtbl.mem t.completed_reqs req_id
 
 let peek e = Queue.peek_opt e.queue
 let competing_requests t = t.competing

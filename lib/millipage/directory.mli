@@ -49,6 +49,25 @@ val enqueue : t -> entry -> queued -> unit
 val dequeue : t -> entry -> queued option
 val peek : entry -> queued option
 
+(** {2 Idempotence under retransmission}
+
+    With the reliable transport active, a retransmitted request can reach the
+    manager again after the original was already accepted (the transport
+    dedupes per-channel sequence numbers, but a sender-side timeout can refire
+    after a slow but undropped delivery).  The manager keeps every accepted
+    request id so duplicates are suppressed instead of double-served. *)
+
+val note_request : t -> req_id:int -> bool
+(** [true] the first time [req_id] is seen (caller should serve it), [false]
+    on any later sighting (caller must drop the duplicate). *)
+
+val mark_completed : t -> req_id:int -> unit
+(** Record that [req_id]'s whole operation (through its final ack) is done. *)
+
+val completed : t -> req_id:int -> bool
+(** Whether [req_id] completed; stale acks for completed requests are
+    tolerated rather than fatal. *)
+
 val competing_requests : t -> int
 (** Total number of requests that ever had to queue behind an in-flight one
     (the quantity reported in §4.4 / Figure 7). *)

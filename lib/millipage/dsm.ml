@@ -14,6 +14,11 @@ module Config = struct
     cost : Cost_model.t;
     polling : Polling.mode;
     seed : int;
+    faults : Fabric.faults;
+    net_seed : int;
+    rto_us : float;
+    rto_backoff : float;
+    max_retries : int;
   }
 
   let default =
@@ -25,6 +30,14 @@ module Config = struct
       cost = Cost_model.default;
       polling = Polling.nt_mode;
       seed = 1;
+      faults = Fabric.no_faults;
+      net_seed = 9;
+      (* The retransmission timeout must exceed the worst case of two
+         busy-host sweeper pickups (~1.6 ms each under NT polling) plus wire
+         time, or slow-but-delivered packets get retransmitted en masse. *)
+      rto_us = 5000.0;
+      rto_backoff = 2.0;
+      max_retries = 12;
     }
 end
 
@@ -58,10 +71,27 @@ type host_state = {
 
 type lock_state = { mutable held : bool; lock_queue : int Queue.t }
 
+(* Hop-by-hop reliable transport (active only on a faulty fabric).  Each
+   (src, dst) channel numbers its Data packets; the receiver acks every one
+   with a Tack and resequences out-of-order arrivals, so the protocol above
+   still sees exactly-once FIFO delivery — FastMessages semantics restored
+   over a lossy wire.  End-to-end request retry would not be enough: a lost
+   write Reply_data carries the only copy of the data (the supplier has
+   already downgraded), so the wire itself must not lose it. *)
+type tx_entry = { mutable tries : int; tx_bytes : int; tx_body : Proto.body }
+
+type transport = {
+  tx_next : int array;  (* per channel: next sequence number to assign *)
+  rx_next : int array;  (* per channel: next sequence number to deliver *)
+  tx_unacked : (int * int, tx_entry) Hashtbl.t;  (* (chan, seq) *)
+  rx_hold : (int * int, Proto.body) Hashtbl.t;  (* out-of-order arrivals *)
+}
+
 type t = {
   engine : Engine.t;
   config : Config.t;
-  fabric : Proto.body Fabric.t;
+  fabric : Proto.packet Fabric.t;
+  transport : transport option;
   host_states : host_state array;
   allocator : Allocator.t;
   dir : Directory.t;
@@ -108,8 +138,6 @@ let protect_info _t (h : host_state) (info : Proto.info) prot =
 
 let set_prot_cost t info = t.config.cost.set_prot_us *. float_of_int (n_vpages t info)
 
-let send t ~src ~dst ~bytes body = Fabric.send t.fabric ~src ~dst ~bytes body
-
 module Obs = Mp_obs.Recorder
 
 (* [Trace.t] is the observability recorder, so the string-trace shim and the
@@ -122,6 +150,41 @@ let obs_access = function
   | Proto.Write -> Mp_obs.Event.Write
 
 let header t = t.config.cost.header_bytes
+let chan_of t ~src ~dst = (src * hosts t) + dst
+
+(* Re-arm the per-packet retransmission timer: while (chan, seq) is unacked,
+   resend with exponential backoff; give up (the run is unrecoverable, e.g.
+   the loss rate is ~1) after [max_retries]. *)
+let rec transport_arm t tr ~chan ~src ~dst ~seq ~timeout =
+  Engine.schedule t.engine ~at:(Engine.now t.engine +. timeout) (fun () ->
+      match Hashtbl.find_opt tr.tx_unacked (chan, seq) with
+      | None -> () (* acked in the meantime *)
+      | Some e ->
+        e.tries <- e.tries + 1;
+        if e.tries > t.config.max_retries then
+          failwith
+            (Printf.sprintf
+               "millipage transport: h%d -> h%d seq %d lost after %d \
+                retransmissions"
+               src dst seq t.config.max_retries);
+        Stats.Counters.incr t.counters "transport.retransmits";
+        Obs.retransmit (obs t) ~time:(rnow t) ~host:src ~dst ~seq ~attempt:e.tries
+          ~label:(Proto.describe e.tx_body);
+        Fabric.send t.fabric ~src ~dst ~bytes:e.tx_bytes
+          (Proto.Data { seq; body = e.tx_body });
+        transport_arm t tr ~chan ~src ~dst ~seq
+          ~timeout:(timeout *. t.config.rto_backoff))
+
+let send t ~src ~dst ~bytes body =
+  match t.transport with
+  | None -> Fabric.send t.fabric ~src ~dst ~bytes (Proto.Data { seq = 0; body })
+  | Some tr ->
+    let chan = chan_of t ~src ~dst in
+    let seq = tr.tx_next.(chan) in
+    tr.tx_next.(chan) <- seq + 1;
+    Hashtbl.replace tr.tx_unacked (chan, seq) { tries = 0; tx_bytes = bytes; tx_body = body };
+    Fabric.send t.fabric ~src ~dst ~bytes (Proto.Data { seq; body });
+    transport_arm t tr ~chan ~src ~dst ~seq ~timeout:t.config.rto_us
 
 (* ------------------------------------------------------------------ *)
 (* Manager: directory-side protocol (runs in host 0's server process)  *)
@@ -258,10 +321,10 @@ let rec manager_drain_queue t (e : Directory.entry) =
     manager_drain_queue t e
   | Some _ | None -> ()
 
-let manager_inval_reply t ~mp_id ~from =
+let manager_inval_reply t ~req_id ~mp_id ~from =
   let e = Directory.entry t.dir ~mp_id in
   match e.pending with
-  | Directory.Write_waiting_invals w ->
+  | Directory.Write_waiting_invals w when w.req_id = req_id ->
     w.missing <- w.missing - 1;
     Obs.inval_ack (obs t) ~time:(rnow t) ~host:manager ~span:w.req_id ~mp_id ~from
       ~last:(w.missing = 0);
@@ -270,22 +333,40 @@ let manager_inval_reply t ~mp_id ~from =
       let supplier = if upgrade then None else Some (choose_supplier e ~from:w.from) in
       proceed_write t e ~req_id:w.req_id ~from:w.from ~supplier
     end
-  | _ -> failwith "millipage: unexpected INVALIDATE_REPLY"
+  | _ ->
+    (* stale: the write this inval belonged to already went through *)
+    if Directory.completed t.dir ~req_id then begin
+      Stats.Counters.incr t.counters "manager.stale_inval_replies";
+      Obs.dup_suppressed (obs t) ~time:(rnow t) ~host:manager ~span:req_id
+        ~src:from ~seq:(-1)
+        ~label:(Printf.sprintf "INVALIDATE_REPLY(mp%d)" mp_id) ()
+    end
+    else failwith "millipage: unexpected INVALIDATE_REPLY"
 
 let manager_ack t ~req_id ~mp_id ~from =
   let e = Directory.entry t.dir ~mp_id in
-  Obs.ack (obs t) ~time:(rnow t) ~host:manager ~span:req_id ~mp_id ~from;
-  (match e.pending with
-  | Directory.Reads_in_flight r ->
-    e.copyset <- Host_set.add from e.copyset;
-    r.count <- r.count - 1;
-    if r.count = 0 then e.pending <- Directory.No_op
-  | Directory.Write_in_flight { from = f; _ } when f = from ->
-    e.copyset <- Host_set.singleton from;
-    e.owner <- from;
-    e.pending <- Directory.No_op
-  | _ -> failwith "millipage: unexpected ACK");
-  manager_drain_queue t e
+  if Directory.completed t.dir ~req_id then begin
+    (* a retransmitted ack for an operation that already closed: tolerate *)
+    Stats.Counters.incr t.counters "manager.stale_acks";
+    Obs.dup_suppressed (obs t) ~time:(rnow t) ~host:manager ~span:req_id ~src:from
+      ~seq:(-1)
+      ~label:(Printf.sprintf "ACK(mp%d)" mp_id) ()
+  end
+  else begin
+    Obs.ack (obs t) ~time:(rnow t) ~host:manager ~span:req_id ~mp_id ~from;
+    (match e.pending with
+    | Directory.Reads_in_flight r ->
+      e.copyset <- Host_set.add from e.copyset;
+      r.count <- r.count - 1;
+      if r.count = 0 then e.pending <- Directory.No_op
+    | Directory.Write_in_flight { from = f; _ } when f = from ->
+      e.copyset <- Host_set.singleton from;
+      e.owner <- from;
+      e.pending <- Directory.No_op
+    | _ -> failwith "millipage: unexpected ACK");
+    Directory.mark_completed t.dir ~req_id;
+    manager_drain_queue t e
+  end
 
 let manager_push_ack t ~mp_id =
   let e = Directory.entry t.dir ~mp_id in
@@ -580,15 +661,25 @@ let host_push_complete (h : host_state) ~req_id =
 (* Message dispatch                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let on_message t (h : host_state) (m : Proto.body Fabric.msg) =
+let dispatch t (h : host_state) (body : Proto.body) =
   let cost = t.config.cost in
-  match m.Fabric.body with
+  match body with
   | Proto.Request { req_id; from; access; addr } ->
     Engine.delay cost.dispatch_us;
-    manager_submit t (Directory.Q_request { req_id; from; access; addr })
-  | Proto.Invalidate_reply { req_id = _; mp_id; from } ->
+    (* a retransmitted request that was already accepted must not be served
+       twice — dedupe by its globally unique id *)
+    if Directory.note_request t.dir ~req_id then
+      manager_submit t (Directory.Q_request { req_id; from; access; addr })
+    else begin
+      Stats.Counters.incr t.counters "manager.dup_requests";
+      Obs.dup_suppressed (obs t) ~time:(rnow t) ~host:h.id ~span:req_id ~src:from
+        ~seq:(-1)
+        ~label:(Printf.sprintf "REQUEST(%s @%d)" (Proto.access_to_string access) addr)
+        ()
+    end
+  | Proto.Invalidate_reply { req_id; mp_id; from } ->
     Engine.delay cost.sync_dispatch_us;
-    manager_inval_reply t ~mp_id ~from
+    manager_inval_reply t ~req_id ~mp_id ~from
   | Proto.Ack { req_id; mp_id; from } ->
     Engine.delay cost.sync_dispatch_us;
     manager_ack t ~req_id ~mp_id ~from
@@ -650,6 +741,47 @@ let on_message t (h : host_state) (m : Proto.body Fabric.msg) =
   | Proto.Group_ack { req_id = _; from; mp_ids } ->
     Engine.delay cost.sync_dispatch_us;
     manager_group_ack t ~from ~mp_ids
+
+(* Transport receive: unwrap packets, ack and resequence on a faulty fabric.
+   Every Data is Tack'ed (even duplicates — the original Tack may itself have
+   been dropped); delivery to [dispatch] is strictly in sequence order, so
+   the protocol handlers above never see loss, duplication or reordering. *)
+let on_message t (h : host_state) (m : Proto.packet Fabric.msg) =
+  match t.transport with
+  | None -> (
+    match m.Fabric.body with
+    | Proto.Data { body; _ } -> dispatch t h body
+    | Proto.Tack _ -> failwith "millipage: TACK on a reliable fabric")
+  | Some tr -> (
+    match m.Fabric.body with
+    | Proto.Tack { seq } ->
+      Engine.delay t.config.cost.sync_dispatch_us;
+      (* acks our own transmission on the reverse channel h.id -> m.src *)
+      Hashtbl.remove tr.tx_unacked (chan_of t ~src:h.id ~dst:m.src, seq)
+    | Proto.Data { seq; body } ->
+      let chan = chan_of t ~src:m.src ~dst:h.id in
+      Fabric.send t.fabric ~src:h.id ~dst:m.src ~bytes:(header t)
+        (Proto.Tack { seq });
+      if seq < tr.rx_next.(chan) || Hashtbl.mem tr.rx_hold (chan, seq) then begin
+        Stats.Counters.incr t.counters "transport.dups_suppressed";
+        Obs.dup_suppressed (obs t) ~time:(rnow t) ~host:h.id ~src:m.src ~seq
+          ~label:(Proto.describe body) ()
+      end
+      else begin
+        Hashtbl.replace tr.rx_hold (chan, seq) body;
+        (* deliver the contiguous run now available, in order *)
+        let rec drain () =
+          let next = tr.rx_next.(chan) in
+          match Hashtbl.find_opt tr.rx_hold (chan, next) with
+          | Some body ->
+            Hashtbl.remove tr.rx_hold (chan, next);
+            tr.rx_next.(chan) <- next + 1;
+            dispatch t h body;
+            drain ()
+          | None -> ()
+        in
+        drain ()
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* Faulting-thread side                                                *)
@@ -729,7 +861,19 @@ let on_fault t (h : host_state) (f : Vm.fault) =
 let create engine ~hosts:nhosts ?(config = Config.default) () =
   if nhosts <= 0 then invalid_arg "Dsm.create: hosts";
   let fabric =
-    Fabric.create engine ~hosts:nhosts ~polling:config.polling ~seed:config.seed ()
+    Fabric.create engine ~hosts:nhosts ~polling:config.polling ~seed:config.seed
+      ~faults:config.faults ~fault_seed:config.net_seed ()
+  in
+  let transport =
+    if Fabric.faulty fabric then
+      Some
+        {
+          tx_next = Array.make (nhosts * nhosts) 0;
+          rx_next = Array.make (nhosts * nhosts) 0;
+          tx_unacked = Hashtbl.create 64;
+          rx_hold = Hashtbl.create 64;
+        }
+    else None
   in
   let mk_host id =
     let obj = Memobject.create ~page_size:config.page_size ~size:config.object_size () in
@@ -755,6 +899,7 @@ let create engine ~hosts:nhosts ?(config = Config.default) () =
       engine;
       config;
       fabric;
+      transport;
       host_states = Array.init nhosts mk_host;
       allocator =
         Allocator.create ~chunking:config.chunking ~page_size:config.page_size
@@ -772,7 +917,7 @@ let create engine ~hosts:nhosts ?(config = Config.default) () =
       started = false;
     }
   in
-  Fabric.attach_obs fabric ~obs:t.trace ~describe:Proto.describe;
+  Fabric.attach_obs fabric ~obs:t.trace ~describe:Proto.describe_packet;
   Array.iter
     (fun h ->
       Vm.set_fault_handler h.vm (fun f -> on_fault t h f);
@@ -1017,3 +1162,9 @@ let views_used t = Allocator.views_used t.allocator
 let counters t = t.counters
 let trace t = t.trace
 let max_queue_depth t = Directory.max_queue_depth t.dir
+let faulty t = Fabric.faulty t.fabric
+let retransmits t = Stats.Counters.get t.counters "transport.retransmits"
+let dups_suppressed t = Stats.Counters.get t.counters "transport.dups_suppressed"
+let net_dropped t = Stats.Counters.get (Fabric.counters t.fabric) "net.dropped"
+let net_duplicated t = Stats.Counters.get (Fabric.counters t.fabric) "net.duplicated"
+let net_reordered t = Stats.Counters.get (Fabric.counters t.fabric) "net.reordered"

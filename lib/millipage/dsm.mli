@@ -25,11 +25,23 @@ module Config : sig
     cost : Cost_model.t;
     polling : Mp_net.Polling.mode;
     seed : int;
+    faults : Mp_net.Fabric.faults;
+        (** network fault injection; {!Mp_net.Fabric.no_faults} (the default)
+            keeps the fabric's reliable FM semantics bit-for-bit *)
+    net_seed : int;  (** seed of the fault-injection RNG root *)
+    rto_us : float;
+        (** initial transport retransmission timeout (µs); only meaningful
+            with faults active *)
+    rto_backoff : float;  (** timeout multiplier per retry *)
+    max_retries : int;
+        (** retransmissions per packet before the run is declared
+            unrecoverable ([Failure]) *)
   }
 
   val default : t
   (** 32 views, 16 MB object, 4 KB pages, no chunking, Table 1 costs,
-      NT-timer polling. *)
+      NT-timer polling, no faults (RTO 5 ms ×2 up to 12 retries when
+      enabled). *)
 end
 
 val create : Mp_sim.Engine.t -> hosts:int -> ?config:Config.t -> unit -> t
@@ -144,3 +156,21 @@ val obs : t -> Mp_obs.Recorder.t
 val max_queue_depth : t -> int
 (** High-water mark of requests queued at the manager behind in-flight
     operations. *)
+
+(** {2 Fault injection and reliable transport}
+
+    When {!Config.t.faults} enables any fault, protocol bodies travel in
+    sequence-numbered {!Proto.packet}s under a hop-by-hop ARQ: every Data is
+    acknowledged with a Tack, unacknowledged packets are retransmitted with
+    exponential backoff, and receivers resequence and dedupe so the protocol
+    still sees exactly-once FIFO delivery.  All of it is inert on a reliable
+    fabric. *)
+
+val faulty : t -> bool
+val retransmits : t -> int
+val dups_suppressed : t -> int
+
+val net_dropped : t -> int
+val net_duplicated : t -> int
+val net_reordered : t -> int
+(** Faults the fabric actually injected during the run. *)

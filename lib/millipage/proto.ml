@@ -26,6 +26,13 @@ type body =
   | Group_data of { req_id : int; members : (info * bytes) list }
   | Group_ack of { req_id : int; from : int; mp_ids : int list }
 
+(* Wire packets: protocol bodies travel inside [Data] with a per-channel
+   sequence number so the reliable-transport layer in [Dsm] can detect loss,
+   duplication and reordering; [Tack] is its transport-level acknowledgement.
+   On a fault-free fabric the transport is inert and every body is sent as
+   [Data { seq = 0; _ }]. *)
+type packet = Data of { seq : int; body : body } | Tack of { seq : int }
+
 let access_to_string = function Read -> "read" | Write -> "write"
 
 let describe = function
@@ -56,3 +63,9 @@ let describe = function
   | Group_data { members; _ } ->
     Printf.sprintf "GROUP_DATA(%d minipages)" (List.length members)
   | Group_ack { mp_ids; _ } -> Printf.sprintf "GROUP_ACK(%d minipages)" (List.length mp_ids)
+
+(* Data packets keep the bare body label so fault-free traces are identical
+   with or without the transport wrapper. *)
+let describe_packet = function
+  | Data { body; _ } -> describe body
+  | Tack { seq } -> Printf.sprintf "TACK(s%d)" seq

@@ -52,6 +52,20 @@ type body =
       (** replica → fetching host: all requested minipages, gathered *)
   | Group_ack of { req_id : int; from : int; mp_ids : int list }
 
+(** What actually travels on the fabric: a protocol body stamped with the
+    sending channel's sequence number, or a transport-level acknowledgement.
+    The sequence numbers drive the hop-by-hop retransmission layer in {!Dsm}
+    that restores FastMessages semantics over a faulty fabric; on a reliable
+    fabric the transport is inert and [seq] is always 0. *)
+type packet =
+  | Data of { seq : int; body : body }
+  | Tack of { seq : int }  (** transport ack: "I have received [seq]" *)
+
 val access_to_string : access -> string
+
 val describe : body -> string
 (** Short tag for logging/debugging. *)
+
+val describe_packet : packet -> string
+(** [Data] packets render as their body ({!describe}), so fault-free traces
+    are unchanged by the transport wrapper; [Tack]s render as ["TACK(s<n>)"]. *)

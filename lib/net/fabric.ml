@@ -3,6 +3,23 @@ open Mp_sim
 
 type 'a msg = { src : int; dst : int; bytes : int; body : 'a }
 
+type faults = {
+  drop : float;  (* P(a copy is discarded on the wire) *)
+  duplicate : float;  (* P(a second copy is delivered) *)
+  reorder : float;  (* P(a message escapes the FIFO clamp) *)
+  jitter_us : float;  (* extra uniform latency in [0, jitter_us) *)
+}
+
+let no_faults = { drop = 0.0; duplicate = 0.0; reorder = 0.0; jitter_us = 0.0 }
+
+let faults_active f =
+  f.drop > 0.0 || f.duplicate > 0.0 || f.reorder > 0.0 || f.jitter_us > 0.0
+
+(* Minimum spacing between consecutive arrivals on one (src, dst) channel:
+   the FIFO clamp adds it to the previous arrival, and duplicate injection
+   uses it to keep the ghost copy strictly behind the original. *)
+let fifo_spacing_us = 0.001
+
 type 'a node = {
   id : int;
   ready : 'a msg Queue.t;
@@ -11,6 +28,9 @@ type 'a node = {
   polling : Polling.t;
   mutable busy : bool;
   mutable pending_poll : float;  (* earliest scheduled wake; infinity when none *)
+  mutable poll_gen : int;  (* arms outstanding timers; stale ones no-op *)
+  handled_key : string;  (* precomputed counter keys (hot path) *)
+  send_key : string;
 }
 
 type 'a t = {
@@ -19,14 +39,22 @@ type 'a t = {
   latency : bytes:int -> float;
   chan_last : float array;  (* per (src,dst) last arrival, for FIFO *)
   counters : Stats.Counters.t;
+  faults : faults;
+  fault_rngs : Prng.t array option;  (* per (src,dst); None when fault-free *)
   mutable obs : (Mp_obs.Recorder.t * ('a -> string)) option;
 }
 
 let default_latency ~bytes = 11.4 +. (0.0196 *. float_of_int bytes)
 
 let create engine ~hosts ?(latency = default_latency) ?(poll_idle_us = 2.0)
-    ?(polling = Polling.nt_mode) ?(seed = 1) () =
+    ?(polling = Polling.nt_mode) ?(seed = 1) ?(faults = no_faults)
+    ?(fault_seed = 9) () =
   if hosts <= 0 then invalid_arg "Fabric.create: hosts";
+  if
+    faults.drop < 0.0 || faults.drop >= 1.0 || faults.duplicate < 0.0
+    || faults.duplicate > 1.0 || faults.reorder < 0.0 || faults.reorder > 1.0
+    || faults.jitter_us < 0.0
+  then invalid_arg "Fabric.create: faults";
   let root_rng = Prng.create ~seed in
   let node id =
     {
@@ -37,7 +65,20 @@ let create engine ~hosts ?(latency = default_latency) ?(poll_idle_us = 2.0)
       polling = Polling.create polling ~poll_idle_us ~rng:(Prng.split root_rng);
       busy = false;
       pending_poll = infinity;
+      poll_gen = 0;
+      handled_key = Printf.sprintf "handled.h%d" id;
+      send_key = Printf.sprintf "send.count.h%d" id;
     }
+  in
+  (* The fault RNGs come from a separate root so that enabling faults never
+     perturbs the polling streams, and each channel gets its own split so a
+     channel's fault schedule is independent of traffic elsewhere. *)
+  let fault_rngs =
+    if faults_active faults then begin
+      let fault_root = Prng.create ~seed:fault_seed in
+      Some (Array.init (hosts * hosts) (fun _ -> Prng.split fault_root))
+    end
+    else None
   in
   let t =
     {
@@ -46,6 +87,8 @@ let create engine ~hosts ?(latency = default_latency) ?(poll_idle_us = 2.0)
       latency;
       chan_last = Array.make (hosts * hosts) neg_infinity;
       counters = Stats.Counters.create ();
+      faults;
+      fault_rngs;
       obs = None;
     }
   in
@@ -68,7 +111,7 @@ let create engine ~hosts ?(latency = default_latency) ?(poll_idle_us = 2.0)
                 (match n.handler with
                 | Some h -> h m
                 | None -> failwith "Fabric: message for host without handler");
-                Stats.Counters.incr t.counters (Printf.sprintf "handled.h%d" n.id);
+                Stats.Counters.incr t.counters n.handled_key;
                 drain ()
               | None -> ()
             in
@@ -83,6 +126,7 @@ let attach_obs t ~obs ~describe = t.obs <- Some (obs, describe)
 
 let hosts t = Array.length t.nodes
 let engine t = t.engine
+let faulty t = t.fault_rngs <> None
 
 let node t host =
   if host < 0 || host >= Array.length t.nodes then invalid_arg "Fabric: bad host";
@@ -94,35 +138,107 @@ let schedule_poll t n ~arrival =
   let pt = Polling.next_poll_time n.polling ~now:arrival ~busy:n.busy in
   if n.pending_poll <= Engine.now t.engine || n.pending_poll > pt then begin
     n.pending_poll <- pt;
+    (* Each arm bumps the generation; a timer whose generation is stale was
+       superseded by an earlier poll and must not signal the auto-reset wake
+       event (a spurious set would satisfy the server's next wait for free). *)
+    n.poll_gen <- n.poll_gen + 1;
+    let gen = n.poll_gen in
     Engine.schedule t.engine ~at:pt (fun () ->
-        if n.pending_poll <= Engine.now t.engine then n.pending_poll <- infinity;
-        (match t.obs with
-        | Some (obs, _) when n.busy ->
-          Mp_obs.Recorder.sweeper_wake obs ~time:(Engine.now t.engine) ~host:n.id
-        | _ -> ());
-        Sync.Event.set n.wake)
+        if gen = n.poll_gen then begin
+          n.pending_poll <- infinity;
+          (match t.obs with
+          | Some (obs, _) when n.busy ->
+            Mp_obs.Recorder.sweeper_wake obs ~time:(Engine.now t.engine) ~host:n.id
+          | _ -> ());
+          Sync.Event.set n.wake
+        end)
   end
+
+let deliver t (dst_node : 'a node) m ~at =
+  Engine.schedule t.engine ~at (fun () ->
+      Queue.add m dst_node.ready;
+      schedule_poll t dst_node ~arrival:(Engine.now t.engine))
 
 let send t ~src ~dst ~bytes body =
   if bytes < 0 then invalid_arg "Fabric.send: negative size";
   let dst_node = node t dst in
-  let _ = node t src in
+  let src_node = node t src in
   Stats.Counters.incr t.counters "send.count";
   Stats.Counters.add t.counters "send.bytes" bytes;
-  Stats.Counters.incr t.counters (Printf.sprintf "send.count.h%d" src);
+  Stats.Counters.incr t.counters src_node.send_key;
+  let now = Engine.now t.engine in
   (match t.obs with
   | Some (obs, describe) ->
-    Mp_obs.Recorder.msg_send obs ~time:(Engine.now t.engine) ~host:src ~dst ~bytes
+    Mp_obs.Recorder.msg_send obs ~time:now ~host:src ~dst ~bytes
       ~label:(describe body)
   | None -> ());
-  let now = Engine.now t.engine in
   let chan = (src * Array.length t.nodes) + dst in
-  let arrival = Float.max (now +. t.latency ~bytes) (t.chan_last.(chan) +. 0.001) in
-  t.chan_last.(chan) <- arrival;
   let m = { src; dst; bytes; body } in
-  Engine.schedule t.engine ~at:arrival (fun () ->
-      Queue.add m dst_node.ready;
-      schedule_poll t dst_node ~arrival:(Engine.now t.engine))
+  match t.fault_rngs with
+  | None ->
+    (* reliable FIFO: clamp behind the channel's previous arrival *)
+    let arrival =
+      Float.max (now +. t.latency ~bytes) (t.chan_last.(chan) +. fifo_spacing_us)
+    in
+    t.chan_last.(chan) <- arrival;
+    deliver t dst_node m ~at:arrival
+  | Some rngs ->
+    let f = t.faults and rng = rngs.(chan) in
+    let label () =
+      match t.obs with Some (_, describe) -> describe body | None -> ""
+    in
+    (* Fixed draw order per send (jitter, reorder, duplicate, then one drop
+       draw per copy) keeps the schedule a deterministic function of
+       (fault_seed, channel, send sequence). *)
+    let jitter = if f.jitter_us > 0.0 then Prng.float rng f.jitter_us else 0.0 in
+    let base = now +. t.latency ~bytes +. jitter in
+    let reordered =
+      f.reorder > 0.0
+      && Prng.float rng 1.0 < f.reorder
+      && base < t.chan_last.(chan) +. fifo_spacing_us
+    in
+    let arrival =
+      if reordered then begin
+        (* escape the FIFO clamp: arrive at raw latency, overtaking queued
+           traffic, and leave chan_last alone so later sends are unaffected *)
+        Stats.Counters.incr t.counters "net.reordered";
+        (match t.obs with
+        | Some (obs, _) ->
+          Mp_obs.Recorder.net_reorder obs ~time:now ~host:src ~dst ~label:(label ())
+        | None -> ());
+        base
+      end
+      else begin
+        let a = Float.max base (t.chan_last.(chan) +. fifo_spacing_us) in
+        t.chan_last.(chan) <- a;
+        a
+      end
+    in
+    let copies =
+      if f.duplicate > 0.0 && Prng.float rng 1.0 < f.duplicate then begin
+        Stats.Counters.incr t.counters "net.duplicated";
+        (match t.obs with
+        | Some (obs, _) ->
+          Mp_obs.Recorder.net_dup obs ~time:now ~host:src ~dst ~label:(label ())
+        | None -> ());
+        2
+      end
+      else 1
+    in
+    for copy = 0 to copies - 1 do
+      let dropped = f.drop > 0.0 && Prng.float rng 1.0 < f.drop in
+      if dropped then begin
+        Stats.Counters.incr t.counters "net.dropped";
+        match t.obs with
+        | Some (obs, _) ->
+          Mp_obs.Recorder.net_drop obs ~time:now ~host:src ~dst ~bytes
+            ~label:(label ())
+        | None -> ()
+      end
+      else
+        (* the ghost copy trails the original without advancing the clamp *)
+        deliver t dst_node m ~at:(arrival +. (float_of_int copy *. fifo_spacing_us))
+    done
 
 let set_busy t ~host b =
   let n = node t host in

@@ -12,9 +12,33 @@
     its sweeper tick (see {!Polling}).
 
     The message body is a type parameter; [bytes] is the simulated wire size
-    used for cost accounting. *)
+    used for cost accounting.
+
+    An optional seeded fault-injection layer ({!faults}) can drop, duplicate,
+    reorder and jitter messages per (src, dst) channel — off by default, in
+    which case delivery keeps the exact FM guarantees above. *)
 
 type 'a msg = { src : int; dst : int; bytes : int; body : 'a }
+
+type faults = {
+  drop : float;  (** probability a copy is discarded on the wire, [0, 1) *)
+  duplicate : float;  (** probability a second copy is delivered *)
+  reorder : float;
+      (** probability a message escapes the per-channel FIFO clamp and may
+          overtake earlier traffic *)
+  jitter_us : float;  (** extra uniform latency in [0, jitter_us) µs *)
+}
+
+val no_faults : faults
+(** All zero — the default: bit-for-bit identical behavior to a fabric built
+    without fault parameters. *)
+
+val faults_active : faults -> bool
+
+val fifo_spacing_us : float
+(** Minimum spacing between consecutive arrivals on one (src, dst) channel
+    (the FIFO clamp); duplicate injection also uses it to keep the ghost copy
+    strictly behind the original. *)
 
 type 'a t
 
@@ -25,10 +49,17 @@ val create :
   ?poll_idle_us:float ->
   ?polling:Polling.mode ->
   ?seed:int ->
+  ?faults:faults ->
+  ?fault_seed:int ->
   unit ->
   'a t
 (** Defaults: the FM latency fit [11.4 µs + 0.0196 µs/byte], 2 µs idle-poll
-    pickup, {!Polling.nt_mode}, seed 1. *)
+    pickup, {!Polling.nt_mode}, seed 1, {!no_faults}, fault seed 9.
+
+    Fault injection draws from a dedicated RNG root split per (src, dst)
+    channel, so the schedule is deterministic in [fault_seed] and independent
+    of the polling streams — enabling faults never perturbs fault-free
+    timing machinery.  Raises [Invalid_argument] on out-of-range rates. *)
 
 val default_latency : bytes:int -> float
 
@@ -51,9 +82,13 @@ val set_busy : 'a t -> host:int -> bool -> unit
 
 val busy : 'a t -> host:int -> bool
 
+val faulty : 'a t -> bool
+(** Whether this fabric was created with any fault injection enabled. *)
+
 val counters : 'a t -> Mp_util.Stats.Counters.t
-(** ["send.count"], ["send.bytes"], ["send.count.h<i>"], and
-    ["handled.h<i>"]. *)
+(** ["send.count"], ["send.bytes"], ["send.count.h<i>"], ["handled.h<i>"];
+    with fault injection also ["net.dropped"], ["net.duplicated"],
+    ["net.reordered"]. *)
 
 val queue_depth : 'a t -> host:int -> int
 (** Messages arrived but not yet handled (for tests). *)

@@ -29,6 +29,11 @@ type kind =
   | Prefetch of { access : access; addr : int }
   | Msg_send of { dst : int; bytes : int; label : string }
   | Msg_recv of { src : int; bytes : int; label : string }
+  | Net_drop of { dst : int; bytes : int; label : string }
+  | Net_dup of { dst : int; label : string }
+  | Net_reorder of { dst : int; label : string }
+  | Retransmit of { dst : int; seq : int; attempt : int; label : string }
+  | Dup_suppressed of { src : int; seq : int; label : string }
   | Sweeper_wake
   | Proc_block of { proc : string; on : string }
   | Proc_resume of { proc : string }
@@ -57,6 +62,11 @@ let kind_name = function
   | Prefetch _ -> "PREFETCH"
   | Msg_send _ -> "SEND"
   | Msg_recv _ -> "RECV"
+  | Net_drop _ -> "NET_DROP"
+  | Net_dup _ -> "NET_DUP"
+  | Net_reorder _ -> "NET_REORDER"
+  | Retransmit _ -> "RETRANSMIT"
+  | Dup_suppressed _ -> "DUP_SUPPRESSED"
   | Sweeper_wake -> "SWEEPER"
   | Proc_block _ -> "BLOCK"
   | Proc_resume _ -> "RESUME"
@@ -87,6 +97,15 @@ let detail = function
   | Msg_send { dst; bytes; label } -> Printf.sprintf "%s -> h%d (%d bytes)" label dst bytes
   | Msg_recv { src; bytes; label } ->
     Printf.sprintf "%s from h%d (%d bytes)" label src bytes
+  | Net_drop { dst; bytes; label } ->
+    Printf.sprintf "%s -> h%d (%d bytes) dropped" label dst bytes
+  | Net_dup { dst; label } -> Printf.sprintf "%s -> h%d duplicated" label dst
+  | Net_reorder { dst; label } -> Printf.sprintf "%s -> h%d reordered" label dst
+  | Retransmit { dst; seq; attempt; label } ->
+    Printf.sprintf "%s -> h%d s%d (attempt %d)" label dst seq attempt
+  | Dup_suppressed { src; seq; label } ->
+    if seq < 0 then Printf.sprintf "%s from h%d" label src
+    else Printf.sprintf "%s from h%d s%d" label src seq
   | Sweeper_wake -> ""
   | Proc_block { proc; on } -> Printf.sprintf "%s on %s" proc on
   | Proc_resume { proc } -> proc

@@ -38,6 +38,17 @@ type kind =
   | Prefetch of { access : access; addr : int }
   | Msg_send of { dst : int; bytes : int; label : string }
   | Msg_recv of { src : int; bytes : int; label : string }
+  | Net_drop of { dst : int; bytes : int; label : string }
+      (** Fault injection discarded this message on the wire. *)
+  | Net_dup of { dst : int; label : string }
+      (** Fault injection delivered a second copy of this message. *)
+  | Net_reorder of { dst : int; label : string }
+      (** Fault injection let this message overtake earlier traffic. *)
+  | Retransmit of { dst : int; seq : int; attempt : int; label : string }
+      (** Transport timer fired and resent an unacknowledged packet. *)
+  | Dup_suppressed of { src : int; seq : int; label : string }
+      (** Receiver discarded a duplicate/stale packet ([seq < 0]: a
+          protocol-level duplicate suppressed at the manager). *)
   | Sweeper_wake
   | Proc_block of { proc : string; on : string }
   | Proc_resume of { proc : string }

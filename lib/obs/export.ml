@@ -133,6 +133,9 @@ let perfetto_json (events : Event.t list) =
         add (instant ~name ~cat:"net" ~ts:e.time ~pid ~tid:2 ~args)
       | Event.Sweeper_wake ->
         add (instant ~name ~cat:"net" ~ts:e.time ~pid ~tid:2 ~args)
+      | Event.Net_drop _ | Event.Net_dup _ | Event.Net_reorder _
+      | Event.Retransmit _ | Event.Dup_suppressed _ ->
+        add (instant ~name ~cat:"net" ~ts:e.time ~pid ~tid:2 ~args)
       | Event.Barrier_enter _ | Event.Barrier_exit _ | Event.Lock_acquire _
       | Event.Lock_grant _ | Event.Lock_release _ ->
         add (instant ~name ~cat:"sync" ~ts:e.time ~pid ~tid:0 ~args)

@@ -15,6 +15,7 @@ let check (events : Event.t list) =
   in
   (* -- request/reply matching ------------------------------------------- *)
   let requested = Hashtbl.create 64 in (* span -> unit *)
+  let replied = Hashtbl.create 64 in (* (span, host) -> unit *)
   (* -- manager queue conservation --------------------------------------- *)
   let queued = ref 0 and dequeued = ref 0 in
   let queue_open = Hashtbl.create 16 in (* span -> unit *)
@@ -32,7 +33,12 @@ let check (events : Event.t list) =
       | Event.Request _ -> Hashtbl.replace requested e.span ()
       | Event.Reply _ ->
         if not (Hashtbl.mem requested e.span) then
-          flag "span %d: REPLY at t=%.1f without a matching REQUEST" e.span e.time
+          flag "span %d: REPLY at t=%.1f without a matching REQUEST" e.span e.time;
+        (* exactly-once: a retransmitted request must not be served twice *)
+        if Hashtbl.mem replied (e.span, e.host) then
+          flag "span %d: duplicate REPLY at h%d t=%.1f (request served twice)"
+            e.span e.host e.time
+        else Hashtbl.replace replied (e.span, e.host) ()
       | Event.Queued _ ->
         incr queued;
         if Hashtbl.mem queue_open e.span then

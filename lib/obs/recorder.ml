@@ -250,6 +250,36 @@ let msg_recv t ~time ~host ~src ~bytes ~label ~queue_depth =
     gauge_set t "net.recv_queue_depth" (float_of_int queue_depth)
   end
 
+let net_drop t ~time ~host ~dst ~bytes ~label =
+  if t.on then begin
+    record t ~time ~host (Event.Net_drop { dst; bytes; label });
+    incr t "net.drops"
+  end
+
+let net_dup t ~time ~host ~dst ~label =
+  if t.on then begin
+    record t ~time ~host (Event.Net_dup { dst; label });
+    incr t "net.dups"
+  end
+
+let net_reorder t ~time ~host ~dst ~label =
+  if t.on then begin
+    record t ~time ~host (Event.Net_reorder { dst; label });
+    incr t "net.reorders"
+  end
+
+let retransmit t ~time ~host ~dst ~seq ~attempt ~label =
+  if t.on then begin
+    record t ~time ~host (Event.Retransmit { dst; seq; attempt; label });
+    incr t "transport.retransmits"
+  end
+
+let dup_suppressed t ~time ~host ?(span = Event.no_span) ~src ~seq ~label () =
+  if t.on then begin
+    record t ~time ~host ~span (Event.Dup_suppressed { src; seq; label });
+    incr t "transport.dups_suppressed"
+  end
+
 let sweeper_wake t ~time ~host =
   if t.on then begin
     record t ~time ~host Event.Sweeper_wake;

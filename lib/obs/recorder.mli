@@ -87,6 +87,24 @@ val msg_recv :
   t -> time:float -> host:int -> src:int -> bytes:int -> label:string ->
   queue_depth:int -> unit
 
+(** {2 Fault injection and reliable transport} *)
+
+val net_drop :
+  t -> time:float -> host:int -> dst:int -> bytes:int -> label:string -> unit
+
+val net_dup : t -> time:float -> host:int -> dst:int -> label:string -> unit
+val net_reorder : t -> time:float -> host:int -> dst:int -> label:string -> unit
+
+val retransmit :
+  t -> time:float -> host:int -> dst:int -> seq:int -> attempt:int ->
+  label:string -> unit
+
+val dup_suppressed :
+  t -> time:float -> host:int -> ?span:int -> src:int -> seq:int ->
+  label:string -> unit -> unit
+(** [seq < 0] marks a protocol-level duplicate (e.g. a retransmitted request
+    deduplicated at the manager by request id, carried in [span]). *)
+
 val sweeper_wake : t -> time:float -> host:int -> unit
 val proc_block : t -> time:float -> proc:string -> on:string -> unit
 val proc_resume : t -> time:float -> proc:string -> unit

@@ -53,7 +53,10 @@ let spawn t ?(name = "proc") f =
       exnc =
         (function
         | Stopped -> finish ()
-        | e -> raise e);
+        | e ->
+          (* a crashing process is still an exit: keep [live] balanced *)
+          finish ();
+          raise e);
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with

@@ -19,4 +19,5 @@ let () =
       ("tab", Test_tab.suite);
       ("properties", Test_properties.suite);
       ("obs", Test_obs.suite);
+      ("faults", Test_faults.suite);
     ]
