@@ -14,6 +14,7 @@ let all_experiments ~full ~fast () =
   Exp_ablation.run ();
   Exp_gms.run ();
   Exp_soak.run ();
+  Exp_crash.run ();
   Bechamel_bench.run ()
 
 let full_flag =
@@ -53,6 +54,10 @@ let soak =
   cmd "soak" "Fault-injection soak: SOR under loss/duplication/reordering"
     Term.(const Exp_soak.run $ const ())
 
+let crash =
+  cmd "crash" "Crash-fault sweep: recovery latency, degradation, heartbeat cost"
+    Term.(const Exp_crash.run $ const ())
+
 let bechamel =
   cmd "bechamel" "Wall-clock microbenchmarks of simulator primitives"
     Term.(const Bechamel_bench.run $ const ())
@@ -71,4 +76,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ table1; costs; fig5; table2; fig6; fig7; ablation; gms; soak; bechamel; all_cmd ]))
+          [ table1; costs; fig5; table2; fig6; fig7; ablation; gms; soak; crash;
+            bechamel; all_cmd ]))

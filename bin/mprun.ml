@@ -57,14 +57,18 @@ module Runner (D : Mp_dsm.Dsm_intf.S) = struct
       A.verify h
     | other -> invalid_arg (Printf.sprintf "unknown app %S (sor|is|water|lu|tsp)" other)
 
-  let report (t : D.t) engine verified =
+  let report (t : D.t) engine verified ~degraded =
     Printf.printf "system:       %s\n" D.name;
     Printf.printf "time:         %.0f us (simulated)\n" (Engine.now engine);
     Printf.printf "read faults:  %d\n" (D.read_faults t);
     Printf.printf "write faults: %d\n" (D.write_faults t);
     Printf.printf "messages:     %d (%d bytes)\n" (D.messages_sent t) (D.bytes_sent t);
-    Printf.printf "result:       %s\n" (if verified then "verified" else "MISMATCH");
-    if not verified then exit 1
+    Printf.printf "result:       %s\n"
+      (if verified then "verified"
+       else if degraded then
+         "degraded (host crashed mid-run; full verification skipped)"
+       else "MISMATCH");
+    if not (verified || degraded) then exit 1
 
   (* The Figure 6 execution-time breakdown, the same table for every system. *)
   let report_breakdown (t : D.t) =
@@ -119,21 +123,82 @@ module Runner (D : Mp_dsm.Dsm_intf.S) = struct
           exit 1
 
   (* Full pipeline: arm the recorder, run the app, print every report. *)
-  let exec (t : D.t) engine app paper (o : Obs_opts.t) ?(extra = fun () -> ()) () =
+  let exec (t : D.t) engine app paper (o : Obs_opts.t) ?(extra = fun () -> ())
+      ?(degraded = fun () -> false) () =
     if Obs_opts.active o then begin
       let obs = D.obs t in
       if Obs_opts.tracing o then Mp_obs.Recorder.set_capacity obs (1 lsl 20);
       Mp_obs.Recorder.set_enabled obs true
     end;
     let ok = run t app paper in
-    report t engine ok;
+    report t engine ok ~degraded:(degraded ());
     extra ();
     report_breakdown t;
     if Obs_opts.active o then report_obs t o
 end
 
+(* ---------------- crash-fault flags (millipage only) ------------------- *)
+
+let parse_crash_specs specs ~hosts ~seed ~horizon =
+  let rng = Mp_util.Prng.create ~seed in
+  List.concat_map
+    (fun spec ->
+      match String.split_on_char '@' spec with
+      | [ h; t ] -> (
+        match (int_of_string_opt h, float_of_string_opt t) with
+        | Some h, Some t -> [ (h, t) ]
+        | _ -> invalid_arg (Printf.sprintf "bad --crash %S (host@time or rand:p)" spec))
+      | [ r ] when String.length r > 5 && String.sub r 0 5 = "rand:" -> (
+        match float_of_string_opt (String.sub r 5 (String.length r - 5)) with
+        | Some p when p >= 0.0 && p <= 1.0 ->
+          List.filter_map
+            (fun h ->
+              if Mp_util.Prng.float rng 1.0 < p then
+                Some (h, Mp_util.Prng.float rng horizon)
+              else None)
+            (List.init (hosts - 1) (fun i -> i + 1))
+        | _ -> invalid_arg (Printf.sprintf "bad --crash %S (rand:p with 0<=p<=1)" spec))
+      | _ -> invalid_arg (Printf.sprintf "bad --crash %S (host@time or rand:p)" spec))
+    specs
+
+let parse_stall_specs specs =
+  List.map
+    (fun spec ->
+      match String.split_on_char '@' spec with
+      | [ h; rest ] -> (
+        match String.split_on_char '+' rest with
+        | [ t; d ] -> (
+          match
+            (int_of_string_opt h, float_of_string_opt t, float_of_string_opt d)
+          with
+          | Some h, Some t, Some d -> (h, t, d)
+          | _ -> invalid_arg (Printf.sprintf "bad --stall %S (host@time+dur)" spec))
+        | _ -> invalid_arg (Printf.sprintf "bad --stall %S (host@time+dur)" spec))
+      | _ -> invalid_arg (Printf.sprintf "bad --stall %S (host@time+dur)" spec))
+    specs
+
+let report_ft (t : Mp_millipage.Dsm.t) =
+  let module D = Mp_millipage.Dsm in
+  let c n = Mp_util.Stats.Counters.get (D.counters t) n in
+  Printf.printf
+    "crash-ft:     %d heartbeat(s); crashed %s; declared dead %s\n"
+    (D.heartbeats_sent t)
+    (match D.crashed_hosts t with
+    | [] -> "none"
+    | l -> String.concat "," (List.map string_of_int l))
+    (match D.declared_dead t with
+    | [] -> "none"
+    | l -> String.concat "," (List.map string_of_int l));
+  if D.declared_dead t <> [] then
+    Printf.printf
+      "recovery:     %d minipage(s) from shadows, %d lost, %d lease(s) \
+       revoked, %d barrier reconfig(s)\n"
+      (D.recovered_minipages t)
+      (List.length (D.lost_minipages t))
+      (D.leases_revoked t) (c "ft.barrier_reconfigs")
+
 let execute app system hosts chunking polling paper trace_out perfetto metrics loss
-    dup reorder net_seed =
+    dup reorder net_seed ft crash stall crash_seed crash_horizon =
   let obs_opts = { Obs_opts.trace_out; perfetto; metrics } in
   let faults =
     { Mp_net.Fabric.no_faults with drop = loss; duplicate = dup; reorder }
@@ -143,6 +208,21 @@ let execute app system hosts chunking polling paper trace_out perfetto metrics l
       (Printf.sprintf
          "fault injection (--loss/--dup/--reorder) requires --system millipage; %s \
           has no reliable transport"
+         system);
+  let crashes =
+    parse_crash_specs crash ~hosts ~seed:crash_seed ~horizon:crash_horizon
+  in
+  let stalls = parse_stall_specs stall in
+  let ft_config =
+    if ft || crashes <> [] || stalls <> [] then
+      Some { Mp_millipage.Dsm.Config.default_ft with crashes; stalls }
+    else None
+  in
+  if ft_config <> None && system <> "millipage" then
+    invalid_arg
+      (Printf.sprintf
+         "crash-fault tolerance (--ft/--crash/--stall) requires --system \
+          millipage; %s has no failure detector"
          system);
   let polling_mode =
     match polling with
@@ -157,7 +237,7 @@ let execute app system hosts chunking polling paper trace_out perfetto metrics l
   in
   let engine = Engine.create () in
   match system with
-  | "millipage" ->
+  | "millipage" -> (
     let config =
       {
         Mp_millipage.Dsm.Config.default with
@@ -165,25 +245,41 @@ let execute app system hosts chunking polling paper trace_out perfetto metrics l
         chunking = chunking_mode;
         faults;
         net_seed;
+        ft = ft_config;
       }
     in
     let t = Mp_millipage.Dsm.create engine ~hosts ~config () in
     let module R = Runner (Mp_dsm.Millipage_impl) in
-    R.exec t engine app paper obs_opts
-      ~extra:(fun () ->
-        Printf.printf "views used:   %d, competing requests: %d\n"
-          (Mp_millipage.Dsm.views_used t)
-          (Mp_millipage.Dsm.competing_requests t);
-        if Mp_millipage.Dsm.faulty t then
-          Printf.printf
-            "net faults:   %d dropped, %d duplicated, %d reordered; %d \
-             retransmits, %d dups suppressed\n"
-            (Mp_millipage.Dsm.net_dropped t)
-            (Mp_millipage.Dsm.net_duplicated t)
-            (Mp_millipage.Dsm.net_reordered t)
-            (Mp_millipage.Dsm.retransmits t)
-            (Mp_millipage.Dsm.dups_suppressed t))
-      ()
+    let exec () =
+      R.exec t engine app paper obs_opts
+        ~extra:(fun () ->
+          Printf.printf "views used:   %d, competing requests: %d\n"
+            (Mp_millipage.Dsm.views_used t)
+            (Mp_millipage.Dsm.competing_requests t);
+          if Mp_millipage.Dsm.faulty t then
+            Printf.printf
+              "net faults:   %d dropped, %d duplicated, %d reordered; %d \
+               retransmits, %d dups suppressed\n"
+              (Mp_millipage.Dsm.net_dropped t)
+              (Mp_millipage.Dsm.net_duplicated t)
+              (Mp_millipage.Dsm.net_reordered t)
+              (Mp_millipage.Dsm.retransmits t)
+              (Mp_millipage.Dsm.dups_suppressed t);
+          if ft_config <> None then report_ft t)
+        ~degraded:(fun () -> Mp_millipage.Dsm.declared_dead t <> [])
+        ()
+    in
+    match exec () with
+    | () -> ()
+    | exception Mp_millipage.Dsm.Deadlock msg ->
+      Printf.eprintf "mprun: %s\n" msg;
+      exit 2
+    | exception Mp_millipage.Dsm.Crash_unrecoverable msg ->
+      Printf.printf "result:       unrecoverable — %s\n" msg;
+      report_ft t;
+      (* data loss under an injected crash is a designed fail-fast outcome,
+         not a harness failure *)
+      exit (if crashes <> [] then 0 else 3))
   | "ivy" ->
     let t = Mp_baselines.Ivy.create engine ~hosts ~polling:polling_mode () in
     let module R = Runner (Mp_baselines.Ivy) in
@@ -297,11 +393,50 @@ let net_seed_arg =
     & info [ "net-seed" ] ~docv:"SEED"
         ~doc:"Seed of the fault-injection schedule (deterministic per seed).")
 
+let ft_arg =
+  Arg.(
+    value & flag
+    & info [ "ft" ]
+        ~doc:
+          "Enable crash-fault tolerance (heartbeats, failure detector, \
+           recovery) even without injected faults; implied by --crash/--stall \
+           (millipage only).")
+
+let crash_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "crash" ] ~docv:"SPEC"
+        ~doc:
+          "Fail-stop a host: HOST@TIME (µs) crashes that host at that time; \
+           rand:P crashes each non-manager host with probability P at a \
+           seeded random time before --crash-horizon.  Repeatable.")
+
+let stall_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "stall" ] ~docv:"SPEC"
+        ~doc:
+          "Freeze a host's network endpoint: HOST@TIME+DUR (µs).  A stall \
+           shorter than the declaration timeout survives.  Repeatable.")
+
+let crash_seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "crash-seed" ] ~docv:"SEED"
+        ~doc:"Seed of the rand:P crash schedule (deterministic per seed).")
+
+let crash_horizon_arg =
+  Arg.(
+    value & opt float 50000.0
+    & info [ "crash-horizon" ] ~docv:"US"
+        ~doc:"Latest time (µs) a rand:P crash may fire.")
+
 let () =
   let term =
     Term.(const execute $ app_arg $ system_arg $ hosts_arg $ chunking_arg $ polling_arg
           $ paper_arg $ trace_out_arg $ perfetto_arg $ metrics_arg $ loss_arg
-          $ dup_arg $ reorder_arg $ net_seed_arg)
+          $ dup_arg $ reorder_arg $ net_seed_arg $ ft_arg $ crash_arg $ stall_arg
+          $ crash_seed_arg $ crash_horizon_arg)
   in
   let info =
     Cmd.info "mprun" ~doc:"Run a Millipage benchmark application on a simulated cluster"

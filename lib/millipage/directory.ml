@@ -1,11 +1,23 @@
 module Host_set = Set.Make (Int)
 
+type read_flight = {
+  rf_req : int;
+  rf_from : int;
+  mutable rf_supplier : int;
+  rf_group : bool;
+}
+
 type pending =
   | No_op
-  | Reads_in_flight of { mutable count : int }
-  | Write_waiting_invals of { req_id : int; from : int; mutable missing : int }
-  | Write_in_flight of { req_id : int; from : int }
-  | Push_waiting_acks of { req_id : int; from : int; mutable missing : int }
+  | Reads_in_flight of { mutable flights : read_flight list }
+  | Write_waiting_invals of {
+      req_id : int;
+      from : int;
+      targets : Host_set.t;
+      mutable waiting : Host_set.t;
+    }
+  | Write_in_flight of { req_id : int; from : int; mutable supplier : int }
+  | Push_waiting_acks of { req_id : int; from : int; mutable waiting : Host_set.t }
 
 type entry = {
   mp : Mp_multiview.Minipage.t;
@@ -13,6 +25,8 @@ type entry = {
   mutable copyset : Host_set.t;
   mutable pending : pending;
   queue : queued Queue.t;
+  mutable shadow : bytes option;
+  mutable lost : bool;
 }
 
 and queued =
@@ -26,10 +40,12 @@ type t = {
   mutable queued_now : int;
   mutable queued_max : int;
   (* idempotence state for the reliable transport: request ids the manager
-     has accepted, and those whose operation has fully completed.  Both only
-     ever grow; req_ids are globally unique so there is no reuse to fear. *)
+     has accepted, and those whose operation has fully completed (stamped
+     with the completion time so both tables can be pruned once the
+     retransmission window has passed — req_ids are globally unique so there
+     is no reuse to fear, only memory growth). *)
   seen_reqs : (int, unit) Hashtbl.t;
-  completed_reqs : (int, unit) Hashtbl.t;
+  completed_reqs : (int, float) Hashtbl.t;
 }
 
 let create ~initial_owner =
@@ -51,6 +67,8 @@ let register t mp =
       copyset = Host_set.singleton t.initial_owner;
       pending = No_op;
       queue = Queue.create ();
+      shadow = None;
+      lost = false;
     }
   in
   Hashtbl.replace t.table mp.Mp_multiview.Minipage.id entry
@@ -73,6 +91,17 @@ let dequeue t e =
   (match q with Some _ -> t.queued_now <- t.queued_now - 1 | None -> ());
   q
 
+let drop_queued t e ~keep =
+  let dropped = ref [] in
+  let kept = Queue.create () in
+  Queue.iter
+    (fun q -> if keep q then Queue.add q kept else dropped := q :: !dropped)
+    e.queue;
+  Queue.clear e.queue;
+  Queue.transfer kept e.queue;
+  t.queued_now <- t.queued_now - List.length !dropped;
+  List.rev !dropped
+
 let note_request t ~req_id =
   if Hashtbl.mem t.seen_reqs req_id then false
   else begin
@@ -80,8 +109,23 @@ let note_request t ~req_id =
     true
   end
 
-let mark_completed t ~req_id = Hashtbl.replace t.completed_reqs req_id ()
+let mark_completed t ~req_id ~now = Hashtbl.replace t.completed_reqs req_id now
 let completed t ~req_id = Hashtbl.mem t.completed_reqs req_id
+
+let prune_completed t ~before =
+  let stale =
+    Hashtbl.fold
+      (fun req_id at acc -> if at < before then req_id :: acc else acc)
+      t.completed_reqs []
+  in
+  List.iter
+    (fun req_id ->
+      Hashtbl.remove t.completed_reqs req_id;
+      Hashtbl.remove t.seen_reqs req_id)
+    stale;
+  List.length stale
+
+let idempotence_size t = Hashtbl.length t.seen_reqs + Hashtbl.length t.completed_reqs
 
 let peek e = Queue.peek_opt e.queue
 let competing_requests t = t.competing

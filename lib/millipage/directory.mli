@@ -8,15 +8,31 @@
 
 module Host_set : Set.S with type elt = int
 
+type read_flight = {
+  rf_req : int;  (** request id (the obs span) *)
+  rf_from : int;  (** requesting host *)
+  mutable rf_supplier : int;  (** host the Forward went to (may be re-aimed
+                                  by crash recovery) *)
+  rf_group : bool;  (** part of a batched group fetch *)
+}
+
 type pending =
   | No_op
-  | Reads_in_flight of { mutable count : int }
+  | Reads_in_flight of { mutable flights : read_flight list }
       (** concurrent read requests are all forwarded immediately — only
           writes conflict, which is what keeps the competing-request count of
-          unchunked WATER low (§4.4) *)
-  | Write_waiting_invals of { req_id : int; from : int; mutable missing : int }
-  | Write_in_flight of { req_id : int; from : int }
-  | Push_waiting_acks of { req_id : int; from : int; mutable missing : int }
+          unchunked WATER low (§4.4).  Each outstanding forward is tracked so
+          crash recovery can re-aim flights whose supplier or requester
+          died. *)
+  | Write_waiting_invals of {
+      req_id : int;
+      from : int;
+      targets : Host_set.t;  (** full invalidation fan-out, fixed *)
+      mutable waiting : Host_set.t;  (** targets still to ack *)
+    }
+  | Write_in_flight of { req_id : int; from : int; mutable supplier : int }
+      (** [supplier < 0]: ownership upgrade, no data in flight *)
+  | Push_waiting_acks of { req_id : int; from : int; mutable waiting : Host_set.t }
 
 type entry = {
   mp : Mp_multiview.Minipage.t;
@@ -24,6 +40,14 @@ type entry = {
   mutable copyset : Host_set.t;
   mutable pending : pending;
   queue : queued Queue.t;
+  mutable shadow : bytes option;
+      (** manager-side shadow copy: the minipage's content as of its last
+          ownership/data transfer (or barrier sync) — the recovery source
+          when the owner dies holding the only copy *)
+  mutable lost : bool;
+      (** the dead owner wrote after the last transfer: the recovered shadow
+          is the last {e observed} version, but app-level data was lost —
+          survivor accesses fail fast instead of silently reading it *)
 }
 
 and queued =
@@ -49,6 +73,12 @@ val enqueue : t -> entry -> queued -> unit
 val dequeue : t -> entry -> queued option
 val peek : entry -> queued option
 
+val drop_queued : t -> entry -> keep:(queued -> bool) -> queued list
+(** Remove (and return, oldest first) every queued operation for which
+    [keep] is false, preserving the order of the survivors and adjusting the
+    queue-depth accounting.  Used by crash recovery to drop a dead host's
+    queued requests. *)
+
 (** {2 Idempotence under retransmission}
 
     With the reliable transport active, a retransmitted request can reach the
@@ -61,12 +91,23 @@ val note_request : t -> req_id:int -> bool
 (** [true] the first time [req_id] is seen (caller should serve it), [false]
     on any later sighting (caller must drop the duplicate). *)
 
-val mark_completed : t -> req_id:int -> unit
-(** Record that [req_id]'s whole operation (through its final ack) is done. *)
+val mark_completed : t -> req_id:int -> now:float -> unit
+(** Record that [req_id]'s whole operation (through its final ack) is done,
+    stamped with the completion time for later pruning. *)
 
 val completed : t -> req_id:int -> bool
 (** Whether [req_id] completed; stale acks for completed requests are
     tolerated rather than fatal. *)
+
+val prune_completed : t -> before:float -> int
+(** Forget request ids whose operation completed before the given time —
+    i.e. whose retransmission window has passed, so no duplicate can still
+    arrive.  Bounds both idempotence tables on long runs; returns the number
+    of ids pruned. *)
+
+val idempotence_size : t -> int
+(** Combined size of the seen/completed tables (for tests and soak
+    monitoring). *)
 
 val competing_requests : t -> int
 (** Total number of requests that ever had to queue behind an in-flight one

@@ -6,6 +6,35 @@ open Mp_net
 module Host_set = Directory.Host_set
 
 module Config = struct
+  (* Crash-fault tolerance: injected host failures, the heartbeat failure
+     detector, and the deadlock watchdog.  All of it is off ([ft = None] in
+     the main config) by default, in which case no extra process is spawned
+     and no extra message is sent — fault-free runs are bit-identical. *)
+  type ft = {
+    hb_interval_us : float;  (** heartbeat period per host *)
+    suspect_after_us : float;  (** silence before a host is suspected *)
+    declare_after_us : float;
+        (** silence before a suspect is declared dead and recovery runs; a
+            stall shorter than this survives (the suspicion is retracted) *)
+    crashes : (int * float) list;  (** (host, time µs): fail-stop at [time] *)
+    stalls : (int * float * float) list;
+        (** (host, time µs, duration µs): the host freezes — neither polls
+            nor sends — then resumes *)
+    deadlock_ticks : int;
+        (** detector ticks without any protocol progress before the run is
+            declared deadlocked *)
+  }
+
+  let default_ft =
+    {
+      hb_interval_us = 1000.0;
+      suspect_after_us = 3000.0;
+      declare_after_us = 8000.0;
+      crashes = [];
+      stalls = [];
+      deadlock_ticks = 500;
+    }
+
   type t = {
     views : int;
     object_size : int;
@@ -19,6 +48,7 @@ module Config = struct
     rto_us : float;
     rto_backoff : float;
     max_retries : int;
+    ft : ft option;
   }
 
   let default =
@@ -38,8 +68,17 @@ module Config = struct
       rto_us = 5000.0;
       rto_backoff = 2.0;
       max_retries = 12;
+      ft = None;
     }
 end
+
+exception Deadlock of string
+(** The run drained (or stopped making progress) with live application
+    threads still blocked. *)
+
+exception Crash_unrecoverable of string
+(** A survivor touched data whose only up-to-date copy died with a crashed
+    host (the dead owner wrote after its last observed transfer). *)
 
 type inflight = {
   req_id : int;
@@ -66,10 +105,14 @@ type host_state = {
   push_waiters : (int, Sync.Event.t) Hashtbl.t;  (* req_id -> completion *)
   group_fetches : (int, group_fetch_state) Hashtbl.t;  (* req_id -> progress *)
   mutable computing : int;
+  mutable dead_peers : Directory.Host_set.t;
+      (** peers this host has been told are declared dead (DEAD_NOTICE) *)
   bd : Breakdown.t;
 }
 
-type lock_state = { mutable held : bool; lock_queue : int Queue.t }
+(* [holder < 0] means free.  Holding a lock is a lease: when the holder is
+   declared dead the manager revokes it and grants the next live waiter. *)
+type lock_state = { mutable holder : int; lock_queue : int Queue.t }
 
 (* Hop-by-hop reliable transport (active only on a faulty fabric).  Each
    (src, dst) channel numbers its Data packets; the receiver acks every one
@@ -98,13 +141,27 @@ type t = {
   mutable next_req : int;
   mutable total_threads : int;
   mutable finished_threads : int;
-  barrier_counts : (int, int) Hashtbl.t;
+  barrier_counts : (int, int list ref) Hashtbl.t;  (* phase -> entered hosts *)
   locks : (int, lock_state) Hashtbl.t;
   groups : (int, int list) Hashtbl.t;  (* composed views: group -> minipage ids *)
   mutable next_group : int;
   counters : Stats.Counters.t;
   trace : Trace.t;
   mutable started : bool;
+  (* crash-fault state.  [crashed] is ground truth (injection or fencing);
+     [declared] is the manager's view, which is what the protocol acts on. *)
+  crashed : bool array;
+  declared : bool array;
+  suspected : bool array;
+  last_beat : float array;
+  threads_by_host : int array;
+  finished_by_host : int array;
+  mutable ft_stop : bool;  (* tells the ft daemons to wind down *)
+  mutable lost_mps : int list;
+  mutable watchdog_sig : int;
+  mutable watchdog_idle : int;
+  idem_retention_us : float;  (* completed-request retention window *)
+  mutable completions : int;
 }
 
 type ctx = { t : t; hs : host_state; mutable barrier_phase : int }
@@ -152,6 +209,17 @@ let obs_access = function
 let header t = t.config.cost.header_bytes
 let chan_of t ~src ~dst = (src * hosts t) + dst
 
+let ft_on t = t.config.ft <> None
+
+(* Every non-crashed host has finished all its application threads (crashed
+   hosts are excused — their threads were killed). *)
+let all_live_done t =
+  let ok = ref true in
+  Array.iteri
+    (fun h c -> if (not t.crashed.(h)) && t.finished_by_host.(h) < c then ok := false)
+    t.threads_by_host;
+  !ok
+
 (* Re-arm the per-packet retransmission timer: while (chan, seq) is unacked,
    resend with exponential backoff; give up (the run is unrecoverable, e.g.
    the loss rate is ~1) after [max_retries]. *)
@@ -159,6 +227,10 @@ let rec transport_arm t tr ~chan ~src ~dst ~seq ~timeout =
   Engine.schedule t.engine ~at:(Engine.now t.engine +. timeout) (fun () ->
       match Hashtbl.find_opt tr.tx_unacked (chan, seq) with
       | None -> () (* acked in the meantime *)
+      | Some _ when t.crashed.(src) || t.declared.(dst) ->
+        (* the sender died (it cannot retransmit) or the destination was
+           declared dead (nobody will ever Tack): abandon the packet *)
+        Hashtbl.remove tr.tx_unacked (chan, seq)
       | Some e ->
         e.tries <- e.tries + 1;
         if e.tries > t.config.max_retries then
@@ -198,7 +270,9 @@ let choose_supplier (e : Directory.entry) ~from =
   if Host_set.mem e.owner cs then e.owner else Host_set.min_elt cs
 
 let proceed_write t (e : Directory.entry) ~req_id ~from ~supplier =
-  e.pending <- Directory.Write_in_flight { req_id; from };
+  e.pending <-
+    Directory.Write_in_flight
+      { req_id; from; supplier = Option.value ~default:(-1) supplier };
   Obs.forward (obs t) ~time:(rnow t) ~host:manager ~span:req_id
     ~access:Mp_obs.Event.Write ~mp_id:e.mp.Minipage.id
     ~supplier:(Option.value ~default:(-1) supplier);
@@ -211,19 +285,40 @@ let proceed_write t (e : Directory.entry) ~req_id ~from ~supplier =
     send t ~src:manager ~dst:s ~bytes:(header t)
       (Proto.Forward { req_id; from; access = Proto.Write; info = info_of e.mp })
 
-let manager_start t (e : Directory.entry) (q : Directory.queued) =
+(* A survivor touched a minipage whose only current copy died with its
+   crashed owner: fail fast (the recovered shadow is stale). *)
+let check_lost t (e : Directory.entry) ~from =
+  if e.lost then
+    raise
+      (Crash_unrecoverable
+         (Printf.sprintf
+            "millipage: h%d accessed minipage %d, whose last writes died with \
+             a crashed host (lost minipages: %s)"
+            from e.mp.Minipage.id
+            (String.concat ", "
+               (List.map string_of_int (List.sort_uniq compare t.lost_mps)))))
+
+(* [charge_lookup]: crash recovery calls this from the failure detector,
+   which must restart queued operations atomically — no simulated delay. *)
+let manager_start ?(charge_lookup = true) t (e : Directory.entry)
+    (q : Directory.queued) =
   let cost = t.config.cost in
   match q with
   | Directory.Q_request { req_id; from; access; addr = _ } -> (
-    Engine.delay cost.mpt_lookup_us;
+    if charge_lookup then Engine.delay cost.mpt_lookup_us;
+    check_lost t e ~from;
     let info = info_of e.mp in
     match access with
     | Proto.Read ->
-      (match e.pending with
-      | Directory.Reads_in_flight r -> r.count <- r.count + 1
-      | Directory.No_op -> e.pending <- Directory.Reads_in_flight { count = 1 }
-      | _ -> failwith "millipage: read started during a conflicting operation");
       let replica = choose_read_replica e in
+      let flight =
+        { Directory.rf_req = req_id; rf_from = from; rf_supplier = replica;
+          rf_group = false }
+      in
+      (match e.pending with
+      | Directory.Reads_in_flight r -> r.flights <- flight :: r.flights
+      | Directory.No_op -> e.pending <- Directory.Reads_in_flight { flights = [ flight ] }
+      | _ -> failwith "millipage: read started during a conflicting operation");
       Obs.forward (obs t) ~time:(rnow t) ~host:manager ~span:req_id
         ~access:Mp_obs.Event.Read ~mp_id:info.mp_id ~supplier:replica;
       send t ~src:manager ~dst:replica ~bytes:(header t)
@@ -238,8 +333,7 @@ let manager_start t (e : Directory.entry) (q : Directory.queued) =
       if Host_set.is_empty targets then proceed_write t e ~req_id ~from ~supplier
       else begin
         e.pending <-
-          Directory.Write_waiting_invals
-            { req_id; from; missing = Host_set.cardinal targets };
+          Directory.Write_waiting_invals { req_id; from; targets; waiting = targets };
         Host_set.iter
           (fun target ->
             Stats.Counters.incr t.counters "invalidations";
@@ -251,8 +345,18 @@ let manager_start t (e : Directory.entry) (q : Directory.queued) =
       end)
   | Directory.Q_push { req_id; from; data } ->
     let info = info_of e.mp in
+    (* a push overwrites the whole minipage with fresh content, so it makes a
+       lost minipage whole again *)
+    e.lost <- false;
+    if ft_on t then begin
+      e.shadow <- Some (Bytes.copy data);
+      Obs.shadow_refresh (obs t) ~time:(rnow t) ~host:manager ~mp_id:info.mp_id
+        ~bytes:info.length
+    end;
     let others =
-      List.filter (fun h -> h <> from) (List.init (hosts t) Fun.id)
+      List.filter
+        (fun h -> h <> from && not t.declared.(h))
+        (List.init (hosts t) Fun.id)
     in
     if others = [] then begin
       e.copyset <- Host_set.singleton from;
@@ -261,7 +365,10 @@ let manager_start t (e : Directory.entry) (q : Directory.queued) =
     end
     else begin
       e.pending <-
-        Directory.Push_waiting_acks { req_id; from; missing = List.length others };
+        Directory.Push_waiting_acks
+          { req_id; from;
+            waiting = List.fold_left (fun acc h -> Host_set.add h acc) Host_set.empty others
+          };
       List.iter
         (fun dst ->
           send t ~src:manager ~dst ~bytes:(header t + info.length)
@@ -311,24 +418,24 @@ let manager_submit_push t ~mp_id (q : Directory.queued) =
 
 (* Start every queued request that has become compatible, in arrival order:
    after a write completes this drains the whole leading run of reads. *)
-let rec manager_drain_queue t (e : Directory.entry) =
+let rec manager_drain_queue ?(charge_lookup = true) t (e : Directory.entry) =
   match Directory.peek e with
   | Some q when can_start e q ->
     ignore (Directory.dequeue t.dir e);
     Obs.queue_exit (obs t) ~time:(rnow t) ~host:manager ~span:(queued_span q)
       ~mp_id:e.mp.Minipage.id ~depth:(Directory.queue_depth t.dir);
-    manager_start t e q;
-    manager_drain_queue t e
+    manager_start ~charge_lookup t e q;
+    manager_drain_queue ~charge_lookup t e
   | Some _ | None -> ()
 
 let manager_inval_reply t ~req_id ~mp_id ~from =
   let e = Directory.entry t.dir ~mp_id in
   match e.pending with
   | Directory.Write_waiting_invals w when w.req_id = req_id ->
-    w.missing <- w.missing - 1;
+    w.waiting <- Host_set.remove from w.waiting;
     Obs.inval_ack (obs t) ~time:(rnow t) ~host:manager ~span:w.req_id ~mp_id ~from
-      ~last:(w.missing = 0);
-    if w.missing = 0 then begin
+      ~last:(Host_set.is_empty w.waiting);
+    if Host_set.is_empty w.waiting then begin
       let upgrade = Host_set.mem w.from e.copyset in
       let supplier = if upgrade then None else Some (choose_supplier e ~from:w.from) in
       proceed_write t e ~req_id:w.req_id ~from:w.from ~supplier
@@ -343,6 +450,17 @@ let manager_inval_reply t ~req_id ~mp_id ~from =
     end
     else failwith "millipage: unexpected INVALIDATE_REPLY"
 
+(* Stamp a request's whole operation as done, and periodically prune both
+   idempotence tables: once a completion is older than the retransmission
+   window no duplicate of it can still arrive, so remembering it is pure
+   memory growth (satellite: bounded idempotence state on soak runs). *)
+let complete_req t ~req_id =
+  Directory.mark_completed t.dir ~req_id ~now:(rnow t);
+  t.completions <- t.completions + 1;
+  if t.completions land 255 = 0 then
+    ignore
+      (Directory.prune_completed t.dir ~before:(rnow t -. t.idem_retention_us))
+
 let manager_ack t ~req_id ~mp_id ~from =
   let e = Directory.entry t.dir ~mp_id in
   if Directory.completed t.dir ~req_id then begin
@@ -356,33 +474,43 @@ let manager_ack t ~req_id ~mp_id ~from =
     Obs.ack (obs t) ~time:(rnow t) ~host:manager ~span:req_id ~mp_id ~from;
     (match e.pending with
     | Directory.Reads_in_flight r ->
-      e.copyset <- Host_set.add from e.copyset;
-      r.count <- r.count - 1;
-      if r.count = 0 then e.pending <- Directory.No_op
+      (match
+         List.partition (fun (f : Directory.read_flight) -> f.rf_req = req_id) r.flights
+       with
+      | [ _ ], rest ->
+        e.copyset <- Host_set.add from e.copyset;
+        r.flights <- rest;
+        if rest = [] then e.pending <- Directory.No_op
+      | _ -> failwith "millipage: unexpected ACK")
     | Directory.Write_in_flight { from = f; _ } when f = from ->
       e.copyset <- Host_set.singleton from;
       e.owner <- from;
       e.pending <- Directory.No_op
     | _ -> failwith "millipage: unexpected ACK");
-    Directory.mark_completed t.dir ~req_id;
+    complete_req t ~req_id;
     manager_drain_queue t e
   end
 
-let manager_push_ack t ~mp_id =
+let live_copyset t =
+  List.fold_left
+    (fun acc h -> if t.declared.(h) then acc else Host_set.add h acc)
+    Host_set.empty
+    (List.init (hosts t) Fun.id)
+
+let finish_push ?charge_lookup t (e : Directory.entry) ~req_id ~from =
+  e.copyset <- live_copyset t;
+  e.owner <- (if t.declared.(from) then manager else from);
+  if not t.declared.(from) then
+    send t ~src:manager ~dst:from ~bytes:(header t) (Proto.Push_complete { req_id });
+  e.pending <- Directory.No_op;
+  manager_drain_queue ?charge_lookup t e
+
+let manager_push_ack t ~mp_id ~from =
   let e = Directory.entry t.dir ~mp_id in
   match e.pending with
   | Directory.Push_waiting_acks p ->
-    p.missing <- p.missing - 1;
-    if p.missing = 0 then begin
-      e.copyset <-
-        List.fold_left (fun acc h -> Host_set.add h acc) Host_set.empty
-          (List.init (hosts t) Fun.id);
-      e.owner <- p.from;
-      send t ~src:manager ~dst:p.from ~bytes:(header t)
-        (Proto.Push_complete { req_id = p.req_id });
-      e.pending <- Directory.No_op;
-      manager_drain_queue t e
-    end
+    p.waiting <- Host_set.remove from p.waiting;
+    if Host_set.is_empty p.waiting then finish_push t e ~req_id:p.req_id ~from:p.from
   | _ -> failwith "millipage: unexpected PUSH_UPDATE_ACK"
 
 (* ------------------------------------------------------------------ *)
@@ -409,10 +537,15 @@ let manager_group_fetch t ~req_id ~from ~group_id =
         && not (Host_set.mem from e.copyset)
       in
       if fetchable then begin
-        (match e.pending with
-        | Directory.Reads_in_flight r -> r.count <- r.count + 1
-        | _ -> e.pending <- Directory.Reads_in_flight { count = 1 });
+        check_lost t e ~from;
         let replica = choose_read_replica e in
+        let flight =
+          { Directory.rf_req = req_id; rf_from = from; rf_supplier = replica;
+            rf_group = true }
+        in
+        (match e.pending with
+        | Directory.Reads_in_flight r -> r.flights <- flight :: r.flights
+        | _ -> e.pending <- Directory.Reads_in_flight { flights = [ flight ] });
         let infos =
           match Hashtbl.find_opt batches replica with
           | Some r -> r
@@ -433,51 +566,123 @@ let manager_group_fetch t ~req_id ~from ~group_id =
         (Proto.Forward_group { req_id; from; members = !infos }))
     batches
 
-let manager_group_ack t ~from ~mp_ids =
+(* Lenient on purpose: after crash recovery a batch may have been dropped
+   (its flights scrubbed) while its data had already left the supplier, so a
+   GROUP_ACK can name minipages with no matching flight. *)
+let manager_group_ack t ~req_id ~from ~mp_ids =
   List.iter
     (fun mp_id ->
       let e = Directory.entry t.dir ~mp_id in
       match e.pending with
-      | Directory.Reads_in_flight r ->
-        e.copyset <- Host_set.add from e.copyset;
-        r.count <- r.count - 1;
-        if r.count = 0 then e.pending <- Directory.No_op;
-        manager_drain_queue t e
-      | _ -> failwith "millipage: unexpected GROUP_ACK")
+      | Directory.Reads_in_flight r -> (
+        match
+          List.partition
+            (fun (f : Directory.read_flight) -> f.rf_req = req_id && f.rf_from = from)
+            r.flights
+        with
+        | _ :: _, rest ->
+          e.copyset <- Host_set.add from e.copyset;
+          r.flights <- rest;
+          if rest = [] then e.pending <- Directory.No_op;
+          manager_drain_queue t e
+        | [], _ -> Stats.Counters.incr t.counters "manager.stale_group_acks")
+      | _ -> Stats.Counters.incr t.counters "manager.stale_group_acks")
     mp_ids
 
-let manager_barrier_enter t ~phase =
-  let count = 1 + Option.value ~default:0 (Hashtbl.find_opt t.barrier_counts phase) in
-  if count >= t.total_threads then begin
-    Hashtbl.remove t.barrier_counts phase;
-    for dst = 0 to hosts t - 1 do
-      send t ~src:manager ~dst ~bytes:(header t) (Proto.Barrier_release { phase })
-    done
+(* Refresh the shadow of every quiet minipage owned by [host] from the
+   host's current content.  Called when [host] enters a barrier: at that
+   point its phase writes are final (any release-consistent reader passes
+   the same barrier), which makes a crash while parked at — or after — the
+   barrier fully recoverable. *)
+let shadow_sync_host t ~host =
+  let refreshed = ref 0 in
+  Seq.iter
+    (fun (e : Directory.entry) ->
+      if e.owner = host && e.pending = Directory.No_op && not e.lost then begin
+        let info = info_of e.mp in
+        let cur =
+          Vm.priv_read_bytes t.host_states.(host).vm ~off:info.base_off
+            ~len:info.length
+        in
+        let stale =
+          match e.shadow with Some s -> not (Bytes.equal s cur) | None -> true
+        in
+        if stale then begin
+          e.shadow <- Some cur;
+          incr refreshed
+        end
+      end)
+    (Directory.entries t.dir);
+  if !refreshed > 0 then begin
+    Stats.Counters.incr t.counters "ft.shadow_syncs";
+    Obs.shadow_sync (obs t) ~time:(rnow t) ~host ~refreshed:!refreshed
   end
-  else Hashtbl.replace t.barrier_counts phase count
+
+(* How many application threads the current barrier must collect: all of
+   them, minus those of declared-dead hosts. *)
+let live_thread_target t =
+  let n = ref 0 in
+  Array.iteri
+    (fun h c -> if not t.declared.(h) then n := !n + c)
+    t.threads_by_host;
+  !n
+
+let barrier_release t ~phase =
+  Hashtbl.remove t.barrier_counts phase;
+  for dst = 0 to hosts t - 1 do
+    if not t.declared.(dst) then
+      send t ~src:manager ~dst ~bytes:(header t) (Proto.Barrier_release { phase })
+  done
+
+let manager_barrier_enter t ~from ~phase =
+  if not t.declared.(from) then begin
+    if ft_on t then shadow_sync_host t ~host:from;
+    let entered =
+      match Hashtbl.find_opt t.barrier_counts phase with
+      | Some l -> l
+      | None ->
+        let l = ref [] in
+        Hashtbl.add t.barrier_counts phase l;
+        l
+    in
+    entered := from :: !entered;
+    if List.length !entered >= live_thread_target t then barrier_release t ~phase
+  end
 
 let lock_state t lock =
   match Hashtbl.find_opt t.locks lock with
   | Some s -> s
   | None ->
-    let s = { held = false; lock_queue = Queue.create () } in
+    let s = { holder = -1; lock_queue = Queue.create () } in
     Hashtbl.add t.locks lock s;
     s
 
 let manager_lock_acquire t ~from ~lock =
   let s = lock_state t lock in
-  if s.held then Queue.add from s.lock_queue
+  if s.holder >= 0 then Queue.add from s.lock_queue
   else begin
-    s.held <- true;
+    s.holder <- from;
     send t ~src:manager ~dst:from ~bytes:(header t) (Proto.Lock_grant { lock })
   end
 
-let manager_lock_release t ~lock =
-  let s = lock_state t lock in
-  if not s.held then failwith "millipage: release of a free lock";
+let rec next_live_waiter t s =
   match Queue.take_opt s.lock_queue with
-  | Some next -> send t ~src:manager ~dst:next ~bytes:(header t) (Proto.Lock_grant { lock })
-  | None -> s.held <- false
+  | Some h when t.declared.(h) -> next_live_waiter t s
+  | r -> r
+
+let manager_lock_release t ~from ~lock =
+  let s = lock_state t lock in
+  if s.holder < 0 then failwith "millipage: release of a free lock";
+  if s.holder <> from then
+    (* the lease was revoked (holder declared dead) while this release was in
+       flight, or a fenced host's release straggled in: ignore it *)
+    Stats.Counters.incr t.counters "manager.stale_lock_releases"
+  else
+    match next_live_waiter t s with
+    | Some next ->
+      s.holder <- next;
+      send t ~src:manager ~dst:next ~bytes:(header t) (Proto.Lock_grant { lock })
+    | None -> s.holder <- -1
 
 (* ------------------------------------------------------------------ *)
 (* Host side: replica and faulting-host handlers                       *)
@@ -488,27 +693,47 @@ let server_ack t (h : host_state) ~req_id ~mp_id =
   send t ~src:h.id ~dst:manager ~bytes:(header t)
     (Proto.Ack { req_id; mp_id; from = h.id })
 
+(* Eager shadow refresh: every data transfer out of a host deposits the
+   transferred content in the manager-side shadow (modeled as a piggybacked
+   copy), so the shadow always holds the minipage's last observed version. *)
+let shadow_refresh t (info : Proto.info) data =
+  if ft_on t then begin
+    let e = Directory.entry t.dir ~mp_id:info.mp_id in
+    e.shadow <- Some (Bytes.copy data);
+    Stats.Counters.incr t.counters "ft.shadow_refreshes";
+    Obs.shadow_refresh (obs t) ~time:(rnow t) ~host:manager ~mp_id:info.mp_id
+      ~bytes:info.length
+  end
+
 let host_forward t (h : host_state) ~req_id ~from ~access (info : Proto.info) =
   let cost = t.config.cost in
-  (match access with
-  | Proto.Read ->
-    Engine.delay cost.get_prot_us;
-    let first, _ = vpages_of t info in
-    (match Vm.protection h.vm ~view:info.mp_view ~vpage:first with
-    | Prot.Read_write ->
+  if ft_on t && Host_set.mem from h.dead_peers then
+    (* never serve a declared-dead requester; the manager scrubbed (or will
+       scrub) this flight at declaration *)
+    Stats.Counters.incr t.counters "ft.serves_to_dead_skipped"
+  else begin
+    (match access with
+    | Proto.Read ->
+      Engine.delay cost.get_prot_us;
+      let first, _ = vpages_of t info in
+      (match Vm.protection h.vm ~view:info.mp_view ~vpage:first with
+      | Prot.Read_write ->
+        Engine.delay (set_prot_cost t info);
+        protect_info t h info Prot.Read_only
+      | Prot.Read_only | Prot.No_access -> ())
+    | Proto.Write ->
+      (* the supplier gives its copy away *)
       Engine.delay (set_prot_cost t info);
-      protect_info t h info Prot.Read_only
-    | Prot.Read_only | Prot.No_access -> ())
-  | Proto.Write ->
-    (* the supplier gives its copy away *)
-    Engine.delay (set_prot_cost t info);
-    protect_info t h info Prot.No_access);
-  let data = Vm.priv_read_bytes h.vm ~off:info.base_off ~len:info.length in
-  send t ~src:h.id ~dst:from ~bytes:(header t) (Proto.Reply_header { req_id; access; info });
-  Stats.Counters.incr t.counters "replies.data";
-  send t ~src:h.id ~dst:from
-    ~bytes:(Cost_model.data_message_bytes cost info.length)
-    (Proto.Reply_data { req_id; access; info; data })
+      protect_info t h info Prot.No_access);
+    let data = Vm.priv_read_bytes h.vm ~off:info.base_off ~len:info.length in
+    shadow_refresh t info data;
+    send t ~src:h.id ~dst:from ~bytes:(header t)
+      (Proto.Reply_header { req_id; access; info });
+    Stats.Counters.incr t.counters "replies.data";
+    send t ~src:h.id ~dst:from
+      ~bytes:(Cost_model.data_message_bytes cost info.length)
+      (Proto.Reply_data { req_id; access; info; data })
+  end
 
 let host_reply t (h : host_state) ~req_id ~access (info : Proto.info) data =
   let cost = t.config.cost in
@@ -577,6 +802,9 @@ let group_fetch_check gf =
 
 let host_forward_group t (h : host_state) ~req_id ~from members =
   let cost = t.config.cost in
+  if ft_on t && Host_set.mem from h.dead_peers then
+    Stats.Counters.incr t.counters "ft.serves_to_dead_skipped"
+  else begin
   let payload =
     List.map
       (fun (info : Proto.info) ->
@@ -587,7 +815,9 @@ let host_forward_group t (h : host_state) ~req_id ~from members =
           Engine.delay (set_prot_cost t info);
           protect_info t h info Prot.Read_only
         | Prot.Read_only | Prot.No_access -> ());
-        (info, Vm.priv_read_bytes h.vm ~off:info.base_off ~len:info.length))
+        let data = Vm.priv_read_bytes h.vm ~off:info.base_off ~len:info.length in
+        shadow_refresh t info data;
+        (info, data))
       members
   in
   let bytes =
@@ -596,6 +826,7 @@ let host_forward_group t (h : host_state) ~req_id ~from members =
       (header t) payload
   in
   send t ~src:h.id ~dst:from ~bytes (Proto.Group_data { req_id; members = payload })
+  end
 
 let host_group_data t (h : host_state) ~req_id members =
   let cost = t.config.cost in
@@ -618,6 +849,19 @@ let host_group_plan (h : host_state) ~req_id ~batches =
   let gf = group_fetch_state h req_id in
   gf.gf_expected <- Some batches;
   group_fetch_check gf
+
+(* Crash recovery dropped [drop] of the announced batches (their supplier
+   died); the skipped members fault on demand later.  The channel is FIFO,
+   so the plan always precedes its replan. *)
+let host_group_replan (h : host_state) ~req_id ~drop =
+  match Hashtbl.find_opt h.group_fetches req_id with
+  | None -> () (* fetch already complete *)
+  | Some gf -> (
+    match gf.gf_expected with
+    | None -> failwith "millipage: GROUP_REPLAN before GROUP_PLAN"
+    | Some k ->
+      gf.gf_expected <- Some (k - drop);
+      group_fetch_check gf)
 
 let host_invalidate t (h : host_state) ~req_id (info : Proto.info) =
   Engine.delay (set_prot_cost t info);
@@ -658,11 +902,376 @@ let host_push_complete (h : host_state) ~req_id =
   | None -> failwith "millipage: PUSH_COMPLETE with no waiter"
 
 (* ------------------------------------------------------------------ *)
+(* Crash faults: injection, failure detection, recovery                *)
+(* ------------------------------------------------------------------ *)
+
+(* Fail-stop a host: silence its fabric endpoint and kill its processes
+   (application threads and heartbeat sender).  Used both for injected
+   crashes and for fencing a host the detector declared dead — a declared
+   host is evicted even if it was merely stalled, so detector false
+   positives degrade to fail-stop evictions instead of split-brain. *)
+let crash_host t h ~fenced =
+  if not t.crashed.(h) then begin
+    t.crashed.(h) <- true;
+    Fabric.crash t.fabric ~host:h;
+    ignore (Engine.kill_group t.engine h);
+    Stats.Counters.incr t.counters (if fenced then "ft.fenced" else "ft.crashes");
+    if not fenced then Obs.host_crash (obs t) ~time:(rnow t) ~host:h;
+    if all_live_done t then t.ft_stop <- true
+  end
+
+let stall_host t h ~until =
+  if not (t.crashed.(h) || t.declared.(h)) then begin
+    Fabric.stall t.fabric ~host:h ~until;
+    Stats.Counters.incr t.counters "ft.stalls";
+    Obs.host_stall (obs t) ~time:(rnow t) ~host:h ~until
+  end
+
+(* Did the dead host write this minipage after its last observed transfer?
+   Ground truth read from the corpse's simulated memory — the manager only
+   learns the consequence (shadow mismatch ⇒ the content is unrecoverable). *)
+let dead_wrote t dead (e : Directory.entry) =
+  let info = info_of e.mp in
+  let hvm = t.host_states.(dead).vm in
+  let first, _ = vpages_of t info in
+  match Vm.protection hvm ~view:info.mp_view ~vpage:first with
+  | Prot.Read_write -> (
+    let cur = Vm.priv_read_bytes hvm ~off:info.base_off ~len:info.length in
+    match e.shadow with Some s -> not (Bytes.equal cur s) | None -> true)
+  | Prot.Read_only | Prot.No_access -> false
+
+(* The dead host held the only copy: re-materialize the minipage at the
+   manager from the shadow (its last observed version).  If the dead host
+   wrote after that version was captured, the recovered bytes are stale:
+   the minipage is marked lost and any survivor access fails fast. *)
+let install_shadow t (e : Directory.entry) ~dead =
+  let info = info_of e.mp in
+  let lost = e.shadow = None || dead_wrote t dead e in
+  (match e.shadow with
+  | Some data ->
+    let mh = t.host_states.(manager) in
+    Vm.priv_write_bytes mh.vm ~off:info.base_off data;
+    protect_info t mh info Prot.Read_only
+  | None -> ());
+  e.owner <- manager;
+  e.copyset <- Host_set.singleton manager;
+  if lost then begin
+    e.lost <- true;
+    t.lost_mps <- info.mp_id :: t.lost_mps
+  end;
+  Stats.Counters.incr t.counters
+    (if lost then "ft.lost_minipages" else "ft.recovered_minipages");
+  Obs.recover_minipage (obs t) ~time:(rnow t) ~host:manager ~span:0
+    ~mp_id:info.mp_id ~lost
+
+(* Walk the whole directory and erase host [h] from it: drop its queued
+   operations, remove it from copysets, resolve every pending operation it
+   participated in, and recover minipages it exclusively owned. *)
+let scrub_directory t h =
+  let now = rnow t in
+  (* (req_id, fetching host) of group batches that died with their supplier *)
+  let dead_batches : (int * int, unit) Hashtbl.t = Hashtbl.create 4 in
+  Seq.iter
+    (fun (e : Directory.entry) ->
+      let info = info_of e.mp in
+      (* 1. the dead host's queued operations will never be acked: drop them *)
+      let dropped =
+        Directory.drop_queued t.dir e ~keep:(function
+          | Directory.Q_request { from; _ } | Directory.Q_push { from; _ } ->
+            from <> h)
+      in
+      List.iter
+        (fun q ->
+          let req_id = queued_span q in
+          Obs.queue_exit (obs t) ~time:now ~host:manager ~span:req_id
+            ~mp_id:info.mp_id ~depth:(Directory.queue_depth t.dir);
+          Directory.mark_completed t.dir ~req_id ~now)
+        dropped;
+      (* 2. scrub the copyset *)
+      e.copyset <- Host_set.remove h e.copyset;
+      let exclusive = e.owner = h && Host_set.is_empty e.copyset in
+      if e.owner = h && not exclusive then e.owner <- Host_set.min_elt e.copyset;
+      (* 3. resolve the pending operation *)
+      (match e.pending with
+      | Directory.No_op -> if exclusive then install_shadow t e ~dead:h
+      | Directory.Reads_in_flight r ->
+        if exclusive then install_shadow t e ~dead:h;
+        let survivors =
+          List.filter
+            (fun (f : Directory.read_flight) ->
+              if f.rf_from = h then begin
+                (* the requester died; its reply (if any) lands on a silenced
+                   endpoint *)
+                Directory.mark_completed t.dir ~req_id:f.rf_req ~now;
+                false
+              end
+              else if f.rf_supplier = h then
+                if f.rf_group then begin
+                  (* the whole batch died with its supplier: tell the fetcher
+                     to stop waiting for it (members fault on demand later) *)
+                  Hashtbl.replace dead_batches (f.rf_req, f.rf_from) ();
+                  false
+                end
+                else begin
+                  (* re-aim the forward at a surviving replica (possibly the
+                     manager's freshly recovered copy) *)
+                  check_lost t e ~from:f.rf_from;
+                  let replica = choose_read_replica e in
+                  f.rf_supplier <- replica;
+                  Obs.forward (obs t) ~time:now ~host:manager ~span:f.rf_req
+                    ~access:Mp_obs.Event.Read ~mp_id:info.mp_id ~supplier:replica;
+                  send t ~src:manager ~dst:replica ~bytes:(header t)
+                    (Proto.Forward
+                       { req_id = f.rf_req; from = f.rf_from; access = Proto.Read;
+                         info });
+                  true
+                end
+              else true)
+            r.flights
+        in
+        r.flights <- survivors;
+        if survivors = [] then e.pending <- Directory.No_op
+      | Directory.Write_waiting_invals w ->
+        if w.from = h then begin
+          (* the writer died before its invalidation round finished.  Targets
+             that already processed the INVALIDATE dropped their copies and
+             the rest will when it arrives, so none of them can serve
+             anymore. *)
+          Directory.mark_completed t.dir ~req_id:w.req_id ~now;
+          e.copyset <- Host_set.diff e.copyset w.targets;
+          e.pending <- Directory.No_op;
+          if Host_set.is_empty e.copyset then install_shadow t e ~dead:h
+          else if not (Host_set.mem e.owner e.copyset) then
+            e.owner <- Host_set.min_elt e.copyset
+        end
+        else if Host_set.mem h w.waiting then begin
+          (* the dead host was an invalidation target: its copy is gone with
+             it, which is exactly what the INVALIDATE wanted *)
+          w.waiting <- Host_set.remove h w.waiting;
+          if Host_set.is_empty w.waiting then begin
+            let upgrade = Host_set.mem w.from e.copyset in
+            let supplier =
+              if upgrade then None else Some (choose_supplier e ~from:w.from)
+            in
+            proceed_write t e ~req_id:w.req_id ~from:w.from ~supplier
+          end
+        end
+      | Directory.Write_in_flight w ->
+        if w.from = h then begin
+          (* the data (or grant) went to the dead writer; the supplier has
+             already downgraded to No_access, so the shadow holds the only
+             recoverable version *)
+          Directory.mark_completed t.dir ~req_id:w.req_id ~now;
+          e.pending <- Directory.No_op;
+          install_shadow t e ~dead:h
+        end
+        else if w.supplier = h then begin
+          (* the supplier died before serving (had it served, the reply and
+             ack would have completed the operation well inside the declare
+             timeout): recover at the manager and re-forward from there *)
+          install_shadow t e ~dead:h;
+          check_lost t e ~from:w.from;
+          w.supplier <- manager;
+          Obs.forward (obs t) ~time:now ~host:manager ~span:w.req_id
+            ~access:Mp_obs.Event.Write ~mp_id:info.mp_id ~supplier:manager;
+          send t ~src:manager ~dst:manager ~bytes:(header t)
+            (Proto.Forward
+               { req_id = w.req_id; from = w.from; access = Proto.Write; info })
+        end
+      | Directory.Push_waiting_acks p ->
+        if p.from = h then begin
+          (* the pusher died waiting for update acks; the updates themselves
+             carry complete fresh content, so the push still completes for
+             the survivors *)
+          Directory.mark_completed t.dir ~req_id:p.req_id ~now;
+          finish_push ~charge_lookup:false t e ~req_id:p.req_id ~from:p.from
+        end
+        else if Host_set.mem h p.waiting then begin
+          p.waiting <- Host_set.remove h p.waiting;
+          if Host_set.is_empty p.waiting then
+            finish_push ~charge_lookup:false t e ~req_id:p.req_id ~from:p.from
+        end);
+      (* 4. whatever became startable, start it *)
+      manager_drain_queue ~charge_lookup:false t e)
+    (Directory.entries t.dir);
+  Hashtbl.iter
+    (fun (req_id, from) () ->
+      if not t.declared.(from) then
+        send t ~src:manager ~dst:from ~bytes:(header t)
+          (Proto.Group_replan { req_id; drop = 1 }))
+    dead_batches
+
+(* Lock leases: a lock held by the dead host is revoked and granted to the
+   next live waiter. *)
+let revoke_leases t h =
+  Hashtbl.iter
+    (fun lock (s : lock_state) ->
+      if s.holder = h then begin
+        let next = next_live_waiter t s in
+        (match next with
+        | Some n ->
+          s.holder <- n;
+          send t ~src:manager ~dst:n ~bytes:(header t) (Proto.Lock_grant { lock })
+        | None -> s.holder <- -1);
+        Stats.Counters.incr t.counters "ft.lease_revokes";
+        Obs.lease_revoke (obs t) ~time:(rnow t) ~host:h ~lock
+          ~next:(Option.value ~default:(-1) next)
+      end)
+    t.locks
+
+(* Degraded barriers: phases in progress shrink to the survivors.  The dead
+   host's entries are discarded; if the survivors are now all parked at the
+   barrier, it releases immediately. *)
+let reconfigure_barriers t h =
+  let target = live_thread_target t in
+  let phases = Hashtbl.fold (fun phase l acc -> (phase, l) :: acc) t.barrier_counts [] in
+  List.iter
+    (fun (phase, entered) ->
+      entered := List.filter (fun e -> e <> h) !entered;
+      Stats.Counters.incr t.counters "ft.barrier_reconfigs";
+      Obs.barrier_reconfig (obs t) ~time:(rnow t) ~host:manager ~bphase:phase
+        ~expected:target;
+      if List.length !entered >= target then barrier_release t ~phase)
+    phases
+
+(* Declaration: the point of no return.  Fence the host, purge transport
+   state aimed at it, notify the survivors, and run manager-side recovery. *)
+let declare_dead t h =
+  if not t.declared.(h) then begin
+    t.declared.(h) <- true;
+    Stats.Counters.incr t.counters "ft.declared_dead";
+    Obs.declare_dead (obs t) ~time:(rnow t) ~host:h;
+    crash_host t h ~fenced:true;
+    (match t.transport with
+    | Some tr ->
+      let n = hosts t in
+      Hashtbl.fold
+        (fun (chan, seq) _ acc ->
+          if chan mod n = h || chan / n = h then (chan, seq) :: acc else acc)
+        tr.tx_unacked []
+      |> List.iter (fun k -> Hashtbl.remove tr.tx_unacked k)
+    | None -> ());
+    for s = 1 to hosts t - 1 do
+      if s <> h && not t.declared.(s) then
+        send t ~src:manager ~dst:s ~bytes:(header t) (Proto.Dead_notice { dead = h })
+    done;
+    (* the manager knows immediately; survivors learn at receipt (their
+       DEAD_NOTICE obs event is emitted in dispatch) *)
+    t.host_states.(manager).dead_peers <-
+      Host_set.add h t.host_states.(manager).dead_peers;
+    Obs.dead_notice (obs t) ~time:(rnow t) ~host:manager ~dead:h;
+    scrub_directory t h;
+    revoke_leases t h;
+    reconfigure_barriers t h;
+    if all_live_done t then t.ft_stop <- true
+  end
+
+let deadlock_report t =
+  let live_missing = ref 0 in
+  Array.iteri
+    (fun h c ->
+      if not t.crashed.(h) then
+        live_missing := !live_missing + (c - t.finished_by_host.(h)))
+    t.threads_by_host;
+  let blocked =
+    Engine.blocked t.engine
+    |> List.map (fun (proc, on) -> Printf.sprintf "%s on %s" proc on)
+    |> String.concat "; "
+  in
+  let busy = ref 0 in
+  Seq.iter
+    (fun (e : Directory.entry) -> if Directory.busy e then incr busy)
+    (Directory.entries t.dir);
+  Printf.sprintf
+    "millipage: deadlock — %d live application thread(s) did not finish; \
+     blocked: [%s]; manager: %d request(s) queued behind %d busy minipage(s)"
+    !live_missing blocked
+    (Directory.queue_depth t.dir)
+    !busy
+
+let detector_tick t (ft : Config.ft) =
+  let now = rnow t in
+  for h = 1 to hosts t - 1 do
+    if not t.declared.(h) then begin
+      let silent = now -. t.last_beat.(h) in
+      if silent > ft.declare_after_us then declare_dead t h
+      else if silent > ft.suspect_after_us then begin
+        if not t.suspected.(h) then begin
+          t.suspected.(h) <- true;
+          Stats.Counters.incr t.counters "ft.suspects";
+          Obs.suspect (obs t) ~time:now ~host:h
+        end;
+        Stats.Counters.incr t.counters "ft.heartbeat_misses";
+        Obs.heartbeat_miss (obs t) ~time:now ~host:h
+          ~missed:(int_of_float (silent /. ft.hb_interval_us))
+      end
+      else if t.suspected.(h) then begin
+        (* the stall ended before the declare timeout: suspicion retracted *)
+        t.suspected.(h) <- false;
+        Stats.Counters.incr t.counters "ft.suspect_recoveries"
+      end
+    end
+  done;
+  (* deadlock watchdog: no protocol progress (non-heartbeat dispatches or
+     thread completions) for deadlock_ticks detector periods *)
+  let s =
+    Stats.Counters.get t.counters "ft.activity" + t.finished_threads
+  in
+  if s = t.watchdog_sig then begin
+    t.watchdog_idle <- t.watchdog_idle + 1;
+    if t.watchdog_idle >= ft.deadlock_ticks then raise (Deadlock (deadlock_report t))
+  end
+  else begin
+    t.watchdog_sig <- s;
+    t.watchdog_idle <- 0
+  end
+
+let start_ft t (ft : Config.ft) =
+  List.iter
+    (fun (h, at) ->
+      Engine.schedule t.engine ~at (fun () -> crash_host t h ~fenced:false))
+    ft.crashes;
+  List.iter
+    (fun (h, at, dur) ->
+      Engine.schedule t.engine ~at (fun () -> stall_host t h ~until:(at +. dur)))
+    ft.stalls;
+  (* heartbeat senders: real fabric messages, so their cost shows up in the
+     message and byte counters like any other traffic *)
+  for h = 1 to hosts t - 1 do
+    let beat = ref 0 in
+    Engine.spawn t.engine ~name:(Printf.sprintf "ft.hb.h%d" h) ~group:h (fun () ->
+        while not t.ft_stop do
+          Engine.delay ft.hb_interval_us;
+          if (not t.ft_stop)
+             && Engine.now t.engine >= Fabric.stalled_until t.fabric ~host:h
+          then begin
+            incr beat;
+            Stats.Counters.incr t.counters "ft.heartbeats";
+            send t ~src:h ~dst:manager ~bytes:(header t)
+              (Proto.Heartbeat { from = h; beat = !beat })
+          end
+        done)
+  done;
+  Engine.spawn t.engine ~name:"ft.detector" (fun () ->
+      (* give every host a full interval of grace before the first tick *)
+      let now0 = Engine.now t.engine in
+      Array.iteri (fun i _ -> t.last_beat.(i) <- now0) t.last_beat;
+      while not t.ft_stop do
+        Engine.delay ft.hb_interval_us;
+        if not t.ft_stop then detector_tick t ft
+      done)
+
+(* ------------------------------------------------------------------ *)
 (* Message dispatch                                                    *)
 (* ------------------------------------------------------------------ *)
 
 let dispatch t (h : host_state) (body : Proto.body) =
   let cost = t.config.cost in
+  (* the deadlock watchdog counts non-heartbeat dispatches as progress *)
+  (if ft_on t then
+     match body with
+     | Proto.Heartbeat _ -> ()
+     | _ -> Stats.Counters.incr t.counters "ft.activity");
   match body with
   | Proto.Request { req_id; from; access; addr } ->
     Engine.delay cost.dispatch_us;
@@ -699,9 +1308,9 @@ let dispatch t (h : host_state) (body : Proto.body) =
   | Proto.Invalidate { req_id; info } ->
     Engine.delay cost.sync_dispatch_us;
     host_invalidate t h ~req_id info
-  | Proto.Barrier_enter { from = _; phase } ->
+  | Proto.Barrier_enter { from; phase } ->
     Engine.delay cost.sync_dispatch_us;
-    manager_barrier_enter t ~phase
+    manager_barrier_enter t ~from ~phase
   | Proto.Barrier_release { phase } ->
     Engine.delay cost.sync_dispatch_us;
     host_barrier_release h ~phase
@@ -711,18 +1320,18 @@ let dispatch t (h : host_state) (body : Proto.body) =
   | Proto.Lock_grant { lock } ->
     Engine.delay cost.sync_dispatch_us;
     host_lock_grant h ~lock
-  | Proto.Lock_release { from = _; lock } ->
+  | Proto.Lock_release { from; lock } ->
     Engine.delay cost.sync_dispatch_us;
-    manager_lock_release t ~lock
+    manager_lock_release t ~from ~lock
   | Proto.Push { req_id; from; info; data } ->
     Engine.delay cost.dispatch_us;
     manager_submit_push t ~mp_id:info.mp_id (Directory.Q_push { req_id; from; data })
   | Proto.Push_update { info; data } ->
     Engine.delay cost.dispatch_us;
     host_push_update t h info data
-  | Proto.Push_update_ack { mp_id; from = _ } ->
+  | Proto.Push_update_ack { mp_id; from } ->
     Engine.delay cost.sync_dispatch_us;
-    manager_push_ack t ~mp_id
+    manager_push_ack t ~mp_id ~from
   | Proto.Push_complete { req_id } ->
     Engine.delay cost.sync_dispatch_us;
     host_push_complete h ~req_id
@@ -738,15 +1347,30 @@ let dispatch t (h : host_state) (body : Proto.body) =
   | Proto.Group_data { req_id; members } ->
     Engine.delay cost.dispatch_us;
     host_group_data t h ~req_id members
-  | Proto.Group_ack { req_id = _; from; mp_ids } ->
+  | Proto.Group_ack { req_id; from; mp_ids } ->
     Engine.delay cost.sync_dispatch_us;
-    manager_group_ack t ~from ~mp_ids
+    manager_group_ack t ~req_id ~from ~mp_ids
+  | Proto.Group_replan { req_id; drop } ->
+    Engine.delay cost.sync_dispatch_us;
+    host_group_replan h ~req_id ~drop
+  | Proto.Heartbeat { from; beat = _ } ->
+    Engine.delay cost.sync_dispatch_us;
+    if not t.declared.(from) then t.last_beat.(from) <- Engine.now t.engine
+  | Proto.Dead_notice { dead } ->
+    Engine.delay cost.sync_dispatch_us;
+    h.dead_peers <- Host_set.add dead h.dead_peers;
+    Obs.dead_notice (obs t) ~time:(rnow t) ~host:h.id ~dead
 
 (* Transport receive: unwrap packets, ack and resequence on a faulty fabric.
    Every Data is Tack'ed (even duplicates — the original Tack may itself have
    been dropped); delivery to [dispatch] is strictly in sequence order, so
    the protocol handlers above never see loss, duplication or reordering. *)
 let on_message t (h : host_state) (m : Proto.packet Fabric.msg) =
+  if ft_on t && t.declared.(m.Fabric.src) then
+    (* a straggler from a declared-dead host (sent before it was silenced):
+       never let the protocol hear from the dead *)
+    Stats.Counters.incr t.counters "ft.msgs_from_dead_dropped"
+  else
   match t.transport with
   | None -> (
     match m.Fabric.body with
@@ -860,6 +1484,28 @@ let on_fault t (h : host_state) (f : Vm.fault) =
 
 let create engine ~hosts:nhosts ?(config = Config.default) () =
   if nhosts <= 0 then invalid_arg "Dsm.create: hosts";
+  (match config.ft with
+  | None -> ()
+  | Some ft ->
+    if ft.hb_interval_us <= 0.0 then invalid_arg "Dsm.create: ft.hb_interval_us";
+    if ft.suspect_after_us <= ft.hb_interval_us then
+      invalid_arg "Dsm.create: ft.suspect_after_us must exceed the heartbeat interval";
+    if ft.declare_after_us <= ft.suspect_after_us then
+      invalid_arg "Dsm.create: ft.declare_after_us must exceed ft.suspect_after_us";
+    if ft.deadlock_ticks <= 0 then invalid_arg "Dsm.create: ft.deadlock_ticks";
+    List.iter
+      (fun (h, at) ->
+        if h <= 0 || h >= nhosts then
+          invalid_arg "Dsm.create: ft.crashes may name hosts 1..hosts-1 only \
+                       (the manager cannot crash)";
+        if at < 0.0 then invalid_arg "Dsm.create: ft.crashes time")
+      ft.crashes;
+    List.iter
+      (fun (h, at, dur) ->
+        if h <= 0 || h >= nhosts then
+          invalid_arg "Dsm.create: ft.stalls may name hosts 1..hosts-1 only";
+        if at < 0.0 || dur <= 0.0 then invalid_arg "Dsm.create: ft.stalls time")
+      ft.stalls);
   let fabric =
     Fabric.create engine ~hosts:nhosts ~polling:config.polling ~seed:config.seed
       ~faults:config.faults ~fault_seed:config.net_seed ()
@@ -891,8 +1537,20 @@ let create engine ~hosts:nhosts ?(config = Config.default) () =
       push_waiters = Hashtbl.create 8;
       group_fetches = Hashtbl.create 8;
       computing = 0;
+      dead_peers = Directory.Host_set.empty;
       bd = Breakdown.create ();
     }
+  in
+  (* completed-request retention: twice the worst-case retransmission span
+     of a packet, after which no duplicate can still arrive *)
+  let idem_retention_us =
+    match transport with
+    | None -> 0.0
+    | Some _ ->
+      let rec span i acc d =
+        if i > config.max_retries then acc else span (i + 1) (acc +. d) (d *. config.rto_backoff)
+      in
+      2.0 *. span 0 0.0 config.rto_us
   in
   let t =
     {
@@ -915,6 +1573,18 @@ let create engine ~hosts:nhosts ?(config = Config.default) () =
       counters = Stats.Counters.create ();
       trace = Trace.create ();
       started = false;
+      crashed = Array.make nhosts false;
+      declared = Array.make nhosts false;
+      suspected = Array.make nhosts false;
+      last_beat = Array.make nhosts 0.0;
+      threads_by_host = Array.make nhosts 0;
+      finished_by_host = Array.make nhosts 0;
+      ft_stop = false;
+      lost_mps = [];
+      watchdog_sig = -1;
+      watchdog_idle = 0;
+      idem_retention_us;
+      completions = 0;
     }
   in
   Fabric.attach_obs fabric ~obs:t.trace ~describe:Proto.describe_packet;
@@ -952,27 +1622,20 @@ let init_write_u8 t addr v = Vm.write_u8 (init_vm t) addr v
 let spawn t ~host ?name f =
   if host < 0 || host >= hosts t then invalid_arg "Dsm.spawn: bad host";
   t.total_threads <- t.total_threads + 1;
+  t.threads_by_host.(host) <- t.threads_by_host.(host) + 1;
   let name = Option.value ~default:(Printf.sprintf "app.h%d" host) name in
   let ctx = { t; hs = t.host_states.(host); barrier_phase = 0 } in
-  Engine.spawn t.engine ~name (fun () ->
+  Engine.spawn t.engine ~name ~group:host (fun () ->
       f ctx;
-      t.finished_threads <- t.finished_threads + 1)
+      t.finished_threads <- t.finished_threads + 1;
+      t.finished_by_host.(host) <- t.finished_by_host.(host) + 1;
+      if ft_on t && all_live_done t then t.ft_stop <- true)
 
 let run t =
   t.started <- true;
+  (match t.config.ft with Some ft -> start_ft t ft | None -> ());
   Engine.run t.engine;
-  if t.finished_threads < t.total_threads then begin
-    let stuck =
-      Engine.blocked t.engine
-      |> List.filter (fun (proc, _) -> String.length proc >= 3 && String.sub proc 0 3 = "app")
-      |> List.map (fun (proc, on) -> Printf.sprintf "%s on %s" proc on)
-      |> String.concat ", "
-    in
-    failwith
-      (Printf.sprintf "millipage: %d/%d application threads did not finish (%s)"
-         (t.total_threads - t.finished_threads)
-         t.total_threads stuck)
-  end
+  if not (all_live_done t) then raise (Deadlock (deadlock_report t))
 
 (* ------------------------------------------------------------------ *)
 (* Application-thread operations                                       *)
@@ -1130,10 +1793,11 @@ let fetch_group ctx group_id =
   Engine.delay t.config.cost.wakeup_us;
   Hashtbl.remove h.group_fetches req_id;
   charge h B_prefetch (Engine.now t.engine -. t0);
-  if gf.gf_mp_ids <> [] then
+  let mp_ids = List.sort_uniq compare gf.gf_mp_ids in
+  if mp_ids <> [] then
     send t ~src:h.id ~dst:manager
-      ~bytes:(header t + (4 * List.length gf.gf_mp_ids))
-      (Proto.Group_ack { req_id; from = h.id; mp_ids = gf.gf_mp_ids })
+      ~bytes:(header t + (4 * List.length mp_ids))
+      (Proto.Group_ack { req_id; from = h.id; mp_ids })
 
 (* ------------------------------------------------------------------ *)
 (* Statistics                                                          *)
@@ -1168,3 +1832,22 @@ let dups_suppressed t = Stats.Counters.get t.counters "transport.dups_suppressed
 let net_dropped t = Stats.Counters.get (Fabric.counters t.fabric) "net.dropped"
 let net_duplicated t = Stats.Counters.get (Fabric.counters t.fabric) "net.duplicated"
 let net_reordered t = Stats.Counters.get (Fabric.counters t.fabric) "net.reordered"
+
+(* ------------------------------------------------------------------ *)
+(* Crash-fault statistics                                              *)
+(* ------------------------------------------------------------------ *)
+
+let hosts_where a =
+  Array.to_list (Array.mapi (fun h v -> (h, v)) a)
+  |> List.filter_map (fun (h, v) -> if v then Some h else None)
+
+let crashed_hosts t = hosts_where t.crashed
+let declared_dead t = hosts_where t.declared
+let lost_minipages t = List.sort_uniq compare t.lost_mps
+let heartbeats_sent t = Stats.Counters.get t.counters "ft.heartbeats"
+let leases_revoked t = Stats.Counters.get t.counters "ft.lease_revokes"
+
+let recovered_minipages t =
+  Stats.Counters.get t.counters "ft.recovered_minipages"
+
+let idempotence_size t = Directory.idempotence_size t.dir

@@ -17,6 +17,26 @@ type ctx
 (** Handle given to each application thread. *)
 
 module Config : sig
+  (** Crash-fault tolerance knobs: injected host crashes/stalls, the
+      heartbeat failure detector, and the deadlock watchdog.  [None] (the
+      default) spawns no extra process and sends no extra message — fault-free
+      runs are bit-identical to a build without the subsystem. *)
+  type ft = {
+    hb_interval_us : float;  (** heartbeat period per host *)
+    suspect_after_us : float;  (** silence before a host is suspected *)
+    declare_after_us : float;
+        (** silence before a suspect is declared dead; a stall shorter than
+            this survives (the suspicion is retracted) *)
+    crashes : (int * float) list;  (** (host, time µs): fail-stop *)
+    stalls : (int * float * float) list;  (** (host, time µs, duration µs) *)
+    deadlock_ticks : int;
+        (** detector ticks without protocol progress before {!Deadlock} *)
+  }
+
+  val default_ft : ft
+  (** 1 ms heartbeats, suspect after 3 ms, declare after 8 ms, no injected
+      faults, deadlock after 500 idle ticks. *)
+
   type t = {
     views : int;  (** application views mapped at initialization (§2.4) *)
     object_size : int;  (** shared memory object size, bytes *)
@@ -36,6 +56,7 @@ module Config : sig
     max_retries : int;
         (** retransmissions per packet before the run is declared
             unrecoverable ([Failure]) *)
+    ft : ft option;  (** crash-fault tolerance; [None] disables it entirely *)
   }
 
   val default : t
@@ -43,6 +64,16 @@ module Config : sig
       NT-timer polling, no faults (RTO 5 ms ×2 up to 12 retries when
       enabled). *)
 end
+
+exception Deadlock of string
+(** The run stopped making progress with live application threads still
+    blocked; the message lists the blocked processes and the manager's
+    queue state. *)
+
+exception Crash_unrecoverable of string
+(** A survivor accessed data whose only up-to-date copy died with a crashed
+    host (the dead owner wrote after its last observed transfer); the
+    message names the lost minipages. *)
 
 val create : Mp_sim.Engine.t -> hosts:int -> ?config:Config.t -> unit -> t
 
@@ -71,8 +102,10 @@ val spawn : t -> host:int -> ?name:string -> (ctx -> unit) -> unit
     barriers synchronize every spawned thread. *)
 
 val run : t -> unit
-(** Drive the simulation to completion.  Raises [Failure] if application
-    threads deadlock. *)
+(** Drive the simulation to completion.  Raises {!Deadlock} if live
+    application threads remain blocked when the event queue drains (or, with
+    crash-fault tolerance on, when the watchdog sees no progress), and
+    {!Crash_unrecoverable} if a survivor touches data lost in a crash. *)
 
 (** {2 Application-thread operations} *)
 
@@ -174,3 +207,39 @@ val net_dropped : t -> int
 val net_duplicated : t -> int
 val net_reordered : t -> int
 (** Faults the fabric actually injected during the run. *)
+
+(** {2 Crash-fault tolerance}
+
+    With {!Config.t.ft} set, every non-manager host sends heartbeats to the
+    manager over the fabric; a host silent past [suspect_after_us] is
+    suspected, and past [declare_after_us] it is declared dead and fenced.
+    Declaration triggers manager-side recovery: the directory is scrubbed
+    (copysets, in-flight operations, queued requests), minipages the dead
+    host exclusively owned are re-materialized from the manager's shadow
+    copies (refreshed eagerly on every data transfer and at each barrier
+    entry), lock leases held by the dead host are revoked and granted to the
+    next live waiter, and in-progress barriers reconfigure to the
+    survivors. *)
+
+val crashed_hosts : t -> int list
+(** Hosts that fail-stopped (injected crash or detector fencing). *)
+
+val declared_dead : t -> int list
+(** Hosts the manager declared dead (and recovery ran for). *)
+
+val lost_minipages : t -> int list
+(** Minipages whose dead owner wrote after the last observed transfer —
+    recovered bytes are stale, so survivor accesses raise
+    {!Crash_unrecoverable}. *)
+
+val recovered_minipages : t -> int
+(** Exclusively-dead-owned minipages successfully re-materialized from the
+    manager's shadow copies. *)
+
+val heartbeats_sent : t -> int
+val leases_revoked : t -> int
+
+val idempotence_size : t -> int
+(** Current size of the manager's request-idempotence tables (bounded by
+    periodic pruning of completions older than the retransmission
+    window). *)

@@ -25,6 +25,9 @@ type body =
   | Forward_group of { req_id : int; from : int; members : info list }
   | Group_data of { req_id : int; members : (info * bytes) list }
   | Group_ack of { req_id : int; from : int; mp_ids : int list }
+  | Group_replan of { req_id : int; drop : int }
+  | Heartbeat of { from : int; beat : int }
+  | Dead_notice of { dead : int }
 
 (* Wire packets: protocol bodies travel inside [Data] with a per-channel
    sequence number so the reliable-transport layer in [Dsm] can detect loss,
@@ -63,6 +66,9 @@ let describe = function
   | Group_data { members; _ } ->
     Printf.sprintf "GROUP_DATA(%d minipages)" (List.length members)
   | Group_ack { mp_ids; _ } -> Printf.sprintf "GROUP_ACK(%d minipages)" (List.length mp_ids)
+  | Group_replan { drop; _ } -> Printf.sprintf "GROUP_REPLAN(-%d batches)" drop
+  | Heartbeat { from; beat } -> Printf.sprintf "HEARTBEAT(h%d b%d)" from beat
+  | Dead_notice { dead } -> Printf.sprintf "DEAD_NOTICE(h%d)" dead
 
 (* Data packets keep the bare body label so fault-free traces are identical
    with or without the transport wrapper. *)

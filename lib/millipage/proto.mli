@@ -51,6 +51,15 @@ type body =
   | Group_data of { req_id : int; members : (info * bytes) list }
       (** replica → fetching host: all requested minipages, gathered *)
   | Group_ack of { req_id : int; from : int; mp_ids : int list }
+  | Group_replan of { req_id : int; drop : int }
+      (** manager → fetching host after crash recovery: [drop] announced
+          batches died with their supplier; the skipped members fault on
+          demand later *)
+  | Heartbeat of { from : int; beat : int }
+      (** every host → manager, each heartbeat interval; the failure
+          detector's only liveness signal *)
+  | Dead_notice of { dead : int }
+      (** manager → every survivor once [dead] is declared dead *)
 
 (** What actually travels on the fabric: a protocol body stamped with the
     sending channel's sequence number, or a transport-level acknowledgement.

@@ -29,6 +29,8 @@ type 'a node = {
   mutable busy : bool;
   mutable pending_poll : float;  (* earliest scheduled wake; infinity when none *)
   mutable poll_gen : int;  (* arms outstanding timers; stale ones no-op *)
+  mutable dead : bool;  (* crashed host: endpoint silent both ways *)
+  mutable stalled_until : float;  (* polls deferred past this instant *)
   handled_key : string;  (* precomputed counter keys (hot path) *)
   send_key : string;
 }
@@ -66,6 +68,8 @@ let create engine ~hosts ?(latency = default_latency) ?(poll_idle_us = 2.0)
       busy = false;
       pending_poll = infinity;
       poll_gen = 0;
+      dead = false;
+      stalled_until = neg_infinity;
       handled_key = Printf.sprintf "handled.h%d" id;
       send_key = Printf.sprintf "send.count.h%d" id;
     }
@@ -96,7 +100,10 @@ let create engine ~hosts ?(latency = default_latency) ?(poll_idle_us = 2.0)
      at a time, on the host's DSM server thread. *)
   Array.iter
     (fun n ->
-      Engine.spawn engine ~name:(Printf.sprintf "fabric.server.h%d" n.id) (fun () ->
+      Engine.spawn engine
+        ~name:(Printf.sprintf "fabric.server.h%d" n.id)
+        ~group:n.id
+        (fun () ->
           let rec loop () =
             Sync.Event.wait n.wake;
             let rec drain () =
@@ -135,7 +142,11 @@ let node t host =
 let set_handler t ~host h = (node t host).handler <- Some h
 
 let schedule_poll t n ~arrival =
+  if n.dead then ()
+  else begin
   let pt = Polling.next_poll_time n.polling ~now:arrival ~busy:n.busy in
+  (* A stalled host's CPU is frozen: it cannot poll before the stall ends. *)
+  let pt = Float.max pt n.stalled_until in
   if n.pending_poll <= Engine.now t.engine || n.pending_poll > pt then begin
     n.pending_poll <- pt;
     (* Each arm bumps the generation; a timer whose generation is stale was
@@ -153,16 +164,53 @@ let schedule_poll t n ~arrival =
           Sync.Event.set n.wake
         end)
   end
+  end
 
 let deliver t (dst_node : 'a node) m ~at =
   Engine.schedule t.engine ~at (fun () ->
-      Queue.add m dst_node.ready;
-      schedule_poll t dst_node ~arrival:(Engine.now t.engine))
+      if dst_node.dead then Stats.Counters.incr t.counters "net.dead_dropped"
+      else begin
+        Queue.add m dst_node.ready;
+        schedule_poll t dst_node ~arrival:(Engine.now t.engine)
+      end)
+
+let crash t ~host =
+  let n = node t host in
+  if not n.dead then begin
+    n.dead <- true;
+    n.stalled_until <- neg_infinity;
+    (* Arrived-but-unhandled messages die with the host; cancel any armed
+       poll so the (killed) server process is never signalled again. *)
+    Queue.clear n.ready;
+    n.poll_gen <- n.poll_gen + 1;
+    n.pending_poll <- infinity;
+    Stats.Counters.incr t.counters "net.crashed_hosts"
+  end
+
+let stall t ~host ~until =
+  let n = node t host in
+  if (not n.dead) && until > n.stalled_until then begin
+    n.stalled_until <- until;
+    (* Disarm any poll that would fire during the stall and re-poll once the
+       CPU thaws, so queued traffic is picked up then. *)
+    if n.pending_poll < until then begin
+      n.poll_gen <- n.poll_gen + 1;
+      n.pending_poll <- infinity
+    end;
+    Engine.schedule t.engine ~at:until (fun () ->
+        if (not n.dead) && not (Queue.is_empty n.ready) then
+          schedule_poll t n ~arrival:(Engine.now t.engine))
+  end
+
+let dead t ~host = (node t host).dead
+let stalled_until t ~host = (node t host).stalled_until
 
 let send t ~src ~dst ~bytes body =
   if bytes < 0 then invalid_arg "Fabric.send: negative size";
   let dst_node = node t dst in
   let src_node = node t src in
+  if src_node.dead then Stats.Counters.incr t.counters "net.dead_dropped"
+  else begin
   Stats.Counters.incr t.counters "send.count";
   Stats.Counters.add t.counters "send.bytes" bytes;
   Stats.Counters.incr t.counters src_node.send_key;
@@ -239,6 +287,7 @@ let send t ~src ~dst ~bytes body =
         (* the ghost copy trails the original without advancing the clamp *)
         deliver t dst_node m ~at:(arrival +. (float_of_int copy *. fifo_spacing_us))
     done
+  end
 
 let set_busy t ~host b =
   let n = node t host in

@@ -93,6 +93,25 @@ val counters : 'a t -> Mp_util.Stats.Counters.t
 val queue_depth : 'a t -> host:int -> int
 (** Messages arrived but not yet handled (for tests). *)
 
+val crash : 'a t -> host:int -> unit
+(** Silence the host's endpoint permanently: queued messages are discarded,
+    in-flight and future traffic to it evaporates on arrival, and its own
+    sends are swallowed (["net.dead_dropped"] counts both directions).  The
+    host's server process must be killed separately (see
+    [Engine.kill_group]).  Idempotent. *)
+
+val stall : 'a t -> host:int -> until:float -> unit
+(** Freeze the host's CPU until the given absolute time: no polls fire
+    before [until], so arrived messages sit in the queue and are drained in
+    one burst when the stall ends.  In-flight delivery is unaffected (the
+    NIC still enqueues).  A shorter stall than one already in force is
+    ignored; [stall] on a dead host is a no-op. *)
+
+val dead : 'a t -> host:int -> bool
+
+val stalled_until : 'a t -> host:int -> float
+(** Absolute end of the host's current stall; [neg_infinity] when none. *)
+
 val attach_obs :
   'a t -> obs:Mp_obs.Recorder.t -> describe:('a -> string) -> unit
 (** Mirror every send, delivery and sweeper wake-up into [obs] as typed

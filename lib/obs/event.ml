@@ -37,6 +37,17 @@ type kind =
   | Sweeper_wake
   | Proc_block of { proc : string; on : string }
   | Proc_resume of { proc : string }
+  | Host_crash
+  | Host_stall of { until : float }
+  | Heartbeat_miss of { missed : int }
+  | Suspect
+  | Declare_dead
+  | Dead_notice of { dead : int }
+  | Shadow_refresh of { mp_id : int; bytes : int }
+  | Shadow_sync of { refreshed : int }
+  | Recover_minipage of { mp_id : int; lost : bool }
+  | Lease_revoke of { lock : int; next : int }
+  | Barrier_reconfig of { bphase : int; expected : int }
   | Mark of { kind : string; detail : string }
 
 type t = { time : float; host : int; span : int; kind : kind }
@@ -70,6 +81,17 @@ let kind_name = function
   | Sweeper_wake -> "SWEEPER"
   | Proc_block _ -> "BLOCK"
   | Proc_resume _ -> "RESUME"
+  | Host_crash -> "HOST_CRASH"
+  | Host_stall _ -> "HOST_STALL"
+  | Heartbeat_miss _ -> "HEARTBEAT_MISS"
+  | Suspect -> "SUSPECT"
+  | Declare_dead -> "DECLARE_DEAD"
+  | Dead_notice _ -> "DEAD_NOTICE"
+  | Shadow_refresh _ -> "SHADOW_REFRESH"
+  | Shadow_sync _ -> "SHADOW_SYNC"
+  | Recover_minipage _ -> "RECOVER_MINIPAGE"
+  | Lease_revoke _ -> "LEASE_REVOKE"
+  | Barrier_reconfig _ -> "BARRIER_RECONFIG"
   | Mark m -> m.kind
 
 let detail = function
@@ -109,6 +131,21 @@ let detail = function
   | Sweeper_wake -> ""
   | Proc_block { proc; on } -> Printf.sprintf "%s on %s" proc on
   | Proc_resume { proc } -> proc
+  | Host_crash -> ""
+  | Host_stall { until } -> Printf.sprintf "until %.1f" until
+  | Heartbeat_miss { missed } -> Printf.sprintf "%d missed" missed
+  | Suspect -> ""
+  | Declare_dead -> ""
+  | Dead_notice { dead } -> Printf.sprintf "h%d is dead" dead
+  | Shadow_refresh { mp_id; bytes } -> Printf.sprintf "mp%d (%d bytes)" mp_id bytes
+  | Shadow_sync { refreshed } -> Printf.sprintf "%d minipages" refreshed
+  | Recover_minipage { mp_id; lost } ->
+    Printf.sprintf "mp%d%s" mp_id (if lost then " (LOST)" else "")
+  | Lease_revoke { lock; next } ->
+    if next < 0 then Printf.sprintf "l%d (no waiter)" lock
+    else Printf.sprintf "l%d -> h%d" lock next
+  | Barrier_reconfig { bphase; expected } ->
+    Printf.sprintf "phase %d now expects %d" bphase expected
   | Mark m -> m.detail
 
 let pp fmt e =

@@ -52,6 +52,26 @@ type kind =
   | Sweeper_wake
   | Proc_block of { proc : string; on : string }
   | Proc_resume of { proc : string }
+  | Host_crash  (** Fault injection crashed this host. *)
+  | Host_stall of { until : float }
+      (** Fault injection froze this host's CPU until the given time. *)
+  | Heartbeat_miss of { missed : int }
+      (** Detector tick found this host's heartbeat overdue. *)
+  | Suspect  (** Detector moved this host to suspected. *)
+  | Declare_dead  (** Detector declared this host dead; recovery runs now. *)
+  | Dead_notice of { dead : int }
+      (** This host learned (via the control plane) that [dead] is dead. *)
+  | Shadow_refresh of { mp_id : int; bytes : int }
+      (** Manager shadow copy updated from an ownership/data transfer. *)
+  | Shadow_sync of { refreshed : int }
+      (** Barrier-release sweep refreshed this many shadow copies. *)
+  | Recover_minipage of { mp_id : int; lost : bool }
+      (** Recovery installed the shadow copy at the manager; [lost] marks a
+          minipage the dead host wrote after its last transfer. *)
+  | Lease_revoke of { lock : int; next : int }
+      (** Lock lease revoked from this (dead) host; [next < 0]: no waiter. *)
+  | Barrier_reconfig of { bphase : int; expected : int }
+      (** Barrier retargeted to the surviving hosts' thread count. *)
   | Mark of { kind : string; detail : string }
       (** Escape hatch for untyped events (the {!Mp_millipage.Trace} shim). *)
 

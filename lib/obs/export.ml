@@ -144,6 +144,11 @@ let perfetto_json (events : Event.t list) =
         add (instant ~name ~cat:"proto" ~ts:e.time ~pid ~tid:1 ~args)
       | Event.Proc_block _ | Event.Proc_resume _ ->
         add (instant ~name ~cat:"sched" ~ts:e.time ~pid ~tid:0 ~args)
+      | Event.Host_crash | Event.Host_stall _ | Event.Heartbeat_miss _
+      | Event.Suspect | Event.Declare_dead | Event.Dead_notice _
+      | Event.Shadow_refresh _ | Event.Shadow_sync _ | Event.Recover_minipage _
+      | Event.Lease_revoke _ | Event.Barrier_reconfig _ ->
+        add (instant ~name ~cat:"crash" ~ts:e.time ~pid ~tid:0 ~args)
       | Event.Mark _ -> add (instant ~name ~cat:"mark" ~ts:e.time ~pid ~tid:0 ~args)
       | Event.Fault _ | Event.Fault_done _ | Event.Queued _ | Event.Dequeued _ -> ())
     events;

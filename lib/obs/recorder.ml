@@ -292,6 +292,73 @@ let proc_block t ~time ~proc ~on =
 let proc_resume t ~time ~proc =
   if t.on then record t ~time ~host:(-1) (Event.Proc_resume { proc })
 
+(* ------------------------------------------------------------------ *)
+(* Crash faults                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let host_crash t ~time ~host =
+  if t.on then begin
+    record t ~time ~host Event.Host_crash;
+    incr t "ft.crashes"
+  end
+
+let host_stall t ~time ~host ~until =
+  if t.on then begin
+    record t ~time ~host (Event.Host_stall { until });
+    incr t "ft.stalls"
+  end
+
+let heartbeat_miss t ~time ~host ~missed =
+  if t.on then begin
+    record t ~time ~host (Event.Heartbeat_miss { missed });
+    incr t "ft.heartbeat_misses"
+  end
+
+let suspect t ~time ~host =
+  if t.on then begin
+    record t ~time ~host Event.Suspect;
+    incr t "ft.suspects"
+  end
+
+let declare_dead t ~time ~host =
+  if t.on then begin
+    record t ~time ~host Event.Declare_dead;
+    incr t "ft.declared_dead"
+  end
+
+let dead_notice t ~time ~host ~dead =
+  if t.on then record t ~time ~host (Event.Dead_notice { dead })
+
+let shadow_refresh t ~time ~host ~mp_id ~bytes =
+  if t.on then begin
+    record t ~time ~host (Event.Shadow_refresh { mp_id; bytes });
+    incr t "ft.shadow_refreshes"
+  end
+
+let shadow_sync t ~time ~host ~refreshed =
+  if t.on then begin
+    record t ~time ~host (Event.Shadow_sync { refreshed });
+    incr t "ft.shadow_syncs"
+  end
+
+let recover_minipage t ~time ~host ~span ~mp_id ~lost =
+  if t.on then begin
+    record t ~time ~host ~span (Event.Recover_minipage { mp_id; lost });
+    incr t (if lost then "ft.lost_minipages" else "ft.recovered_minipages")
+  end
+
+let lease_revoke t ~time ~host ~lock ~next =
+  if t.on then begin
+    record t ~time ~host (Event.Lease_revoke { lock; next });
+    incr t "ft.lease_revokes"
+  end
+
+let barrier_reconfig t ~time ~host ~bphase ~expected =
+  if t.on then begin
+    record t ~time ~host (Event.Barrier_reconfig { bphase; expected });
+    incr t "ft.barrier_reconfigs"
+  end
+
 let pp_dump t fmt =
   List.iter (fun e -> Format.fprintf fmt "%a@." Event.pp e) (events t);
   if dropped t > 0 then

@@ -109,4 +109,24 @@ val sweeper_wake : t -> time:float -> host:int -> unit
 val proc_block : t -> time:float -> proc:string -> on:string -> unit
 val proc_resume : t -> time:float -> proc:string -> unit
 
+(** {2 Crash faults}
+
+    [host] is the affected host: the crashed/stalled/suspected one, the
+    receiver for {!dead_notice}, the manager for shadow/recovery events. *)
+
+val host_crash : t -> time:float -> host:int -> unit
+val host_stall : t -> time:float -> host:int -> until:float -> unit
+val heartbeat_miss : t -> time:float -> host:int -> missed:int -> unit
+val suspect : t -> time:float -> host:int -> unit
+val declare_dead : t -> time:float -> host:int -> unit
+val dead_notice : t -> time:float -> host:int -> dead:int -> unit
+val shadow_refresh : t -> time:float -> host:int -> mp_id:int -> bytes:int -> unit
+val shadow_sync : t -> time:float -> host:int -> refreshed:int -> unit
+
+val recover_minipage :
+  t -> time:float -> host:int -> span:int -> mp_id:int -> lost:bool -> unit
+
+val lease_revoke : t -> time:float -> host:int -> lock:int -> next:int -> unit
+val barrier_reconfig : t -> time:float -> host:int -> bphase:int -> expected:int -> unit
+
 val pp_dump : t -> Format.formatter -> unit

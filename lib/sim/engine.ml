@@ -1,5 +1,14 @@
 type sched_event = Block of { proc : string; on : string } | Resume of { proc : string }
 
+type proc_state = {
+  mutable cancelled : bool;
+  mutable finished : bool;
+  (* Kill thunk for the at-most-one live suspension of this process: a fiber
+     is suspended at no more than one point at a time, so a single slot
+     suffices.  Cleared when the suspension resumes. *)
+  mutable kill_suspended : (unit -> unit) option;
+}
+
 type t = {
   mutable now : float;
   queue : (unit -> unit) Pqueue.t;
@@ -9,10 +18,12 @@ type t = {
   blocked_tbl : (int, string * string) Hashtbl.t;
   mutable susp_id : int;
   mutable observer : (time:float -> sched_event -> unit) option;
+  groups : (int, proc_state list ref) Hashtbl.t;
 }
 
 exception Not_in_process
 exception Stopped
+exception Killed
 
 type _ Effect.t +=
   | Delay : (t * float) -> unit Effect.t
@@ -29,6 +40,7 @@ let create () =
     blocked_tbl = Hashtbl.create 32;
     susp_id = 0;
     observer = None;
+    groups = Hashtbl.create 8;
   }
 
 let now t = t.now
@@ -44,15 +56,32 @@ let schedule_raw t ~at thunk =
 
 let schedule = schedule_raw
 
-let spawn t ?(name = "proc") f =
+let spawn t ?(name = "proc") ?group f =
   t.live <- t.live + 1;
-  let finish () = t.live <- t.live - 1 in
+  let st = { cancelled = false; finished = false; kill_suspended = None } in
+  (match group with
+  | None -> ()
+  | Some g ->
+    let l =
+      match Hashtbl.find_opt t.groups g with
+      | Some l -> l
+      | None ->
+        let l = ref [] in
+        Hashtbl.add t.groups g l;
+        l
+    in
+    l := st :: !l);
+  let finish () =
+    st.finished <- true;
+    st.kill_suspended <- None;
+    t.live <- t.live - 1
+  in
   let handler =
     {
       Effect.Deep.retc = (fun () -> finish ());
       exnc =
         (function
-        | Stopped -> finish ()
+        | Stopped | Killed -> finish ()
         | e ->
           (* a crashing process is still an exit: keep [live] balanced *)
           finish ();
@@ -64,7 +93,9 @@ let spawn t ?(name = "proc") f =
             Some
               (fun (k : (a, unit) Effect.Deep.continuation) ->
                 let d = if d < 0.0 then 0.0 else d in
-                schedule_raw t ~at:(t.now +. d) (fun () -> Effect.Deep.continue k ()))
+                schedule_raw t ~at:(t.now +. d) (fun () ->
+                    if st.cancelled then Effect.Deep.discontinue k Killed
+                    else Effect.Deep.continue k ()))
           | Suspend (t, label, register) ->
             Some
               (fun (k : (a, unit) Effect.Deep.continuation) ->
@@ -73,24 +104,37 @@ let spawn t ?(name = "proc") f =
                 Hashtbl.replace t.blocked_tbl id (name, label);
                 notify t (Block { proc = name; on = label });
                 let resumed = ref false in
+                let cleanup () =
+                  resumed := true;
+                  st.kill_suspended <- None;
+                  Hashtbl.remove t.blocked_tbl id
+                in
                 let resume () =
                   if not !resumed then begin
-                    resumed := true;
-                    Hashtbl.remove t.blocked_tbl id;
+                    cleanup ();
                     notify t (Resume { proc = name });
                     if t.stopped then
                       (* Unwind the fiber so daemon loops exit cleanly. *)
                       Effect.Deep.discontinue k Stopped
+                    else if st.cancelled then Effect.Deep.discontinue k Killed
                     else
                       schedule_raw t ~at:t.now (fun () -> Effect.Deep.continue k ())
                   end
                 in
+                st.kill_suspended <-
+                  Some
+                    (fun () ->
+                      if not !resumed then begin
+                        cleanup ();
+                        Effect.Deep.discontinue k Killed
+                      end);
                 register resume)
           | Self_name -> Some (fun k -> Effect.Deep.continue k name)
           | _ -> None);
     }
   in
-  schedule_raw t ~at:t.now (fun () -> Effect.Deep.match_with f () handler)
+  schedule_raw t ~at:t.now (fun () ->
+      if st.cancelled then finish () else Effect.Deep.match_with f () handler)
 
 (* The engine of the innermost handler is the one stored in the effect
    payload; processes capture it at spawn time via these helpers.  A process
@@ -148,3 +192,23 @@ let run_until t limit =
 let stop t = t.stopped <- true
 let live t = t.live
 let blocked t = Hashtbl.fold (fun _ v acc -> v :: acc) t.blocked_tbl []
+
+let kill_group t g =
+  match Hashtbl.find_opt t.groups g with
+  | None -> 0
+  | Some l ->
+    let killed = ref 0 in
+    List.iter
+      (fun st ->
+        if not (st.finished || st.cancelled) then begin
+          st.cancelled <- true;
+          incr killed;
+          (* Suspended processes unwind immediately; processes waiting on a
+             Delay unwind when their timer fires (sim time still advances
+             past the crash, but no further user code runs). *)
+          match st.kill_suspended with
+          | Some kill -> kill ()
+          | None -> ()
+        end)
+      !l;
+    !killed

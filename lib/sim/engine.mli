@@ -16,14 +16,20 @@ exception Stopped
 (** Raised inside a process that is resumed after {!stop} was called, letting
     daemon-style loops unwind cleanly. *)
 
+exception Killed
+(** Raised inside a process whose group was passed to {!kill_group}; the
+    process unwinds at its next suspension point and counts as finished. *)
+
 val create : unit -> t
 
 val now : t -> float
 (** Current simulated time in µs. *)
 
-val spawn : t -> ?name:string -> (unit -> unit) -> unit
+val spawn : t -> ?name:string -> ?group:int -> (unit -> unit) -> unit
 (** [spawn t f] registers process [f] to start at the current time.  An
-    exception escaping [f] (other than {!Stopped}) aborts the whole run. *)
+    exception escaping [f] (other than {!Stopped} / {!Killed}) aborts the
+    whole run.  [group] tags the process for {!kill_group} (used to model
+    host crashes: everything running on host [h] is spawned in group [h]). *)
 
 val schedule : t -> at:float -> (unit -> unit) -> unit
 (** Run a plain callback (not a process: it must not perform effects) at
@@ -68,3 +74,9 @@ val set_observer : t -> (time:float -> sched_event -> unit) option -> unit
 
 val blocked : t -> (string * string) list
 (** [(process, suspension)] pairs for every currently suspended process. *)
+
+val kill_group : t -> int -> int
+(** [kill_group t g] cancels every unfinished process spawned with
+    [~group:g]: suspended processes unwind with {!Killed} immediately,
+    delayed ones when their timer fires, unstarted ones never run.  Returns
+    the number of processes cancelled.  Idempotent. *)

@@ -176,7 +176,7 @@ let test_directory_dedupes_requests () =
   Alcotest.(check bool) "other requests unaffected" true
     (Directory.note_request d ~req_id:8);
   Alcotest.(check bool) "not completed yet" false (Directory.completed d ~req_id:7);
-  Directory.mark_completed d ~req_id:7;
+  Directory.mark_completed d ~req_id:7 ~now:0.0;
   Alcotest.(check bool) "completed" true (Directory.completed d ~req_id:7)
 
 (* ---------------- end-to-end: millipage over a faulty fabric ---------- *)

@@ -20,4 +20,5 @@ let () =
       ("properties", Test_properties.suite);
       ("obs", Test_obs.suite);
       ("faults", Test_faults.suite);
+      ("crash", Test_crash.suite);
     ]

@@ -331,7 +331,7 @@ let test_deadlock_detection () =
     (try
        Dsm.run dsm;
        false
-     with Failure msg ->
+     with Dsm.Deadlock msg ->
        String.length msg > 0)
 
 let test_breakdown_accounted () =
