@@ -30,7 +30,9 @@ let mixes =
 
 let run_one ~hosts ~faults =
   let e = Engine.create () in
-  let config = { Dsm.Config.default with faults; net_seed } in
+  let config =
+    { Dsm.Config.default with net = { Dsm.Config.Net.default with faults; seed = net_seed } }
+  in
   let dsm = Dsm.create e ~hosts ~config () in
   let obs = Dsm.obs dsm in
   Mp_obs.Recorder.set_capacity obs (1 lsl 21);

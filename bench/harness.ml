@@ -33,10 +33,10 @@ let obs_dump name dsm =
 
 let mk_dsm ?(polling = Mp_net.Polling.nt_mode) ?(views = 32)
     ?(object_size = 16 * 1024 * 1024) ?(chunking = Mp_multiview.Allocator.Fine 1)
-    ?(seed = 1) hosts =
+    ?(seed = 1) ?(homes = Dsm.Config.Homes.default) hosts =
   let e = Engine.create () in
   let config =
-    { Dsm.Config.default with polling; views; object_size; chunking; seed }
+    { Dsm.Config.default with polling; views; object_size; chunking; seed; homes }
   in
   let dsm = Dsm.create e ~hosts ~config () in
   arm_obs dsm;

@@ -15,6 +15,7 @@ let all_experiments ~full ~fast () =
   Exp_gms.run ();
   Exp_soak.run ();
   Exp_crash.run ();
+  Exp_shard.run ();
   Bechamel_bench.run ()
 
 let full_flag =
@@ -58,6 +59,10 @@ let crash =
   cmd "crash" "Crash-fault sweep: recovery latency, degradation, heartbeat cost"
     Term.(const Exp_crash.run $ const ())
 
+let shard =
+  cmd "shard" "Sharded-home sweep: per-home queue depth and end time vs central"
+    Term.(const Exp_shard.run $ const ())
+
 let bechamel =
   cmd "bechamel" "Wall-clock microbenchmarks of simulator primitives"
     Term.(const Bechamel_bench.run $ const ())
@@ -77,4 +82,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ table1; costs; fig5; table2; fig6; fig7; ablation; gms; soak; crash;
-            bechamel; all_cmd ]))
+            shard; bechamel; all_cmd ]))

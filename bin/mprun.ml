@@ -198,8 +198,23 @@ let report_ft (t : Mp_millipage.Dsm.t) =
       (D.leases_revoked t) (c "ft.barrier_reconfigs")
 
 let execute app system hosts chunking polling paper trace_out perfetto metrics loss
-    dup reorder net_seed ft crash stall crash_seed crash_horizon =
+    dup reorder net_seed ft crash stall crash_seed crash_horizon homes home_block =
   let obs_opts = { Obs_opts.trace_out; perfetto; metrics } in
+  let homes_config =
+    let module H = Mp_millipage.Dsm.Config.Homes in
+    match H.policy_of_string homes with
+    | Some H.Block -> H.block home_block
+    | Some policy -> { H.default with policy }
+    | None ->
+      invalid_arg (Printf.sprintf "unknown homes policy %S (central|rr|block|ft)" homes)
+  in
+  if homes_config.Mp_millipage.Dsm.Config.Homes.policy <> Mp_millipage.Dsm.Config.Homes.Central
+     && system <> "millipage"
+  then
+    invalid_arg
+      (Printf.sprintf
+         "home sharding (--homes) requires --system millipage; %s has a single manager"
+         system);
   let faults =
     { Mp_net.Fabric.no_faults with drop = loss; duplicate = dup; reorder }
   in
@@ -243,9 +258,10 @@ let execute app system hosts chunking polling paper trace_out perfetto metrics l
         Mp_millipage.Dsm.Config.default with
         polling = polling_mode;
         chunking = chunking_mode;
-        faults;
-        net_seed;
+        net =
+          { Mp_millipage.Dsm.Config.Net.default with faults; seed = net_seed };
         ft = ft_config;
+        homes = homes_config;
       }
     in
     let t = Mp_millipage.Dsm.create engine ~hosts ~config () in
@@ -256,6 +272,18 @@ let execute app system hosts chunking polling paper trace_out perfetto metrics l
           Printf.printf "views used:   %d, competing requests: %d\n"
             (Mp_millipage.Dsm.views_used t)
             (Mp_millipage.Dsm.competing_requests t);
+          (let module H = Mp_millipage.Dsm.Config.Homes in
+           if homes_config.H.policy <> H.Central then
+             Printf.printf
+               "homes:        policy %s; %d redirect(s), %d re-homed; queue \
+                depth by home [%s]\n"
+               (H.policy_name homes_config.H.policy)
+               (Mp_millipage.Dsm.home_redirects t)
+               (Mp_millipage.Dsm.rehomed_minipages t)
+               (String.concat ","
+                  (Array.to_list
+                     (Array.map string_of_int
+                        (Mp_millipage.Dsm.max_queue_depth_by_home t)))));
           if Mp_millipage.Dsm.faulty t then
             Printf.printf
               "net faults:   %d dropped, %d duplicated, %d reordered; %d \
@@ -431,12 +459,28 @@ let crash_horizon_arg =
     & info [ "crash-horizon" ] ~docv:"US"
         ~doc:"Latest time (µs) a rand:P crash may fire.")
 
+let homes_arg =
+  Arg.(
+    value & opt string "central"
+    & info [ "homes" ] ~docv:"POLICY"
+        ~doc:
+          "Home-assignment policy for minipage directory shards: central \
+           (single manager, the default), rr (round-robin by minipage id), \
+           block (contiguous runs, see --home-block), or ft (first-toucher \
+           migration).  Millipage only.")
+
+let home_block_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "home-block" ] ~docv:"N"
+        ~doc:"Run length of consecutive minipage ids per home under --homes block.")
+
 let () =
   let term =
     Term.(const execute $ app_arg $ system_arg $ hosts_arg $ chunking_arg $ polling_arg
           $ paper_arg $ trace_out_arg $ perfetto_arg $ metrics_arg $ loss_arg
           $ dup_arg $ reorder_arg $ net_seed_arg $ ft_arg $ crash_arg $ stall_arg
-          $ crash_seed_arg $ crash_horizon_arg)
+          $ crash_seed_arg $ crash_horizon_arg $ homes_arg $ home_block_arg)
   in
   let info =
     Cmd.info "mprun" ~doc:"Run a Millipage benchmark application on a simulated cluster"

@@ -20,6 +20,7 @@ let create engine ~hosts ?(object_size = 16 * 1024 * 1024)
 let inner t = t
 
 let name = "ivy"
+let home_of _ ~addr:_ = 0
 let hosts = Dsm.hosts
 let engine = Dsm.engine
 let malloc = Dsm.malloc

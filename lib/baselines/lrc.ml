@@ -102,6 +102,7 @@ type ctx = { t : t; hs : host_state; mutable barrier_phase : int }
 
 let manager = 0
 let name = "lrc"
+let home_of _ ~addr:_ = 0
 
 let hosts t = Array.length t.host_states
 let engine t = t.engine

@@ -77,6 +77,7 @@ type ctx = { t : t; hs : host_state; mutable barrier_phase : int }
 
 let manager = 0
 let name = "mrc"
+let home_of _ ~addr:_ = 0
 let hosts t = Array.length t.host_states
 let engine t = t.engine
 let home t mp_id = mp_id mod hosts t

@@ -12,6 +12,12 @@ module type S = sig
   val hosts : t -> int
   val engine : t -> Mp_sim.Engine.t
 
+  val home_of : t -> addr:int -> int
+  (** Host running the coherence state machine for the sharing unit holding
+      [addr].  Single-manager systems answer 0 for every address; Millipage
+      answers the minipage's current home under the configured sharding
+      policy. *)
+
   (** {2 Init phase} *)
 
   val malloc : t -> int -> int

@@ -8,6 +8,7 @@ type ctx = Dsm.ctx
 let name = "millipage"
 let hosts = Dsm.hosts
 let engine = Dsm.engine
+let home_of = Dsm.home_of
 let malloc = Dsm.malloc
 let init_write_f64 = Dsm.init_write_f64
 let init_write_int = Dsm.init_write_int

@@ -65,6 +65,20 @@ val register : t -> Mp_multiview.Minipage.t -> unit
 val entry : t -> mp_id:int -> entry
 (** Raises [Not_found]. *)
 
+val find : t -> mp_id:int -> entry option
+(** Shard-aware lookup: [None] when this shard does not home the minipage. *)
+
+val adopt : t -> entry -> unit
+(** Install an entry that migrated from another shard (first-toucher
+    placement, or crash recovery re-homing a dead home's entries). *)
+
+val remove : t -> mp_id:int -> unit
+
+val absorb_idempotence : t -> from:t -> unit
+(** Merge another shard's seen/completed request-id tables into this one, so
+    duplicates of requests originally served by a re-homed shard are still
+    suppressed at the new home. *)
+
 val busy : entry -> bool
 
 val enqueue : t -> entry -> queued -> unit

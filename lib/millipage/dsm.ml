@@ -6,34 +6,123 @@ open Mp_net
 module Host_set = Directory.Host_set
 
 module Config = struct
+  (* The unreliable-network knobs: injected fabric faults and the hop-by-hop
+     reliable transport that masks them.  Inert under [Fabric.no_faults]. *)
+  module Net = struct
+    type t = {
+      faults : Fabric.faults;
+      seed : int;  (** fault-injection RNG seed *)
+      rto_us : float;
+          (** retransmission timeout.  Must exceed the worst case of two
+              busy-host sweeper pickups (~1.6 ms each under NT polling) plus
+              wire time, or slow-but-undropped packets get retransmitted en
+              masse. *)
+      rto_backoff : float;
+      max_retries : int;
+    }
+
+    let default =
+      {
+        faults = Fabric.no_faults;
+        seed = 9;
+        rto_us = 5000.0;
+        rto_backoff = 2.0;
+        max_retries = 12;
+      }
+
+    let with_faults t faults = { t with faults }
+    let with_seed t seed = { t with seed }
+
+    let with_rto t ?rto_us ?rto_backoff ?max_retries () =
+      {
+        t with
+        rto_us = Option.value ~default:t.rto_us rto_us;
+        rto_backoff = Option.value ~default:t.rto_backoff rto_backoff;
+        max_retries = Option.value ~default:t.max_retries max_retries;
+      }
+  end
+
   (* Crash-fault tolerance: injected host failures, the heartbeat failure
      detector, and the deadlock watchdog.  All of it is off ([ft = None] in
      the main config) by default, in which case no extra process is spawned
      and no extra message is sent — fault-free runs are bit-identical. *)
-  type ft = {
-    hb_interval_us : float;  (** heartbeat period per host *)
-    suspect_after_us : float;  (** silence before a host is suspected *)
+  module Ft = struct
+    type t = {
+      hb_interval_us : float;  (** heartbeat period per host *)
+      suspect_after_us : float;  (** silence before a host is suspected *)
+      declare_after_us : float;
+          (** silence before a suspect is declared dead and recovery runs; a
+              stall shorter than this survives (the suspicion is retracted) *)
+      crashes : (int * float) list;  (** (host, time µs): fail-stop at [time] *)
+      stalls : (int * float * float) list;
+          (** (host, time µs, duration µs): the host freezes — neither polls
+              nor sends — then resumes *)
+      deadlock_ticks : int;
+          (** detector ticks without any protocol progress before the run is
+              declared deadlocked *)
+    }
+
+    let default =
+      {
+        hb_interval_us = 1000.0;
+        suspect_after_us = 3000.0;
+        declare_after_us = 8000.0;
+        crashes = [];
+        stalls = [];
+        deadlock_ticks = 500;
+      }
+
+    let with_crashes t crashes = { t with crashes }
+    let with_stalls t stalls = { t with stalls }
+  end
+
+  (* Sharded home-based management: which host runs each minipage's Figure-3
+     state machine.  [Central] is the paper's single manager on host 0 and is
+     bit-identical to the pre-sharding protocol. *)
+  module Homes = struct
+    type policy =
+      | Central  (** everything homed at host 0 (paper §3, Figure 3) *)
+      | Round_robin  (** minipage id mod hosts *)
+      | Block  (** contiguous runs of [block] minipage ids per home *)
+      | First_toucher
+          (** homed at host 0 until first touched; the first requester
+              becomes the home (a one-time migration, learned lazily by the
+              other hosts through the redirect path) *)
+
+    type t = { policy : policy; block : int }
+
+    let default = { policy = Central; block = 8 }
+    let central = default
+    let round_robin = { default with policy = Round_robin }
+    let block n = { policy = Block; block = n }
+    let first_toucher = { default with policy = First_toucher }
+
+    let policy_name = function
+      | Central -> "central"
+      | Round_robin -> "rr"
+      | Block -> "block"
+      | First_toucher -> "ft"
+
+    let policy_of_string = function
+      | "central" -> Some Central
+      | "rr" | "round-robin" -> Some Round_robin
+      | "block" -> Some Block
+      | "ft" | "first-toucher" -> Some First_toucher
+      | _ -> None
+  end
+
+  (* Compatibility re-export: [Config.ft] and [Config.default_ft] predate the
+     nested sub-records and are used throughout the tests and benches. *)
+  type ft = Ft.t = {
+    hb_interval_us : float;
+    suspect_after_us : float;
     declare_after_us : float;
-        (** silence before a suspect is declared dead and recovery runs; a
-            stall shorter than this survives (the suspicion is retracted) *)
-    crashes : (int * float) list;  (** (host, time µs): fail-stop at [time] *)
+    crashes : (int * float) list;
     stalls : (int * float * float) list;
-        (** (host, time µs, duration µs): the host freezes — neither polls
-            nor sends — then resumes *)
     deadlock_ticks : int;
-        (** detector ticks without any protocol progress before the run is
-            declared deadlocked *)
   }
 
-  let default_ft =
-    {
-      hb_interval_us = 1000.0;
-      suspect_after_us = 3000.0;
-      declare_after_us = 8000.0;
-      crashes = [];
-      stalls = [];
-      deadlock_ticks = 500;
-    }
+  let default_ft = Ft.default
 
   type t = {
     views : int;
@@ -43,12 +132,9 @@ module Config = struct
     cost : Cost_model.t;
     polling : Polling.mode;
     seed : int;
-    faults : Fabric.faults;
-    net_seed : int;
-    rto_us : float;
-    rto_backoff : float;
-    max_retries : int;
-    ft : ft option;
+    net : Net.t;
+    ft : Ft.t option;
+    homes : Homes.t;
   }
 
   let default =
@@ -60,16 +146,25 @@ module Config = struct
       cost = Cost_model.default;
       polling = Polling.nt_mode;
       seed = 1;
-      faults = Fabric.no_faults;
-      net_seed = 9;
-      (* The retransmission timeout must exceed the worst case of two
-         busy-host sweeper pickups (~1.6 ms each under NT polling) plus wire
-         time, or slow-but-delivered packets get retransmitted en masse. *)
-      rto_us = 5000.0;
-      rto_backoff = 2.0;
-      max_retries = 12;
+      net = Net.default;
       ft = None;
+      homes = Homes.default;
     }
+
+  (* Builders, so future knobs stop being breaking changes. *)
+  let with_views t views = { t with views }
+  let with_object_size t object_size = { t with object_size }
+  let with_page_size t page_size = { t with page_size }
+  let with_chunking t chunking = { t with chunking }
+  let with_cost t cost = { t with cost }
+  let with_polling t polling = { t with polling }
+  let with_seed t seed = { t with seed }
+  let with_net t net = { t with net }
+  let with_faults t faults = { t with net = Net.with_faults t.net faults }
+  let with_net_seed t seed = { t with net = Net.with_seed t.net seed }
+  let with_ft t ft = { t with ft }
+  let with_homes t homes = { t with homes }
+  let with_policy t policy = { t with homes = { t.homes with Homes.policy } }
 end
 
 exception Deadlock of string
@@ -81,17 +176,30 @@ exception Crash_unrecoverable of string
     host (the dead owner wrote after its last observed transfer). *)
 
 type inflight = {
-  req_id : int;
+  mutable req_id : int;
+      (* mutable: crash recovery resends the request under a fresh id when
+         its home died with the original in flight *)
   access : Proto.access;
+  addr : int;  (* the faulting address, kept so the request can be resent *)
+  mutable target : int;  (* the home the request was sent to *)
   event : Sync.Event.t;
   mutable waiters : int;
   mutable by_prefetch : bool;
   mutable ack_pending : (int * int) option;  (* req_id, mp_id *)
 }
 
+type push_state = {
+  pu_event : Sync.Event.t;
+  pu_info : Proto.info;
+  pu_data : bytes;
+  mutable pu_target : int;
+}
+
 type group_fetch_state = {
   gf_event : Sync.Event.t;
-  mutable gf_expected : int option;  (* batches announced by the manager *)
+  gf_group : int;
+  mutable gf_target : int;  (* the home this sub-fetch was sent to *)
+  mutable gf_expected : int option;  (* batches announced by the home *)
   mutable gf_received : int;
   mutable gf_mp_ids : int list;  (* members landed so far *)
 }
@@ -102,17 +210,27 @@ type host_state = {
   inflight : (int * int * int, inflight) Hashtbl.t;  (* view, vpage, access idx *)
   barrier_events : (int, Sync.Event.t) Hashtbl.t;
   lock_waiters : (int, Sync.Event.t Queue.t) Hashtbl.t;
-  push_waiters : (int, Sync.Event.t) Hashtbl.t;  (* req_id -> completion *)
+  push_waiters : (int, push_state) Hashtbl.t;  (* req_id -> progress *)
   group_fetches : (int, group_fetch_state) Hashtbl.t;  (* req_id -> progress *)
+  hints : (int, int) Hashtbl.t;
+      (** mp_id -> believed home.  Seeded from the allocation-time layout
+          (like the MPT); goes stale only on first-toucher migration or crash
+          re-homing, and is repaired by HOME_REDIRECT / DEAD_NOTICE. *)
   mutable computing : int;
   mutable dead_peers : Directory.Host_set.t;
       (** peers this host has been told are declared dead (DEAD_NOTICE) *)
   bd : Breakdown.t;
 }
 
-(* [holder < 0] means free.  Holding a lock is a lease: when the holder is
-   declared dead the manager revokes it and grants the next live waiter. *)
-type lock_state = { mutable holder : int; lock_queue : int Queue.t }
+(* [holder = None] means free.  Holding a lock is a lease: when the holder is
+   declared dead its home revokes it and grants the next live waiter.  Both
+   the holder and the queue name (host, tid) pairs so crash recovery can
+   rebuild the queue idempotently from the senders' ground truth. *)
+type lock_state = {
+  mutable holder : (int * int) option;
+  lock_queue : (int * int) Queue.t;
+  mutable granted_from : int;  (* home that sent the in-flight/last grant *)
+}
 
 (* Hop-by-hop reliable transport (active only on a faulty fabric).  Each
    (src, dst) channel numbers its Data packets; the receiver acks every one
@@ -137,12 +255,33 @@ type t = {
   transport : transport option;
   host_states : host_state array;
   allocator : Allocator.t;
-  dir : Directory.t;
+  dirs : Directory.t array;
+      (* one directory shard per host; under the Central policy only shard 0
+         ever holds entries, which keeps that configuration bit-identical to
+         the pre-sharding single manager *)
+  home_tbl : (int, int) Hashtbl.t;  (* authoritative: mp_id -> home host *)
+  ft_pending : (int, unit) Hashtbl.t;
+      (* First_toucher minipages still parked at host 0 awaiting their first
+         remote touch *)
   mutable next_req : int;
   mutable total_threads : int;
   mutable finished_threads : int;
-  barrier_counts : (int, int list ref) Hashtbl.t;  (* phase -> entered hosts *)
+  (* Barrier and lock state is kept global: the sync home is advisory message
+     routing (it decides which host's server process runs the handler), so
+     re-homing sync objects after a crash migrates no state — recovery only
+     has to replay what was in flight to the dead home, which the send-side
+     ground truth below makes idempotent. *)
+  barrier_counts : (int, (int * int) list ref) Hashtbl.t;
+      (* phase -> (host, tid) entered *)
+  barrier_sent : (int, (int * int) list ref) Hashtbl.t;
+      (* phase -> every (host, tid) that sent BARRIER_ENTER (send-side ground
+         truth, pruned at release) *)
+  released_phases : (int, unit) Hashtbl.t;
   locks : (int, lock_state) Hashtbl.t;
+  lock_requests : (int, (int * int) list ref) Hashtbl.t;
+      (* lock -> (host, tid) acquires sent and not yet granted *)
+  pending_releases : (int, (int * int) list ref) Hashtbl.t;
+      (* lock -> (host, target home) releases sent and not yet processed *)
   groups : (int, int list) Hashtbl.t;  (* composed views: group -> minipage ids *)
   mutable next_group : int;
   counters : Stats.Counters.t;
@@ -164,13 +303,19 @@ type t = {
   mutable completions : int;
 }
 
-type ctx = { t : t; hs : host_state; mutable barrier_phase : int }
+type ctx = { t : t; hs : host_state; tid : int; mutable barrier_phase : int }
 
 let manager = 0
 
 let engine t = t.engine
 let hosts t = Array.length t.host_states
-let manager_host _t = manager
+
+let manager_host t =
+  if t.config.homes.Config.Homes.policy = Config.Homes.Central then manager
+  else
+    invalid_arg
+      "Dsm.manager_host: no single manager under a sharded home policy (use \
+       Dsm.home_of)"
 
 let fresh_req t =
   t.next_req <- t.next_req + 1;
@@ -211,6 +356,41 @@ let chan_of t ~src ~dst = (src * hosts t) + dst
 
 let ft_on t = t.config.ft <> None
 
+(* ------------------------------------------------------------------ *)
+(* Home assignment and lookup (sharded management)                     *)
+(* ------------------------------------------------------------------ *)
+
+let central t = t.config.homes.Config.Homes.policy = Config.Homes.Central
+
+(* Allocation-time placement.  First_toucher parks the minipage at host 0
+   until its first remote touch migrates it (see [manager_request]). *)
+let assign_home t mp_id =
+  let n = hosts t in
+  match t.config.homes.Config.Homes.policy with
+  | Config.Homes.Central | Config.Homes.First_toucher -> 0
+  | Config.Homes.Round_robin -> mp_id mod n
+  | Config.Homes.Block -> mp_id / max 1 t.config.homes.Config.Homes.block mod n
+
+let home_of_mp t mp_id =
+  match Hashtbl.find_opt t.home_tbl mp_id with Some home -> home | None -> manager
+
+let hint_of (h : host_state) mp_id =
+  match Hashtbl.find_opt h.hints mp_id with Some home -> home | None -> manager
+
+(* Which host serves a barrier phase or lock: deterministic over the live
+   hosts, so every sender picks the same home and re-picks consistently once
+   a host is declared dead (in-flight traffic to the old home is replayed by
+   recovery). *)
+let sync_home t key =
+  if central t then manager
+  else begin
+    let live = ref [] in
+    for h = hosts t - 1 downto 0 do
+      if not t.declared.(h) then live := h :: !live
+    done;
+    List.nth !live (key mod List.length !live)
+  end
+
 (* Every non-crashed host has finished all its application threads (crashed
    hosts are excused — their threads were killed). *)
 let all_live_done t =
@@ -233,19 +413,19 @@ let rec transport_arm t tr ~chan ~src ~dst ~seq ~timeout =
         Hashtbl.remove tr.tx_unacked (chan, seq)
       | Some e ->
         e.tries <- e.tries + 1;
-        if e.tries > t.config.max_retries then
+        if e.tries > t.config.net.Config.Net.max_retries then
           failwith
             (Printf.sprintf
                "millipage transport: h%d -> h%d seq %d lost after %d \
                 retransmissions"
-               src dst seq t.config.max_retries);
+               src dst seq t.config.net.Config.Net.max_retries);
         Stats.Counters.incr t.counters "transport.retransmits";
         Obs.retransmit (obs t) ~time:(rnow t) ~host:src ~dst ~seq ~attempt:e.tries
           ~label:(Proto.describe e.tx_body);
         Fabric.send t.fabric ~src ~dst ~bytes:e.tx_bytes
           (Proto.Data { seq; body = e.tx_body });
         transport_arm t tr ~chan ~src ~dst ~seq
-          ~timeout:(timeout *. t.config.rto_backoff))
+          ~timeout:(timeout *. t.config.net.Config.Net.rto_backoff))
 
 let send t ~src ~dst ~bytes body =
   match t.transport with
@@ -256,7 +436,7 @@ let send t ~src ~dst ~bytes body =
     tr.tx_next.(chan) <- seq + 1;
     Hashtbl.replace tr.tx_unacked (chan, seq) { tries = 0; tx_bytes = bytes; tx_body = body };
     Fabric.send t.fabric ~src ~dst ~bytes (Proto.Data { seq; body });
-    transport_arm t tr ~chan ~src ~dst ~seq ~timeout:t.config.rto_us
+    transport_arm t tr ~chan ~src ~dst ~seq ~timeout:t.config.net.Config.Net.rto_us
 
 (* ------------------------------------------------------------------ *)
 (* Manager: directory-side protocol (runs in host 0's server process)  *)
@@ -269,20 +449,20 @@ let choose_supplier (e : Directory.entry) ~from =
   let cs = Host_set.remove from e.copyset in
   if Host_set.mem e.owner cs then e.owner else Host_set.min_elt cs
 
-let proceed_write t (e : Directory.entry) ~req_id ~from ~supplier =
+let proceed_write t ~home (e : Directory.entry) ~req_id ~from ~supplier =
   e.pending <-
     Directory.Write_in_flight
       { req_id; from; supplier = Option.value ~default:(-1) supplier };
-  Obs.forward (obs t) ~time:(rnow t) ~host:manager ~span:req_id
+  Obs.forward (obs t) ~time:(rnow t) ~host:home ~span:req_id
     ~access:Mp_obs.Event.Write ~mp_id:e.mp.Minipage.id
     ~supplier:(Option.value ~default:(-1) supplier);
   match supplier with
   | None ->
     Stats.Counters.incr t.counters "grant.upgrades";
-    send t ~src:manager ~dst:from ~bytes:(header t)
+    send t ~src:home ~dst:from ~bytes:(header t)
       (Proto.Write_grant { req_id; info = info_of e.mp })
   | Some s ->
-    send t ~src:manager ~dst:s ~bytes:(header t)
+    send t ~src:home ~dst:s ~bytes:(header t)
       (Proto.Forward { req_id; from; access = Proto.Write; info = info_of e.mp })
 
 (* A survivor touched a minipage whose only current copy died with its
@@ -300,7 +480,7 @@ let check_lost t (e : Directory.entry) ~from =
 
 (* [charge_lookup]: crash recovery calls this from the failure detector,
    which must restart queued operations atomically — no simulated delay. *)
-let manager_start ?(charge_lookup = true) t (e : Directory.entry)
+let manager_start ?(charge_lookup = true) t ~home (e : Directory.entry)
     (q : Directory.queued) =
   let cost = t.config.cost in
   match q with
@@ -319,9 +499,9 @@ let manager_start ?(charge_lookup = true) t (e : Directory.entry)
       | Directory.Reads_in_flight r -> r.flights <- flight :: r.flights
       | Directory.No_op -> e.pending <- Directory.Reads_in_flight { flights = [ flight ] }
       | _ -> failwith "millipage: read started during a conflicting operation");
-      Obs.forward (obs t) ~time:(rnow t) ~host:manager ~span:req_id
+      Obs.forward (obs t) ~time:(rnow t) ~host:home ~span:req_id
         ~access:Mp_obs.Event.Read ~mp_id:info.mp_id ~supplier:replica;
-      send t ~src:manager ~dst:replica ~bytes:(header t)
+      send t ~src:home ~dst:replica ~bytes:(header t)
         (Proto.Forward { req_id; from; access = Proto.Read; info })
     | Proto.Write ->
       let upgrade = Host_set.mem from e.copyset in
@@ -330,16 +510,16 @@ let manager_start ?(charge_lookup = true) t (e : Directory.entry)
         let cs = Host_set.remove from e.copyset in
         match supplier with Some s -> Host_set.remove s cs | None -> cs
       in
-      if Host_set.is_empty targets then proceed_write t e ~req_id ~from ~supplier
+      if Host_set.is_empty targets then proceed_write t ~home e ~req_id ~from ~supplier
       else begin
         e.pending <-
           Directory.Write_waiting_invals { req_id; from; targets; waiting = targets };
         Host_set.iter
           (fun target ->
             Stats.Counters.incr t.counters "invalidations";
-            Obs.inval_send (obs t) ~time:(rnow t) ~host:manager ~span:req_id
+            Obs.inval_send (obs t) ~time:(rnow t) ~host:home ~span:req_id
               ~mp_id:info.mp_id ~target;
-            send t ~src:manager ~dst:target ~bytes:(header t)
+            send t ~src:home ~dst:target ~bytes:(header t)
               (Proto.Invalidate { req_id; info }))
           targets
       end)
@@ -350,7 +530,7 @@ let manager_start ?(charge_lookup = true) t (e : Directory.entry)
     e.lost <- false;
     if ft_on t then begin
       e.shadow <- Some (Bytes.copy data);
-      Obs.shadow_refresh (obs t) ~time:(rnow t) ~host:manager ~mp_id:info.mp_id
+      Obs.shadow_refresh (obs t) ~time:(rnow t) ~host:home ~mp_id:info.mp_id
         ~bytes:info.length
     end;
     let others =
@@ -361,7 +541,7 @@ let manager_start ?(charge_lookup = true) t (e : Directory.entry)
     if others = [] then begin
       e.copyset <- Host_set.singleton from;
       e.owner <- from;
-      send t ~src:manager ~dst:from ~bytes:(header t) (Proto.Push_complete { req_id })
+      send t ~src:home ~dst:from ~bytes:(header t) (Proto.Push_complete { req_id })
     end
     else begin
       e.pending <-
@@ -371,7 +551,7 @@ let manager_start ?(charge_lookup = true) t (e : Directory.entry)
           };
       List.iter
         (fun dst ->
-          send t ~src:manager ~dst ~bytes:(header t + info.length)
+          send t ~src:home ~dst ~bytes:(header t + info.length)
             (Proto.Push_update { info; data }))
         others
     end
@@ -387,64 +567,109 @@ let can_start (e : Directory.entry) (q : Directory.queued) =
 let queued_span = function
   | Directory.Q_request { req_id; _ } | Directory.Q_push { req_id; _ } -> req_id
 
-let manager_enqueue t (e : Directory.entry) (q : Directory.queued) =
-  Directory.enqueue t.dir e q;
-  Obs.queue_enter (obs t) ~time:(rnow t) ~host:manager ~span:(queued_span q)
-    ~mp_id:e.mp.Minipage.id ~depth:(Directory.queue_depth t.dir)
+let manager_enqueue t ~home (e : Directory.entry) (q : Directory.queued) =
+  let dir = t.dirs.(home) in
+  Directory.enqueue dir e q;
+  let depth = Directory.queue_depth dir in
+  Obs.queue_enter (obs t) ~time:(rnow t) ~host:home ~span:(queued_span q)
+    ~mp_id:e.mp.Minipage.id ~depth;
+  if not (central t) then Obs.home_queue_depth (obs t) ~home ~depth
 
-let manager_submit t (q : Directory.queued) =
-  let addr_entry addr =
-    let view, _vpage, off = Vm.translate t.host_states.(manager).vm addr in
-    let mp = Mpt.find_exn (Allocator.mpt t.allocator) off in
-    if mp.Minipage.view <> view then
-      failwith
-        (Printf.sprintf
-           "millipage: host accessed offset %d through view %d, but its minipage \
-            belongs to view %d"
-           off view mp.Minipage.view);
-    Directory.entry t.dir ~mp_id:mp.Minipage.id
-  in
-  let e =
-    match q with
-    | Directory.Q_request { addr; _ } -> addr_entry addr
-    | Directory.Q_push { req_id = _; from = _; data = _ } ->
-      invalid_arg "manager_submit: push must resolve its entry at the call site"
-  in
-  if can_start e q then manager_start t e q else manager_enqueue t e q
-
-let manager_submit_push t ~mp_id (q : Directory.queued) =
-  let e = Directory.entry t.dir ~mp_id in
-  if can_start e q then manager_start t e q else manager_enqueue t e q
+let manager_submit t ~home (e : Directory.entry) (q : Directory.queued) =
+  if can_start e q then manager_start t ~home e q else manager_enqueue t ~home e q
 
 (* Start every queued request that has become compatible, in arrival order:
    after a write completes this drains the whole leading run of reads. *)
-let rec manager_drain_queue ?(charge_lookup = true) t (e : Directory.entry) =
+let rec manager_drain_queue ?(charge_lookup = true) t ~home (e : Directory.entry) =
   match Directory.peek e with
   | Some q when can_start e q ->
-    ignore (Directory.dequeue t.dir e);
-    Obs.queue_exit (obs t) ~time:(rnow t) ~host:manager ~span:(queued_span q)
-      ~mp_id:e.mp.Minipage.id ~depth:(Directory.queue_depth t.dir);
-    manager_start ~charge_lookup t e q;
-    manager_drain_queue ~charge_lookup t e
+    let dir = t.dirs.(home) in
+    ignore (Directory.dequeue dir e);
+    let depth = Directory.queue_depth dir in
+    Obs.queue_exit (obs t) ~time:(rnow t) ~host:home ~span:(queued_span q)
+      ~mp_id:e.mp.Minipage.id ~depth;
+    if not (central t) then Obs.home_queue_depth (obs t) ~home ~depth;
+    manager_start ~charge_lookup t ~home e q;
+    manager_drain_queue ~charge_lookup t ~home e
   | Some _ | None -> ()
 
-let manager_inval_reply t ~req_id ~mp_id ~from =
-  let e = Directory.entry t.dir ~mp_id in
+(* First-toucher migration: the first remote touch fixes the minipage's home.
+   The entry is quiet by construction (this is its first operation), so the
+   move is a metadata-only transfer between shards. *)
+let ft_migrate t ~mp_id ~to_ =
+  let from_home = home_of_mp t mp_id in
+  if from_home <> to_ then begin
+    let e = Directory.entry t.dirs.(from_home) ~mp_id in
+    Directory.remove t.dirs.(from_home) ~mp_id;
+    Directory.adopt t.dirs.(to_) e;
+    Hashtbl.replace t.home_tbl mp_id to_;
+    Stats.Counters.incr t.counters "homes.migrations";
+    Obs.home_assign (obs t) ~time:(rnow t) ~host:to_ ~mp_id ~home:to_
+  end
+
+let home_redirect t ~home ~req_id ~mp_id ~from =
+  let new_home = home_of_mp t mp_id in
+  Stats.Counters.incr t.counters "homes.redirects";
+  Obs.home_redirect (obs t) ~time:(rnow t) ~host:home ~span:req_id ~mp_id
+    ~old_home:home ~new_home;
+  send t ~src:home ~dst:from ~bytes:(header t)
+    (Proto.Home_redirect { req_id; mp_id; home = new_home })
+
+(* A REQUEST arriving at a host: resolve the minipage, settle first-toucher
+   placement, and either serve it (we are its home), redirect a stale hint,
+   or suppress a transport duplicate. *)
+let manager_request t ~home ~req_id ~from ~access ~addr =
+  let view, _vpage, off = Vm.translate t.host_states.(home).vm addr in
+  let mp = Mpt.find_exn (Allocator.mpt t.allocator) off in
+  if mp.Minipage.view <> view then
+    failwith
+      (Printf.sprintf
+         "millipage: host accessed offset %d through view %d, but its minipage \
+          belongs to view %d"
+         off view mp.Minipage.view);
+  let mp_id = mp.Minipage.id in
+  if home = 0 && Hashtbl.mem t.ft_pending mp_id then begin
+    Hashtbl.remove t.ft_pending mp_id;
+    if from <> 0 then ft_migrate t ~mp_id ~to_:from
+  end;
+  if home_of_mp t mp_id <> home then home_redirect t ~home ~req_id ~mp_id ~from
+  else if Directory.note_request t.dirs.(home) ~req_id then
+    manager_submit t ~home
+      (Directory.entry t.dirs.(home) ~mp_id)
+      (Directory.Q_request { req_id; from; access; addr })
+  else begin
+    Stats.Counters.incr t.counters "manager.dup_requests";
+    Obs.dup_suppressed (obs t) ~time:(rnow t) ~host:home ~span:req_id ~src:from
+      ~seq:(-1)
+      ~label:(Printf.sprintf "REQUEST(%s @%d)" (Proto.access_to_string access) addr)
+      ()
+  end
+
+let manager_push t ~home ~req_id ~from ~mp_id data =
+  Hashtbl.remove t.ft_pending mp_id;
+  if home_of_mp t mp_id <> home then home_redirect t ~home ~req_id ~mp_id ~from
+  else
+    manager_submit t ~home
+      (Directory.entry t.dirs.(home) ~mp_id)
+      (Directory.Q_push { req_id; from; data })
+
+let manager_inval_reply t ~home ~req_id ~mp_id ~from =
+  let e = Directory.entry t.dirs.(home) ~mp_id in
   match e.pending with
   | Directory.Write_waiting_invals w when w.req_id = req_id ->
     w.waiting <- Host_set.remove from w.waiting;
-    Obs.inval_ack (obs t) ~time:(rnow t) ~host:manager ~span:w.req_id ~mp_id ~from
+    Obs.inval_ack (obs t) ~time:(rnow t) ~host:home ~span:w.req_id ~mp_id ~from
       ~last:(Host_set.is_empty w.waiting);
     if Host_set.is_empty w.waiting then begin
       let upgrade = Host_set.mem w.from e.copyset in
       let supplier = if upgrade then None else Some (choose_supplier e ~from:w.from) in
-      proceed_write t e ~req_id:w.req_id ~from:w.from ~supplier
+      proceed_write t ~home e ~req_id:w.req_id ~from:w.from ~supplier
     end
   | _ ->
     (* stale: the write this inval belonged to already went through *)
-    if Directory.completed t.dir ~req_id then begin
+    if Directory.completed t.dirs.(home) ~req_id then begin
       Stats.Counters.incr t.counters "manager.stale_inval_replies";
-      Obs.dup_suppressed (obs t) ~time:(rnow t) ~host:manager ~span:req_id
+      Obs.dup_suppressed (obs t) ~time:(rnow t) ~host:home ~span:req_id
         ~src:from ~seq:(-1)
         ~label:(Printf.sprintf "INVALIDATE_REPLY(mp%d)" mp_id) ()
     end
@@ -454,24 +679,25 @@ let manager_inval_reply t ~req_id ~mp_id ~from =
    idempotence tables: once a completion is older than the retransmission
    window no duplicate of it can still arrive, so remembering it is pure
    memory growth (satellite: bounded idempotence state on soak runs). *)
-let complete_req t ~req_id =
-  Directory.mark_completed t.dir ~req_id ~now:(rnow t);
+let complete_req t ~home ~req_id =
+  Directory.mark_completed t.dirs.(home) ~req_id ~now:(rnow t);
   t.completions <- t.completions + 1;
   if t.completions land 255 = 0 then
     ignore
-      (Directory.prune_completed t.dir ~before:(rnow t -. t.idem_retention_us))
+      (Directory.prune_completed t.dirs.(home)
+         ~before:(rnow t -. t.idem_retention_us))
 
-let manager_ack t ~req_id ~mp_id ~from =
-  let e = Directory.entry t.dir ~mp_id in
-  if Directory.completed t.dir ~req_id then begin
+let manager_ack t ~home ~req_id ~mp_id ~from =
+  let e = Directory.entry t.dirs.(home) ~mp_id in
+  if Directory.completed t.dirs.(home) ~req_id then begin
     (* a retransmitted ack for an operation that already closed: tolerate *)
     Stats.Counters.incr t.counters "manager.stale_acks";
-    Obs.dup_suppressed (obs t) ~time:(rnow t) ~host:manager ~span:req_id ~src:from
+    Obs.dup_suppressed (obs t) ~time:(rnow t) ~host:home ~span:req_id ~src:from
       ~seq:(-1)
       ~label:(Printf.sprintf "ACK(mp%d)" mp_id) ()
   end
   else begin
-    Obs.ack (obs t) ~time:(rnow t) ~host:manager ~span:req_id ~mp_id ~from;
+    Obs.ack (obs t) ~time:(rnow t) ~host:home ~span:req_id ~mp_id ~from;
     (match e.pending with
     | Directory.Reads_in_flight r ->
       (match
@@ -487,8 +713,8 @@ let manager_ack t ~req_id ~mp_id ~from =
       e.owner <- from;
       e.pending <- Directory.No_op
     | _ -> failwith "millipage: unexpected ACK");
-    complete_req t ~req_id;
-    manager_drain_queue t e
+    complete_req t ~home ~req_id;
+    manager_drain_queue t ~home e
   end
 
 let live_copyset t =
@@ -497,27 +723,34 @@ let live_copyset t =
     Host_set.empty
     (List.init (hosts t) Fun.id)
 
-let finish_push ?charge_lookup t (e : Directory.entry) ~req_id ~from =
+let finish_push ?charge_lookup t ~home (e : Directory.entry) ~req_id ~from =
   e.copyset <- live_copyset t;
   e.owner <- (if t.declared.(from) then manager else from);
   if not t.declared.(from) then
-    send t ~src:manager ~dst:from ~bytes:(header t) (Proto.Push_complete { req_id });
+    send t ~src:home ~dst:from ~bytes:(header t) (Proto.Push_complete { req_id });
   e.pending <- Directory.No_op;
-  manager_drain_queue ?charge_lookup t e
+  manager_drain_queue ?charge_lookup t ~home e
 
-let manager_push_ack t ~mp_id ~from =
-  let e = Directory.entry t.dir ~mp_id in
-  match e.pending with
-  | Directory.Push_waiting_acks p ->
-    p.waiting <- Host_set.remove from p.waiting;
-    if Host_set.is_empty p.waiting then finish_push t e ~req_id:p.req_id ~from:p.from
-  | _ -> failwith "millipage: unexpected PUSH_UPDATE_ACK"
+let manager_push_ack t ~home ~mp_id ~from =
+  match Directory.find t.dirs.(home) ~mp_id with
+  | None -> Stats.Counters.incr t.counters "homes.stale_push_acks"
+  | Some e -> (
+    match e.pending with
+    | Directory.Push_waiting_acks p ->
+      p.waiting <- Host_set.remove from p.waiting;
+      if Host_set.is_empty p.waiting then
+        finish_push t ~home e ~req_id:p.req_id ~from:p.from
+    | _ ->
+      (* PUSH_UPDATE_ACK carries no req_id, so after crash recovery re-sent
+         a push, a straggler ack for the aborted attempt can still land *)
+      if ft_on t then Stats.Counters.incr t.counters "homes.stale_push_acks"
+      else failwith "millipage: unexpected PUSH_UPDATE_ACK")
 
 (* ------------------------------------------------------------------ *)
 (* Composed views (§5): group fetch                                    *)
 (* ------------------------------------------------------------------ *)
 
-let manager_group_fetch t ~req_id ~from ~group_id =
+let manager_group_fetch t ~home ~req_id ~from ~group_id =
   let cost = t.config.cost in
   let members =
     match Hashtbl.find_opt t.groups group_id with
@@ -525,11 +758,23 @@ let manager_group_fetch t ~req_id ~from ~group_id =
     | None -> failwith (Printf.sprintf "millipage: unknown composed view %d" group_id)
   in
   Engine.delay (cost.mpt_lookup_us *. float_of_int (List.length members));
+  (* serve only the members this shard homes; a member whose hint was stale
+     lands in the wrong sub-fetch, is skipped here, and faults on demand
+     later.  A group fetch counts as a touch: it fixes first-toucher members
+     at host 0 (the fetcher gets a copy, not management). *)
+  let members =
+    List.filter
+      (fun mp_id ->
+        let mine = home_of_mp t mp_id = home in
+        if mine then Hashtbl.remove t.ft_pending mp_id;
+        mine)
+      members
+  in
   (* batch the fetchable members by the replica that will supply them *)
   let batches : (int, Proto.info list ref) Hashtbl.t = Hashtbl.create 8 in
   List.iter
     (fun mp_id ->
-      let e = Directory.entry t.dir ~mp_id in
+      let e = Directory.entry t.dirs.(home) ~mp_id in
       let fetchable =
         (match e.pending with
         | Directory.No_op | Directory.Reads_in_flight _ -> true
@@ -557,11 +802,11 @@ let manager_group_fetch t ~req_id ~from ~group_id =
         infos := info_of e.mp :: !infos
       end)
     members;
-  send t ~src:manager ~dst:from ~bytes:(header t)
+  send t ~src:home ~dst:from ~bytes:(header t)
     (Proto.Group_plan { req_id; batches = Hashtbl.length batches });
   Hashtbl.iter
     (fun replica infos ->
-      send t ~src:manager ~dst:replica
+      send t ~src:home ~dst:replica
         ~bytes:(header t + (8 * List.length !infos))
         (Proto.Forward_group { req_id; from; members = !infos }))
     batches
@@ -569,24 +814,26 @@ let manager_group_fetch t ~req_id ~from ~group_id =
 (* Lenient on purpose: after crash recovery a batch may have been dropped
    (its flights scrubbed) while its data had already left the supplier, so a
    GROUP_ACK can name minipages with no matching flight. *)
-let manager_group_ack t ~req_id ~from ~mp_ids =
+let manager_group_ack t ~home ~req_id ~from ~mp_ids =
   List.iter
     (fun mp_id ->
-      let e = Directory.entry t.dir ~mp_id in
-      match e.pending with
-      | Directory.Reads_in_flight r -> (
-        match
-          List.partition
-            (fun (f : Directory.read_flight) -> f.rf_req = req_id && f.rf_from = from)
-            r.flights
-        with
-        | _ :: _, rest ->
-          e.copyset <- Host_set.add from e.copyset;
-          r.flights <- rest;
-          if rest = [] then e.pending <- Directory.No_op;
-          manager_drain_queue t e
-        | [], _ -> Stats.Counters.incr t.counters "manager.stale_group_acks")
-      | _ -> Stats.Counters.incr t.counters "manager.stale_group_acks")
+      match Directory.find t.dirs.(home) ~mp_id with
+      | None -> Stats.Counters.incr t.counters "manager.stale_group_acks"
+      | Some e -> (
+        match e.pending with
+        | Directory.Reads_in_flight r -> (
+          match
+            List.partition
+              (fun (f : Directory.read_flight) -> f.rf_req = req_id && f.rf_from = from)
+              r.flights
+          with
+          | _ :: _, rest ->
+            e.copyset <- Host_set.add from e.copyset;
+            r.flights <- rest;
+            if rest = [] then e.pending <- Directory.No_op;
+            manager_drain_queue t ~home e
+          | [], _ -> Stats.Counters.incr t.counters "manager.stale_group_acks")
+        | _ -> Stats.Counters.incr t.counters "manager.stale_group_acks"))
     mp_ids
 
 (* Refresh the shadow of every quiet minipage owned by [host] from the
@@ -596,23 +843,26 @@ let manager_group_ack t ~req_id ~from ~mp_ids =
    barrier fully recoverable. *)
 let shadow_sync_host t ~host =
   let refreshed = ref 0 in
-  Seq.iter
-    (fun (e : Directory.entry) ->
-      if e.owner = host && e.pending = Directory.No_op && not e.lost then begin
-        let info = info_of e.mp in
-        let cur =
-          Vm.priv_read_bytes t.host_states.(host).vm ~off:info.base_off
-            ~len:info.length
-        in
-        let stale =
-          match e.shadow with Some s -> not (Bytes.equal s cur) | None -> true
-        in
-        if stale then begin
-          e.shadow <- Some cur;
-          incr refreshed
-        end
-      end)
-    (Directory.entries t.dir);
+  Array.iter
+    (fun dir ->
+      Seq.iter
+        (fun (e : Directory.entry) ->
+          if e.owner = host && e.pending = Directory.No_op && not e.lost then begin
+            let info = info_of e.mp in
+            let cur =
+              Vm.priv_read_bytes t.host_states.(host).vm ~off:info.base_off
+                ~len:info.length
+            in
+            let stale =
+              match e.shadow with Some s -> not (Bytes.equal s cur) | None -> true
+            in
+            if stale then begin
+              e.shadow <- Some cur;
+              incr refreshed
+            end
+          end)
+        (Directory.entries dir))
+    t.dirs;
   if !refreshed > 0 then begin
     Stats.Counters.incr t.counters "ft.shadow_syncs";
     Obs.shadow_sync (obs t) ~time:(rnow t) ~host ~refreshed:!refreshed
@@ -627,15 +877,17 @@ let live_thread_target t =
     t.threads_by_host;
   !n
 
-let barrier_release t ~phase =
+let barrier_release t ~home ~phase =
   Hashtbl.remove t.barrier_counts phase;
+  Hashtbl.remove t.barrier_sent phase;
+  Hashtbl.replace t.released_phases phase ();
   for dst = 0 to hosts t - 1 do
     if not t.declared.(dst) then
-      send t ~src:manager ~dst ~bytes:(header t) (Proto.Barrier_release { phase })
+      send t ~src:home ~dst ~bytes:(header t) (Proto.Barrier_release { phase })
   done
 
-let manager_barrier_enter t ~from ~phase =
-  if not t.declared.(from) then begin
+let manager_barrier_enter t ~home ~from ~tid ~phase =
+  if not (t.declared.(from) || Hashtbl.mem t.released_phases phase) then begin
     if ft_on t then shadow_sync_host t ~host:from;
     let entered =
       match Hashtbl.find_opt t.barrier_counts phase with
@@ -645,44 +897,82 @@ let manager_barrier_enter t ~from ~phase =
         Hashtbl.add t.barrier_counts phase l;
         l
     in
-    entered := from :: !entered;
-    if List.length !entered >= live_thread_target t then barrier_release t ~phase
+    (* idempotent per thread: recovery may replay an enter the dead home had
+       already counted *)
+    if not (List.exists (fun (_, tid') -> tid' = tid) !entered) then begin
+      entered := (from, tid) :: !entered;
+      if List.length !entered >= live_thread_target t then
+        barrier_release t ~home ~phase
+    end
   end
 
 let lock_state t lock =
   match Hashtbl.find_opt t.locks lock with
   | Some s -> s
   | None ->
-    let s = { holder = -1; lock_queue = Queue.create () } in
+    let s = { holder = None; lock_queue = Queue.create (); granted_from = -1 } in
     Hashtbl.add t.locks lock s;
     s
 
-let manager_lock_acquire t ~from ~lock =
+let grant_lock t ~home (s : lock_state) ~lock ~to_:(host, tid) =
+  s.holder <- Some (host, tid);
+  s.granted_from <- home;
+  send t ~src:home ~dst:host ~bytes:(header t) (Proto.Lock_grant { lock; tid })
+
+let manager_lock_acquire t ~home ~from ~tid ~lock =
   let s = lock_state t lock in
-  if s.holder >= 0 then Queue.add from s.lock_queue
-  else begin
-    s.holder <- from;
-    send t ~src:manager ~dst:from ~bytes:(header t) (Proto.Lock_grant { lock })
-  end
+  let already =
+    (match s.holder with Some (hh, ht) -> hh = from && ht = tid | None -> false)
+    || Queue.fold (fun acc (h', t') -> acc || (h' = from && t' = tid)) false
+         s.lock_queue
+  in
+  if already then
+    (* recovery re-enqueued this request from the sender's ground truth and
+       the original acquire straggled in afterwards (or vice versa) *)
+    Stats.Counters.incr t.counters "homes.stale_lock_acquires"
+  else
+    match s.holder with
+    | Some _ -> Queue.add (from, tid) s.lock_queue
+    | None -> grant_lock t ~home s ~lock ~to_:(from, tid)
 
 let rec next_live_waiter t s =
   match Queue.take_opt s.lock_queue with
-  | Some h when t.declared.(h) -> next_live_waiter t s
+  | Some (h, _) when t.declared.(h) -> next_live_waiter t s
   | r -> r
 
-let manager_lock_release t ~from ~lock =
+(* The holder-side release logic, shared between live message processing and
+   crash recovery's replay of releases swallowed by a dead home. *)
+let lock_release_engine t ~home ~from ~lock =
   let s = lock_state t lock in
-  if s.holder < 0 then failwith "millipage: release of a free lock";
-  if s.holder <> from then
+  match s.holder with
+  | None ->
+    if ft_on t then
+      (* recovery can legitimately produce a straggling duplicate *)
+      Stats.Counters.incr t.counters "manager.stale_lock_releases"
+    else failwith "millipage: release of a free lock"
+  | Some (hh, _) when hh <> from ->
     (* the lease was revoked (holder declared dead) while this release was in
        flight, or a fenced host's release straggled in: ignore it *)
     Stats.Counters.incr t.counters "manager.stale_lock_releases"
-  else
+  | Some _ -> (
     match next_live_waiter t s with
-    | Some next ->
-      s.holder <- next;
-      send t ~src:manager ~dst:next ~bytes:(header t) (Proto.Lock_grant { lock })
-    | None -> s.holder <- -1
+    | Some next -> grant_lock t ~home s ~lock ~to_:next
+    | None ->
+      s.holder <- None;
+      s.granted_from <- -1)
+
+let manager_lock_release t ~home ~from ~lock =
+  (* retire this release from the sender-side ground truth: it reached a home *)
+  (match Hashtbl.find_opt t.pending_releases lock with
+  | Some entries ->
+    let rec drop_first = function
+      | [] -> []
+      | (f, _) :: rest when f = from -> rest
+      | p :: rest -> p :: drop_first rest
+    in
+    entries := drop_first !entries
+  | None -> ());
+  lock_release_engine t ~home ~from ~lock
 
 (* ------------------------------------------------------------------ *)
 (* Host side: replica and faulting-host handlers                       *)
@@ -690,18 +980,19 @@ let manager_lock_release t ~from ~lock =
 
 let server_ack t (h : host_state) ~req_id ~mp_id =
   Stats.Counters.incr t.counters "acks";
-  send t ~src:h.id ~dst:manager ~bytes:(header t)
+  send t ~src:h.id ~dst:(hint_of h mp_id) ~bytes:(header t)
     (Proto.Ack { req_id; mp_id; from = h.id })
 
 (* Eager shadow refresh: every data transfer out of a host deposits the
-   transferred content in the manager-side shadow (modeled as a piggybacked
+   transferred content in the home-side shadow (modeled as a piggybacked
    copy), so the shadow always holds the minipage's last observed version. *)
 let shadow_refresh t (info : Proto.info) data =
   if ft_on t then begin
-    let e = Directory.entry t.dir ~mp_id:info.mp_id in
+    let home = home_of_mp t info.mp_id in
+    let e = Directory.entry t.dirs.(home) ~mp_id:info.mp_id in
     e.shadow <- Some (Bytes.copy data);
     Stats.Counters.incr t.counters "ft.shadow_refreshes";
-    Obs.shadow_refresh (obs t) ~time:(rnow t) ~host:manager ~mp_id:info.mp_id
+    Obs.shadow_refresh (obs t) ~time:(rnow t) ~host:home ~mp_id:info.mp_id
       ~bytes:info.length
   end
 
@@ -780,20 +1071,22 @@ let wake_read_entries (h : host_state) t (info : Proto.info) =
     | None -> ()
   done
 
-let group_fetch_state (h : host_state) req_id =
-  match Hashtbl.find_opt h.group_fetches req_id with
-  | Some gf -> gf
-  | None ->
-    let gf =
-      {
-        gf_event = Sync.Event.create ~auto_reset:false ~name:"group-fetch" ();
-        gf_expected = None;
-        gf_received = 0;
-        gf_mp_ids = [];
-      }
-    in
-    Hashtbl.add h.group_fetches req_id gf;
-    gf
+(* The fetching thread registers its sub-fetch record before sending, so a
+   plan or data message with no record is stale (the fetch completed, or was
+   re-aimed by crash recovery under a fresh id). *)
+let new_group_fetch (h : host_state) req_id ~group_id ~target =
+  let gf =
+    {
+      gf_event = Sync.Event.create ~auto_reset:false ~name:"group-fetch" ();
+      gf_group = group_id;
+      gf_target = target;
+      gf_expected = None;
+      gf_received = 0;
+      gf_mp_ids = [];
+    }
+  in
+  Hashtbl.add h.group_fetches req_id gf;
+  gf
 
 let group_fetch_check gf =
   match gf.gf_expected with
@@ -838,17 +1131,25 @@ let host_group_data t (h : host_state) ~req_id members =
       protect_info t h info Prot.Read_only;
       wake_read_entries h t info)
     members;
-  let gf = group_fetch_state h req_id in
-  gf.gf_received <- gf.gf_received + 1;
-  gf.gf_mp_ids <-
-    List.fold_left (fun acc ((info : Proto.info), _) -> info.mp_id :: acc) gf.gf_mp_ids
-      members;
-  group_fetch_check gf
+  match Hashtbl.find_opt h.group_fetches req_id with
+  | None ->
+    (* the data is still useful (written and protected above); only the
+       completion bookkeeping is stale *)
+    Stats.Counters.incr t.counters "group.stale_msgs"
+  | Some gf ->
+    gf.gf_received <- gf.gf_received + 1;
+    gf.gf_mp_ids <-
+      List.fold_left
+        (fun acc ((info : Proto.info), _) -> info.mp_id :: acc)
+        gf.gf_mp_ids members;
+    group_fetch_check gf
 
-let host_group_plan (h : host_state) ~req_id ~batches =
-  let gf = group_fetch_state h req_id in
-  gf.gf_expected <- Some batches;
-  group_fetch_check gf
+let host_group_plan t (h : host_state) ~req_id ~batches =
+  match Hashtbl.find_opt h.group_fetches req_id with
+  | None -> Stats.Counters.incr t.counters "group.stale_msgs"
+  | Some gf ->
+    gf.gf_expected <- Some batches;
+    group_fetch_check gf
 
 (* Crash recovery dropped [drop] of the announced batches (their supplier
    died); the skipped members fault on demand later.  The channel is FIFO,
@@ -866,7 +1167,7 @@ let host_group_replan (h : host_state) ~req_id ~drop =
 let host_invalidate t (h : host_state) ~req_id (info : Proto.info) =
   Engine.delay (set_prot_cost t info);
   protect_info t h info Prot.No_access;
-  send t ~src:h.id ~dst:manager ~bytes:(header t)
+  send t ~src:h.id ~dst:(hint_of h info.mp_id) ~bytes:(header t)
     (Proto.Invalidate_reply { req_id; mp_id = info.mp_id; from = h.id })
 
 let host_push_update t (h : host_state) (info : Proto.info) data =
@@ -875,7 +1176,7 @@ let host_push_update t (h : host_state) (info : Proto.info) data =
   Vm.priv_write_bytes h.vm ~off:info.base_off data;
   Engine.delay (set_prot_cost t info);
   protect_info t h info Prot.Read_only;
-  send t ~src:h.id ~dst:manager ~bytes:(header t)
+  send t ~src:h.id ~dst:(hint_of h info.mp_id) ~bytes:(header t)
     (Proto.Push_update_ack { mp_id = info.mp_id; from = h.id })
 
 let host_barrier_release (h : host_state) ~phase =
@@ -889,17 +1190,56 @@ let host_barrier_release (h : host_state) ~phase =
   in
   Sync.Event.set ev
 
-let host_lock_grant (h : host_state) ~lock =
+let host_lock_grant t (h : host_state) ~lock ~tid =
+  (* retire the granted request from the sender-side ground truth; the home
+     grants in our send order, so the first entry for this host is [tid]'s *)
+  (match Hashtbl.find_opt t.lock_requests lock with
+  | Some entries ->
+    let rec drop_first = function
+      | [] -> []
+      | (hh, tt) :: rest when hh = h.id && tt = tid -> rest
+      | p :: rest -> p :: drop_first rest
+    in
+    entries := drop_first !entries
+  | None -> ());
   match Hashtbl.find_opt h.lock_waiters lock with
   | Some q when not (Queue.is_empty q) -> Sync.Event.set (Queue.take q)
   | Some _ | None -> failwith "millipage: LOCK_GRANT with no local waiter"
 
 let host_push_complete (h : host_state) ~req_id =
   match Hashtbl.find_opt h.push_waiters req_id with
-  | Some ev ->
+  | Some pw ->
     Hashtbl.remove h.push_waiters req_id;
-    Sync.Event.set ev
+    Sync.Event.set pw.pu_event
   | None -> failwith "millipage: PUSH_COMPLETE with no waiter"
+
+(* Our home hint was stale: learn the minipage's current home and resend the
+   operation there under the same request id (the id, not the destination,
+   is what the idempotence tables key on). *)
+let host_home_redirect t (h : host_state) ~req_id ~mp_id ~home =
+  Hashtbl.replace h.hints mp_id home;
+  let inflight_match =
+    Hashtbl.fold
+      (fun _ (e : inflight) acc ->
+        match acc with Some _ -> acc | None -> if e.req_id = req_id then Some e else None)
+      h.inflight None
+  in
+  match inflight_match with
+  | Some e ->
+    e.target <- home;
+    send t ~src:h.id ~dst:home ~bytes:(header t)
+      (Proto.Request { req_id; from = h.id; access = e.access; addr = e.addr })
+  | None -> (
+    match Hashtbl.find_opt h.push_waiters req_id with
+    | Some pw ->
+      pw.pu_target <- home;
+      send t ~src:h.id ~dst:home
+        ~bytes:(header t + pw.pu_info.Proto.length)
+        (Proto.Push { req_id; from = h.id; info = pw.pu_info; data = pw.pu_data })
+    | None ->
+      (* the operation completed through another path (e.g. a duplicate was
+         redirected after the original was served) *)
+      Stats.Counters.incr t.counters "homes.stale_redirects")
 
 (* ------------------------------------------------------------------ *)
 (* Crash faults: injection, failure detection, recovery                *)
@@ -964,11 +1304,13 @@ let install_shadow t (e : Directory.entry) ~dead =
   Obs.recover_minipage (obs t) ~time:(rnow t) ~host:manager ~span:0
     ~mp_id:info.mp_id ~lost
 
-(* Walk the whole directory and erase host [h] from it: drop its queued
+(* Walk one directory shard and erase host [h] from it: drop its queued
    operations, remove it from copysets, resolve every pending operation it
-   participated in, and recover minipages it exclusively owned. *)
-let scrub_directory t h =
+   participated in, and recover minipages it exclusively owned.  [home] is
+   the shard's host, which runs the recovery sends. *)
+let scrub_shard t ~home h =
   let now = rnow t in
+  let dir = t.dirs.(home) in
   (* (req_id, fetching host) of group batches that died with their supplier *)
   let dead_batches : (int * int, unit) Hashtbl.t = Hashtbl.create 4 in
   Seq.iter
@@ -976,16 +1318,16 @@ let scrub_directory t h =
       let info = info_of e.mp in
       (* 1. the dead host's queued operations will never be acked: drop them *)
       let dropped =
-        Directory.drop_queued t.dir e ~keep:(function
+        Directory.drop_queued dir e ~keep:(function
           | Directory.Q_request { from; _ } | Directory.Q_push { from; _ } ->
             from <> h)
       in
       List.iter
         (fun q ->
           let req_id = queued_span q in
-          Obs.queue_exit (obs t) ~time:now ~host:manager ~span:req_id
-            ~mp_id:info.mp_id ~depth:(Directory.queue_depth t.dir);
-          Directory.mark_completed t.dir ~req_id ~now)
+          Obs.queue_exit (obs t) ~time:now ~host:home ~span:req_id
+            ~mp_id:info.mp_id ~depth:(Directory.queue_depth dir);
+          Directory.mark_completed dir ~req_id ~now)
         dropped;
       (* 2. scrub the copyset *)
       e.copyset <- Host_set.remove h e.copyset;
@@ -1002,7 +1344,7 @@ let scrub_directory t h =
               if f.rf_from = h then begin
                 (* the requester died; its reply (if any) lands on a silenced
                    endpoint *)
-                Directory.mark_completed t.dir ~req_id:f.rf_req ~now;
+                Directory.mark_completed dir ~req_id:f.rf_req ~now;
                 false
               end
               else if f.rf_supplier = h then
@@ -1018,9 +1360,9 @@ let scrub_directory t h =
                   check_lost t e ~from:f.rf_from;
                   let replica = choose_read_replica e in
                   f.rf_supplier <- replica;
-                  Obs.forward (obs t) ~time:now ~host:manager ~span:f.rf_req
+                  Obs.forward (obs t) ~time:now ~host:home ~span:f.rf_req
                     ~access:Mp_obs.Event.Read ~mp_id:info.mp_id ~supplier:replica;
-                  send t ~src:manager ~dst:replica ~bytes:(header t)
+                  send t ~src:home ~dst:replica ~bytes:(header t)
                     (Proto.Forward
                        { req_id = f.rf_req; from = f.rf_from; access = Proto.Read;
                          info });
@@ -1037,7 +1379,7 @@ let scrub_directory t h =
              that already processed the INVALIDATE dropped their copies and
              the rest will when it arrives, so none of them can serve
              anymore. *)
-          Directory.mark_completed t.dir ~req_id:w.req_id ~now;
+          Directory.mark_completed dir ~req_id:w.req_id ~now;
           e.copyset <- Host_set.diff e.copyset w.targets;
           e.pending <- Directory.No_op;
           if Host_set.is_empty e.copyset then install_shadow t e ~dead:h
@@ -1053,7 +1395,7 @@ let scrub_directory t h =
             let supplier =
               if upgrade then None else Some (choose_supplier e ~from:w.from)
             in
-            proceed_write t e ~req_id:w.req_id ~from:w.from ~supplier
+            proceed_write t ~home e ~req_id:w.req_id ~from:w.from ~supplier
           end
         end
       | Directory.Write_in_flight w ->
@@ -1061,7 +1403,7 @@ let scrub_directory t h =
           (* the data (or grant) went to the dead writer; the supplier has
              already downgraded to No_access, so the shadow holds the only
              recoverable version *)
-          Directory.mark_completed t.dir ~req_id:w.req_id ~now;
+          Directory.mark_completed dir ~req_id:w.req_id ~now;
           e.pending <- Directory.No_op;
           install_shadow t e ~dead:h
         end
@@ -1072,9 +1414,9 @@ let scrub_directory t h =
           install_shadow t e ~dead:h;
           check_lost t e ~from:w.from;
           w.supplier <- manager;
-          Obs.forward (obs t) ~time:now ~host:manager ~span:w.req_id
+          Obs.forward (obs t) ~time:now ~host:home ~span:w.req_id
             ~access:Mp_obs.Event.Write ~mp_id:info.mp_id ~supplier:manager;
-          send t ~src:manager ~dst:manager ~bytes:(header t)
+          send t ~src:home ~dst:manager ~bytes:(header t)
             (Proto.Forward
                { req_id = w.req_id; from = w.from; access = Proto.Write; info })
         end
@@ -1083,56 +1425,278 @@ let scrub_directory t h =
           (* the pusher died waiting for update acks; the updates themselves
              carry complete fresh content, so the push still completes for
              the survivors *)
-          Directory.mark_completed t.dir ~req_id:p.req_id ~now;
-          finish_push ~charge_lookup:false t e ~req_id:p.req_id ~from:p.from
+          Directory.mark_completed dir ~req_id:p.req_id ~now;
+          finish_push ~charge_lookup:false t ~home e ~req_id:p.req_id ~from:p.from
         end
         else if Host_set.mem h p.waiting then begin
           p.waiting <- Host_set.remove h p.waiting;
           if Host_set.is_empty p.waiting then
-            finish_push ~charge_lookup:false t e ~req_id:p.req_id ~from:p.from
+            finish_push ~charge_lookup:false t ~home e ~req_id:p.req_id ~from:p.from
         end);
       (* 4. whatever became startable, start it *)
-      manager_drain_queue ~charge_lookup:false t e)
-    (Directory.entries t.dir);
+      manager_drain_queue ~charge_lookup:false t ~home e)
+    (Directory.entries dir);
   Hashtbl.iter
     (fun (req_id, from) () ->
       if not t.declared.(from) then
-        send t ~src:manager ~dst:from ~bytes:(header t)
+        send t ~src:home ~dst:from ~bytes:(header t)
           (Proto.Group_replan { req_id; drop = 1 }))
     dead_batches
 
 (* Lock leases: a lock held by the dead host is revoked and granted to the
-   next live waiter. *)
+   next live waiter.  Recovery grants run from host 0. *)
 let revoke_leases t h =
   Hashtbl.iter
     (fun lock (s : lock_state) ->
-      if s.holder = h then begin
+      match s.holder with
+      | Some (hh, _) when hh = h ->
         let next = next_live_waiter t s in
         (match next with
-        | Some n ->
-          s.holder <- n;
-          send t ~src:manager ~dst:n ~bytes:(header t) (Proto.Lock_grant { lock })
-        | None -> s.holder <- -1);
+        | Some n -> grant_lock t ~home:manager s ~lock ~to_:n
+        | None ->
+          s.holder <- None;
+          s.granted_from <- -1);
         Stats.Counters.incr t.counters "ft.lease_revokes";
         Obs.lease_revoke (obs t) ~time:(rnow t) ~host:h ~lock
-          ~next:(Option.value ~default:(-1) next)
-      end)
+          ~next:(match next with Some (n, _) -> n | None -> -1)
+      | _ -> ())
     t.locks
 
-(* Degraded barriers: phases in progress shrink to the survivors.  The dead
-   host's entries are discarded; if the survivors are now all parked at the
-   barrier, it releases immediately. *)
-let reconfigure_barriers t h =
+(* Lock-side recovery beyond lease revocation.  The global lock state
+   survived (only its home — message routing — changed), but traffic in
+   flight to the dead home is gone: replay releases it swallowed, re-enqueue
+   acquires it swallowed (idempotently, from the senders' ground truth), and
+   re-send a grant the dead home issued that may never have been delivered. *)
+let rebuild_locks t h =
+  (* releases that were aimed at the dead home *)
+  Hashtbl.iter
+    (fun lock entries ->
+      let swallowed, rest =
+        List.partition
+          (fun (from, target) -> target = h && not t.declared.(from))
+          !entries
+      in
+      entries := List.filter (fun (from, _) -> not t.declared.(from)) rest;
+      List.iter
+        (fun (from, _) ->
+          Stats.Counters.incr t.counters "homes.replayed_releases";
+          lock_release_engine t ~home:manager ~from ~lock)
+        swallowed)
+    t.pending_releases;
+  (* acquires outstanding anywhere: drop dead senders, restore swallowed ones *)
+  Hashtbl.iter
+    (fun lock entries ->
+      entries := List.filter (fun (from, _) -> not t.declared.(from)) !entries;
+      let s = lock_state t lock in
+      let keep = Queue.create () in
+      Queue.iter
+        (fun (hh, tt) -> if not t.declared.(hh) then Queue.add (hh, tt) keep)
+        s.lock_queue;
+      Queue.clear s.lock_queue;
+      Queue.transfer keep s.lock_queue;
+      List.iter
+        (fun (from, tid) ->
+          let is_holder = s.holder = Some (from, tid) in
+          let queued =
+            Queue.fold (fun acc p -> acc || p = (from, tid)) false s.lock_queue
+          in
+          if is_holder then begin
+            (* the grant left the dead home; if the host-side record is still
+               outstanding it was swallowed (or may race recovery — the
+               receiver dedupes), so re-send it from host 0 *)
+            if s.granted_from = h then begin
+              Stats.Counters.incr t.counters "homes.regrants";
+              grant_lock t ~home:manager s ~lock ~to_:(from, tid)
+            end
+          end
+          else if not queued then Queue.add (from, tid) s.lock_queue)
+        !entries;
+      (* a free lock with waiters can only arise from the replays above *)
+      if s.holder = None then
+        match next_live_waiter t s with
+        | Some next -> grant_lock t ~home:manager s ~lock ~to_:next
+        | None -> ())
+    t.lock_requests
+
+(* Degraded barriers: every unreleased phase is rebuilt from the senders'
+   ground truth — this both shrinks it to the survivors and restores enters
+   swallowed by a dead sync home — then released if the survivors are now
+   all in. *)
+let rebuild_barriers t =
   let target = live_thread_target t in
-  let phases = Hashtbl.fold (fun phase l acc -> (phase, l) :: acc) t.barrier_counts [] in
+  let phases = Hashtbl.fold (fun phase l acc -> (phase, l) :: acc) t.barrier_sent [] in
   List.iter
-    (fun (phase, entered) ->
-      entered := List.filter (fun e -> e <> h) !entered;
-      Stats.Counters.incr t.counters "ft.barrier_reconfigs";
-      Obs.barrier_reconfig (obs t) ~time:(rnow t) ~host:manager ~bphase:phase
-        ~expected:target;
-      if List.length !entered >= target then barrier_release t ~phase)
+    (fun (phase, sent) ->
+      if not (Hashtbl.mem t.released_phases phase) then begin
+        let entered =
+          match Hashtbl.find_opt t.barrier_counts phase with
+          | Some l -> l
+          | None ->
+            let l = ref [] in
+            Hashtbl.add t.barrier_counts phase l;
+            l
+        in
+        entered := List.filter (fun (from, _) -> not t.declared.(from)) !sent;
+        Stats.Counters.incr t.counters "ft.barrier_reconfigs";
+        Obs.barrier_reconfig (obs t) ~time:(rnow t) ~host:manager ~bphase:phase
+          ~expected:target;
+        if List.length !entered >= target then
+          barrier_release t ~home:manager ~phase
+      end)
     phases
+
+(* The dead host was itself a home: adopt its shard at host 0.  In-flight
+   operations it was serializing are abandoned (their requesters resend under
+   fresh ids — see [resend_orphans]); each entry's copyset/owner is rebuilt
+   from the survivors' ground-truth page protections; entries with no
+   surviving copy are re-materialized from their shadow. *)
+let rehome_dead_shard t h =
+  let now = rnow t in
+  let dir_d = t.dirs.(h) and dir0 = t.dirs.(manager) in
+  (* duplicates of requests the dead home already served must stay suppressed
+     at the new home *)
+  Directory.absorb_idempotence dir0 ~from:dir_d;
+  let entries = List.of_seq (Directory.entries dir_d) in
+  List.iter
+    (fun (e : Directory.entry) ->
+      let info = info_of e.mp in
+      let mp_id = info.mp_id in
+      (* queued operations died with the shard; live requesters resend *)
+      let dropped = Directory.drop_queued dir_d e ~keep:(fun _ -> false) in
+      List.iter
+        (fun q ->
+          let req_id = queued_span q in
+          Obs.queue_exit (obs t) ~time:now ~host:h ~span:req_id ~mp_id
+            ~depth:(Directory.queue_depth dir_d);
+          Directory.mark_completed dir0 ~req_id ~now)
+        dropped;
+      (* close the books on the in-flight operation: mark its id completed at
+         the new home (stale replies/acks will straggle in there) and emit
+         the synthetic events that balance the trace *)
+      (match e.pending with
+      | Directory.No_op -> ()
+      | Directory.Reads_in_flight r ->
+        List.iter
+          (fun (f : Directory.read_flight) ->
+            Directory.mark_completed dir0 ~req_id:f.rf_req ~now)
+          r.flights
+      | Directory.Write_waiting_invals w ->
+        Directory.mark_completed dir0 ~req_id:w.req_id ~now;
+        (* invalidation acks aimed at the dead home were swallowed; targets
+           that never processed the INVALIDATE keep their copies and show up
+           in the rebuilt copyset below, so the resent write re-invalidates
+           them *)
+        let remaining = Host_set.cardinal w.waiting in
+        ignore
+          (Host_set.fold
+             (fun target i ->
+               Obs.inval_ack (obs t) ~time:now ~host:manager ~span:w.req_id
+                 ~mp_id ~from:target ~last:(i = remaining);
+               i + 1)
+             w.waiting 1)
+      | Directory.Write_in_flight w ->
+        Directory.mark_completed dir0 ~req_id:w.req_id ~now;
+        (* balances the FORWARD(write) the dead home logged *)
+        Obs.ack (obs t) ~time:now ~host:manager ~span:w.req_id ~mp_id ~from:w.from
+      | Directory.Push_waiting_acks p ->
+        Directory.mark_completed dir0 ~req_id:p.req_id ~now);
+      e.pending <- Directory.No_op;
+      (* rebuild location state from the survivors' page protections *)
+      let copyset = ref Host_set.empty in
+      let rw = ref None in
+      let first, _ = vpages_of t info in
+      for x = 0 to hosts t - 1 do
+        if not t.declared.(x) then
+          match Vm.protection t.host_states.(x).vm ~view:info.mp_view ~vpage:first with
+          | Prot.Read_write ->
+            copyset := Host_set.add x !copyset;
+            rw := Some x
+          | Prot.Read_only -> copyset := Host_set.add x !copyset
+          | Prot.No_access -> ()
+      done;
+      if Host_set.is_empty !copyset then install_shadow t e ~dead:h
+      else begin
+        e.copyset <- !copyset;
+        e.owner <-
+          (match !rw with
+          | Some x -> x
+          | None ->
+            if Host_set.mem e.owner !copyset then e.owner
+            else Host_set.min_elt !copyset)
+      end;
+      (* move the entry to host 0 and tell the survivors *)
+      Directory.remove dir_d ~mp_id;
+      Directory.adopt dir0 e;
+      Hashtbl.replace t.home_tbl mp_id manager;
+      Array.iter
+        (fun (hs : host_state) ->
+          if not t.declared.(hs.id) then Hashtbl.replace hs.hints mp_id manager)
+        t.host_states;
+      Stats.Counters.incr t.counters "homes.rehomes";
+      Obs.rehome (obs t) ~time:now ~host:manager ~mp_id ~from_home:h
+        ~to_home:manager)
+    entries
+
+(* Requester-side recovery: every live host resends, under a fresh id and
+   aimed at host 0, each operation it had in flight to the dead home. *)
+let resend_orphans t h =
+  let now = rnow t in
+  Array.iter
+    (fun (hs : host_state) ->
+      if not (t.declared.(hs.id) || t.crashed.(hs.id)) then begin
+        Hashtbl.iter
+          (fun _key (e : inflight) ->
+            if e.target = h then begin
+              Directory.mark_completed t.dirs.(manager) ~req_id:e.req_id ~now;
+              let req_id = fresh_req t in
+              e.req_id <- req_id;
+              e.target <- manager;
+              Stats.Counters.incr t.counters "homes.resent_requests";
+              Obs.request_sent (obs t) ~time:now ~host:hs.id ~span:req_id
+                ~access:(obs_access e.access) ~addr:e.addr ~prefetch:e.by_prefetch;
+              send t ~src:hs.id ~dst:manager ~bytes:(header t)
+                (Proto.Request { req_id; from = hs.id; access = e.access; addr = e.addr })
+            end)
+          hs.inflight;
+        let orphan_pushes =
+          Hashtbl.fold
+            (fun req_id (pw : push_state) acc ->
+              if pw.pu_target = h then (req_id, pw) :: acc else acc)
+            hs.push_waiters []
+        in
+        List.iter
+          (fun (old_req, (pw : push_state)) ->
+            Hashtbl.remove hs.push_waiters old_req;
+            Directory.mark_completed t.dirs.(manager) ~req_id:old_req ~now;
+            let req_id = fresh_req t in
+            pw.pu_target <- manager;
+            Hashtbl.replace hs.push_waiters req_id pw;
+            Stats.Counters.incr t.counters "homes.resent_pushes";
+            send t ~src:hs.id ~dst:manager
+              ~bytes:(header t + pw.pu_info.Proto.length)
+              (Proto.Push
+                 { req_id; from = hs.id; info = pw.pu_info; data = pw.pu_data }))
+          orphan_pushes;
+        let orphan_fetches =
+          Hashtbl.fold
+            (fun req_id (gf : group_fetch_state) acc ->
+              if gf.gf_target = h then (req_id, gf) :: acc else acc)
+            hs.group_fetches []
+        in
+        List.iter
+          (fun (old_req, (gf : group_fetch_state)) ->
+            Hashtbl.remove hs.group_fetches old_req;
+            let req_id = fresh_req t in
+            gf.gf_target <- manager;
+            gf.gf_expected <- None;
+            gf.gf_received <- 0;
+            Hashtbl.replace hs.group_fetches req_id gf;
+            Stats.Counters.incr t.counters "homes.resent_group_fetches";
+            send t ~src:hs.id ~dst:manager ~bytes:(header t)
+              (Proto.Group_fetch { req_id; from = hs.id; group_id = gf.gf_group }))
+          orphan_fetches
+      end)
+    t.host_states
 
 (* Declaration: the point of no return.  Fence the host, purge transport
    state aimed at it, notify the survivors, and run manager-side recovery. *)
@@ -1160,9 +1724,17 @@ let declare_dead t h =
     t.host_states.(manager).dead_peers <-
       Host_set.add h t.host_states.(manager).dead_peers;
     Obs.dead_notice (obs t) ~time:(rnow t) ~host:manager ~dead:h;
-    scrub_directory t h;
+    (* erase the dead host from every surviving shard, then adopt the shard
+       it was itself running, then have live requesters resend what was in
+       flight to it (hints must point at host 0 before the resends land) *)
+    for s = 0 to hosts t - 1 do
+      if s <> h && not t.declared.(s) then scrub_shard t ~home:s h
+    done;
+    rehome_dead_shard t h;
+    resend_orphans t h;
     revoke_leases t h;
-    reconfigure_barriers t h;
+    rebuild_locks t h;
+    rebuild_barriers t;
     if all_live_done t then t.ft_stop <- true
   end
 
@@ -1178,16 +1750,18 @@ let deadlock_report t =
     |> List.map (fun (proc, on) -> Printf.sprintf "%s on %s" proc on)
     |> String.concat "; "
   in
-  let busy = ref 0 in
-  Seq.iter
-    (fun (e : Directory.entry) -> if Directory.busy e then incr busy)
-    (Directory.entries t.dir);
+  let busy = ref 0 and queued = ref 0 in
+  Array.iter
+    (fun dir ->
+      queued := !queued + Directory.queue_depth dir;
+      Seq.iter
+        (fun (e : Directory.entry) -> if Directory.busy e then incr busy)
+        (Directory.entries dir))
+    t.dirs;
   Printf.sprintf
     "millipage: deadlock — %d live application thread(s) did not finish; \
      blocked: [%s]; manager: %d request(s) queued behind %d busy minipage(s)"
-    !live_missing blocked
-    (Directory.queue_depth t.dir)
-    !busy
+    !live_missing blocked !queued !busy
 
 let detector_tick t (ft : Config.ft) =
   let now = rnow t in
@@ -1272,26 +1846,28 @@ let dispatch t (h : host_state) (body : Proto.body) =
      match body with
      | Proto.Heartbeat _ -> ()
      | _ -> Stats.Counters.incr t.counters "ft.activity");
+  (* control acks can chase a minipage that migrated away (stale hint at the
+     sender): forward them to the authoritative home — one extra hop, after
+     which the sender's hint has usually been repaired anyway *)
+  let forward_to_home ~mp_id body =
+    Stats.Counters.incr t.counters "homes.forwarded_acks";
+    send t ~src:h.id ~dst:(home_of_mp t mp_id) ~bytes:(header t) body
+  in
   match body with
   | Proto.Request { req_id; from; access; addr } ->
     Engine.delay cost.dispatch_us;
-    (* a retransmitted request that was already accepted must not be served
-       twice — dedupe by its globally unique id *)
-    if Directory.note_request t.dir ~req_id then
-      manager_submit t (Directory.Q_request { req_id; from; access; addr })
-    else begin
-      Stats.Counters.incr t.counters "manager.dup_requests";
-      Obs.dup_suppressed (obs t) ~time:(rnow t) ~host:h.id ~span:req_id ~src:from
-        ~seq:(-1)
-        ~label:(Printf.sprintf "REQUEST(%s @%d)" (Proto.access_to_string access) addr)
-        ()
-    end
+    manager_request t ~home:h.id ~req_id ~from ~access ~addr
+  | Proto.Home_redirect { req_id; mp_id; home } ->
+    Engine.delay cost.sync_dispatch_us;
+    host_home_redirect t h ~req_id ~mp_id ~home
   | Proto.Invalidate_reply { req_id; mp_id; from } ->
     Engine.delay cost.sync_dispatch_us;
-    manager_inval_reply t ~req_id ~mp_id ~from
+    if home_of_mp t mp_id = h.id then manager_inval_reply t ~home:h.id ~req_id ~mp_id ~from
+    else forward_to_home ~mp_id body
   | Proto.Ack { req_id; mp_id; from } ->
     Engine.delay cost.sync_dispatch_us;
-    manager_ack t ~req_id ~mp_id ~from
+    if home_of_mp t mp_id = h.id then manager_ack t ~home:h.id ~req_id ~mp_id ~from
+    else forward_to_home ~mp_id body
   | Proto.Forward { req_id; from; access; info } ->
     Engine.delay cost.dispatch_us;
     host_forward t h ~req_id ~from ~access info
@@ -1308,39 +1884,40 @@ let dispatch t (h : host_state) (body : Proto.body) =
   | Proto.Invalidate { req_id; info } ->
     Engine.delay cost.sync_dispatch_us;
     host_invalidate t h ~req_id info
-  | Proto.Barrier_enter { from; phase } ->
+  | Proto.Barrier_enter { from; tid; phase } ->
     Engine.delay cost.sync_dispatch_us;
-    manager_barrier_enter t ~from ~phase
+    manager_barrier_enter t ~home:h.id ~from ~tid ~phase
   | Proto.Barrier_release { phase } ->
     Engine.delay cost.sync_dispatch_us;
     host_barrier_release h ~phase
-  | Proto.Lock_acquire { req_id = _; from; lock } ->
+  | Proto.Lock_acquire { req_id = _; from; tid; lock } ->
     Engine.delay cost.sync_dispatch_us;
-    manager_lock_acquire t ~from ~lock
-  | Proto.Lock_grant { lock } ->
+    manager_lock_acquire t ~home:h.id ~from ~tid ~lock
+  | Proto.Lock_grant { lock; tid } ->
     Engine.delay cost.sync_dispatch_us;
-    host_lock_grant h ~lock
+    host_lock_grant t h ~lock ~tid
   | Proto.Lock_release { from; lock } ->
     Engine.delay cost.sync_dispatch_us;
-    manager_lock_release t ~from ~lock
+    manager_lock_release t ~home:h.id ~from ~lock
   | Proto.Push { req_id; from; info; data } ->
     Engine.delay cost.dispatch_us;
-    manager_submit_push t ~mp_id:info.mp_id (Directory.Q_push { req_id; from; data })
+    manager_push t ~home:h.id ~req_id ~from ~mp_id:info.mp_id data
   | Proto.Push_update { info; data } ->
     Engine.delay cost.dispatch_us;
     host_push_update t h info data
   | Proto.Push_update_ack { mp_id; from } ->
     Engine.delay cost.sync_dispatch_us;
-    manager_push_ack t ~mp_id ~from
+    if home_of_mp t mp_id = h.id then manager_push_ack t ~home:h.id ~mp_id ~from
+    else forward_to_home ~mp_id body
   | Proto.Push_complete { req_id } ->
     Engine.delay cost.sync_dispatch_us;
     host_push_complete h ~req_id
   | Proto.Group_fetch { req_id; from; group_id } ->
     Engine.delay cost.dispatch_us;
-    manager_group_fetch t ~req_id ~from ~group_id
+    manager_group_fetch t ~home:h.id ~req_id ~from ~group_id
   | Proto.Group_plan { req_id; batches } ->
     Engine.delay cost.sync_dispatch_us;
-    host_group_plan h ~req_id ~batches
+    host_group_plan t h ~req_id ~batches
   | Proto.Forward_group { req_id; from; members } ->
     Engine.delay cost.dispatch_us;
     host_forward_group t h ~req_id ~from members
@@ -1349,7 +1926,7 @@ let dispatch t (h : host_state) (body : Proto.body) =
     host_group_data t h ~req_id members
   | Proto.Group_ack { req_id; from; mp_ids } ->
     Engine.delay cost.sync_dispatch_us;
-    manager_group_ack t ~req_id ~from ~mp_ids
+    manager_group_ack t ~home:h.id ~req_id ~from ~mp_ids
   | Proto.Group_replan { req_id; drop } ->
     Engine.delay cost.sync_dispatch_us;
     host_group_replan h ~req_id ~drop
@@ -1421,10 +1998,15 @@ let find_joinable (h : host_state) ~view ~vpage access =
 
 let send_request t (h : host_state) ~view ~vpage ~access ~addr ~by_prefetch =
   let req_id = fresh_req t in
+  let _, _, off = Vm.translate h.vm addr in
+  let mp = Mpt.find_exn (Allocator.mpt t.allocator) off in
+  let target = hint_of h mp.Minipage.id in
   let e =
     {
       req_id;
       access;
+      addr;
+      target;
       event = Sync.Event.create ~auto_reset:false ~name:"fault" ();
       waiters = 0;
       by_prefetch;
@@ -1434,7 +2016,7 @@ let send_request t (h : host_state) ~view ~vpage ~access ~addr ~by_prefetch =
   Hashtbl.replace h.inflight (view, vpage, access_idx access) e;
   Obs.request_sent (obs t) ~time:(rnow t) ~host:h.id ~span:req_id
     ~access:(obs_access access) ~addr ~prefetch:by_prefetch;
-  send t ~src:h.id ~dst:manager ~bytes:(header t)
+  send t ~src:h.id ~dst:target ~bytes:(header t)
     (Proto.Request { req_id; from = h.id; access; addr });
   e
 
@@ -1461,7 +2043,11 @@ let on_fault t (h : host_state) (f : Vm.fault) =
       send_request t h ~view:f.view ~vpage:f.vpage ~access ~addr:f.addr
         ~by_prefetch:false
   in
-  Obs.fault_begin (obs t) ~time:t0 ~host:h.id ~span:e.req_id
+  (* capture the span now: crash recovery may re-send the request under a
+     fresh req_id while we sleep, and fault_end must close the span that
+     fault_begin opened *)
+  let span0 = e.req_id in
+  Obs.fault_begin (obs t) ~time:t0 ~host:h.id ~span:span0
     ~access:(obs_access access) ~addr:f.addr ~view:f.view ~vpage:f.vpage;
   e.waiters <- e.waiters + 1;
   Sync.Event.wait e.event;
@@ -1471,7 +2057,7 @@ let on_fault t (h : host_state) (f : Vm.fault) =
     else match access with Proto.Read -> B_read | Proto.Write -> B_write
   in
   charge h bucket (Engine.now t.engine -. t0);
-  Obs.fault_end (obs t) ~time:(rnow t) ~host:h.id ~span:e.req_id;
+  Obs.fault_end (obs t) ~time:(rnow t) ~host:h.id ~span:span0;
   match e.ack_pending with
   | Some (req_id, mp_id) ->
     e.ack_pending <- None;
@@ -1506,9 +2092,10 @@ let create engine ~hosts:nhosts ?(config = Config.default) () =
           invalid_arg "Dsm.create: ft.stalls may name hosts 1..hosts-1 only";
         if at < 0.0 || dur <= 0.0 then invalid_arg "Dsm.create: ft.stalls time")
       ft.stalls);
+  if config.homes.Config.Homes.block < 1 then invalid_arg "Dsm.create: homes.block";
   let fabric =
     Fabric.create engine ~hosts:nhosts ~polling:config.polling ~seed:config.seed
-      ~faults:config.faults ~fault_seed:config.net_seed ()
+      ~faults:config.net.Config.Net.faults ~fault_seed:config.net.Config.Net.seed ()
   in
   let transport =
     if Fabric.faulty fabric then
@@ -1536,6 +2123,7 @@ let create engine ~hosts:nhosts ?(config = Config.default) () =
       lock_waiters = Hashtbl.create 8;
       push_waiters = Hashtbl.create 8;
       group_fetches = Hashtbl.create 8;
+      hints = Hashtbl.create 64;
       computing = 0;
       dead_peers = Directory.Host_set.empty;
       bd = Breakdown.create ();
@@ -1547,10 +2135,12 @@ let create engine ~hosts:nhosts ?(config = Config.default) () =
     match transport with
     | None -> 0.0
     | Some _ ->
+      let net = config.net in
       let rec span i acc d =
-        if i > config.max_retries then acc else span (i + 1) (acc +. d) (d *. config.rto_backoff)
+        if i > net.Config.Net.max_retries then acc
+        else span (i + 1) (acc +. d) (d *. net.Config.Net.rto_backoff)
       in
-      2.0 *. span 0 0.0 config.rto_us
+      2.0 *. span 0 0.0 net.Config.Net.rto_us
   in
   let t =
     {
@@ -1562,12 +2152,18 @@ let create engine ~hosts:nhosts ?(config = Config.default) () =
       allocator =
         Allocator.create ~chunking:config.chunking ~page_size:config.page_size
           ~object_size:config.object_size ~views:config.views ();
-      dir = Directory.create ~initial_owner:manager;
+      dirs = Array.init nhosts (fun _ -> Directory.create ~initial_owner:manager);
+      home_tbl = Hashtbl.create 256;
+      ft_pending = Hashtbl.create 32;
       next_req = 0;
       total_threads = 0;
       finished_threads = 0;
       barrier_counts = Hashtbl.create 16;
+      barrier_sent = Hashtbl.create 16;
+      released_phases = Hashtbl.create 16;
       locks = Hashtbl.create 8;
+      lock_requests = Hashtbl.create 8;
+      pending_releases = Hashtbl.create 8;
       groups = Hashtbl.create 8;
       next_group = 0;
       counters = Stats.Counters.create ();
@@ -1602,9 +2198,17 @@ let create engine ~hosts:nhosts ?(config = Config.default) () =
 let malloc t size =
   if t.started then invalid_arg "Dsm.malloc: allocation only in the init phase";
   let mp, off = Allocator.malloc t.allocator size in
-  (match Directory.entry t.dir ~mp_id:mp.Minipage.id with
-  | _ -> ()
-  | exception Not_found -> Directory.register t.dir mp);
+  let mp_id = mp.Minipage.id in
+  if not (Hashtbl.mem t.home_tbl mp_id) then begin
+    let home = assign_home t mp_id in
+    Directory.register t.dirs.(home) mp;
+    Hashtbl.replace t.home_tbl mp_id home;
+    if not (central t) then
+      Obs.home_assign (obs t) ~time:(rnow t) ~host:home ~mp_id ~home;
+    if t.config.homes.Config.Homes.policy = Config.Homes.First_toucher then
+      Hashtbl.replace t.ft_pending mp_id ();
+    Array.iter (fun hs -> Hashtbl.replace hs.hints mp_id home) t.host_states
+  end;
   (* host 0 owns fresh memory read-write; re-protect the whole (possibly
      chunk-grown) minipage *)
   protect_info t t.host_states.(manager) (info_of mp) Prot.Read_write;
@@ -1621,10 +2225,11 @@ let init_write_u8 t addr v = Vm.write_u8 (init_vm t) addr v
 
 let spawn t ~host ?name f =
   if host < 0 || host >= hosts t then invalid_arg "Dsm.spawn: bad host";
+  let tid = t.total_threads in
   t.total_threads <- t.total_threads + 1;
   t.threads_by_host.(host) <- t.threads_by_host.(host) + 1;
   let name = Option.value ~default:(Printf.sprintf "app.h%d" host) name in
-  let ctx = { t; hs = t.host_states.(host); barrier_phase = 0 } in
+  let ctx = { t; hs = t.host_states.(host); tid; barrier_phase = 0 } in
   Engine.spawn t.engine ~name ~group:host (fun () ->
       f ctx;
       t.finished_threads <- t.finished_threads + 1;
@@ -1680,8 +2285,18 @@ let barrier ctx =
   let t0 = Engine.now t.engine in
   Stats.Counters.incr t.counters "barriers";
   Obs.barrier_enter (obs t) ~time:t0 ~host:h.id ~bphase:phase;
-  send t ~src:h.id ~dst:manager ~bytes:(header t)
-    (Proto.Barrier_enter { from = h.id; phase });
+  let target = sync_home t phase in
+  let sent =
+    match Hashtbl.find_opt t.barrier_sent phase with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.add t.barrier_sent phase r;
+      r
+  in
+  sent := !sent @ [ (h.id, ctx.tid) ];
+  send t ~src:h.id ~dst:target ~bytes:(header t)
+    (Proto.Barrier_enter { from = h.id; tid = ctx.tid; phase });
   Sync.Event.wait ev;
   Engine.delay t.config.cost.wakeup_us;
   Obs.barrier_exit (obs t) ~time:(rnow t) ~host:h.id ~bphase:phase
@@ -1703,8 +2318,18 @@ let lock ctx l =
   let t0 = Engine.now t.engine in
   Stats.Counters.incr t.counters "locks";
   Obs.lock_acquire (obs t) ~time:t0 ~host:h.id ~lock:l;
-  send t ~src:h.id ~dst:manager ~bytes:(header t)
-    (Proto.Lock_acquire { req_id = fresh_req t; from = h.id; lock = l });
+  let target = sync_home t l in
+  let reqs =
+    match Hashtbl.find_opt t.lock_requests l with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.add t.lock_requests l r;
+      r
+  in
+  reqs := !reqs @ [ (h.id, ctx.tid) ];
+  send t ~src:h.id ~dst:target ~bytes:(header t)
+    (Proto.Lock_acquire { req_id = fresh_req t; from = h.id; tid = ctx.tid; lock = l });
   Sync.Event.wait ev;
   Engine.delay t.config.cost.wakeup_us;
   Obs.lock_grant (obs t) ~time:(rnow t) ~host:h.id ~lock:l
@@ -1714,7 +2339,17 @@ let lock ctx l =
 let unlock ctx l =
   let t = ctx.t and h = ctx.hs in
   Obs.lock_release (obs t) ~time:(rnow t) ~host:h.id ~lock:l;
-  send t ~src:h.id ~dst:manager ~bytes:(header t)
+  let target = sync_home t l in
+  let rels =
+    match Hashtbl.find_opt t.pending_releases l with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.add t.pending_releases l r;
+      r
+  in
+  rels := !rels @ [ (h.id, target) ];
+  send t ~src:h.id ~dst:target ~bytes:(header t)
     (Proto.Lock_release { from = h.id; lock = l })
 
 let prefetch ctx addr access =
@@ -1749,10 +2384,13 @@ let push_to_all ctx addr =
   let data = Vm.priv_read_bytes h.vm ~off:info.base_off ~len:info.length in
   let req_id = fresh_req t in
   let ev = Sync.Event.create ~auto_reset:false ~name:"push" () in
-  Hashtbl.replace h.push_waiters req_id ev;
+  let pw =
+    { pu_event = ev; pu_info = info; pu_data = data; pu_target = hint_of h info.mp_id }
+  in
+  Hashtbl.replace h.push_waiters req_id pw;
   Stats.Counters.incr t.counters "pushes";
   let t0 = Engine.now t.engine in
-  send t ~src:h.id ~dst:manager
+  send t ~src:h.id ~dst:pw.pu_target
     ~bytes:(header t + info.length)
     (Proto.Push { req_id; from = h.id; info; data });
   Sync.Event.wait ev;
@@ -1781,23 +2419,32 @@ let compose t addrs =
 
 let fetch_group ctx group_id =
   let t = ctx.t and h = ctx.hs in
-  if not (Hashtbl.mem t.groups group_id) then
-    invalid_arg "Dsm.fetch_group: unknown composed view";
-  let req_id = fresh_req t in
-  let gf = group_fetch_state h req_id in
+  let members =
+    match Hashtbl.find_opt t.groups group_id with
+    | Some ids -> ids
+    | None -> invalid_arg "Dsm.fetch_group: unknown composed view"
+  in
+  (* one sub-fetch per distinct home the group's minipages hint to; under the
+     central policy this collapses to the single manager round-trip *)
+  let targets = List.sort_uniq compare (List.map (fun id -> hint_of h id) members) in
   Stats.Counters.incr t.counters "group.fetches";
   let t0 = Engine.now t.engine in
-  send t ~src:h.id ~dst:manager ~bytes:(header t)
-    (Proto.Group_fetch { req_id; from = h.id; group_id });
-  Sync.Event.wait gf.gf_event;
-  Engine.delay t.config.cost.wakeup_us;
-  Hashtbl.remove h.group_fetches req_id;
-  charge h B_prefetch (Engine.now t.engine -. t0);
-  let mp_ids = List.sort_uniq compare gf.gf_mp_ids in
-  if mp_ids <> [] then
-    send t ~src:h.id ~dst:manager
-      ~bytes:(header t + (4 * List.length mp_ids))
-      (Proto.Group_ack { req_id; from = h.id; mp_ids })
+  List.iter
+    (fun target ->
+      let req_id = fresh_req t in
+      let gf = new_group_fetch h req_id ~group_id ~target in
+      send t ~src:h.id ~dst:target ~bytes:(header t)
+        (Proto.Group_fetch { req_id; from = h.id; group_id });
+      Sync.Event.wait gf.gf_event;
+      Engine.delay t.config.cost.wakeup_us;
+      Hashtbl.remove h.group_fetches req_id;
+      let mp_ids = List.sort_uniq compare gf.gf_mp_ids in
+      if mp_ids <> [] then
+        send t ~src:h.id ~dst:gf.gf_target
+          ~bytes:(header t + (4 * List.length mp_ids))
+          (Proto.Group_ack { req_id; from = h.id; mp_ids }))
+    targets;
+  charge h B_prefetch (Engine.now t.engine -. t0)
 
 (* ------------------------------------------------------------------ *)
 (* Statistics                                                          *)
@@ -1808,7 +2455,8 @@ let breakdown t ~host = t.host_states.(host).bd
 let breakdown_total t =
   Array.fold_left (fun acc h -> Breakdown.add acc h.bd) (Breakdown.zero ()) t.host_states
 
-let competing_requests t = Directory.competing_requests t.dir
+let competing_requests t =
+  Array.fold_left (fun acc dir -> acc + Directory.competing_requests dir) 0 t.dirs
 
 let sum_host_counter t key =
   Array.fold_left
@@ -1825,7 +2473,23 @@ let mpt t = Allocator.mpt t.allocator
 let views_used t = Allocator.views_used t.allocator
 let counters t = t.counters
 let trace t = t.trace
-let max_queue_depth t = Directory.max_queue_depth t.dir
+let max_queue_depth t =
+  Array.fold_left (fun acc dir -> max acc (Directory.max_queue_depth dir)) 0 t.dirs
+
+let max_queue_depth_by_home t = Array.map Directory.max_queue_depth t.dirs
+
+let home_of t ~addr =
+  let vm = t.host_states.(manager).vm in
+  let _, _, off = Vm.translate vm addr in
+  let mp = Mpt.find_exn (Allocator.mpt t.allocator) off in
+  home_of_mp t mp.Minipage.id
+
+let homes t =
+  let max_id = Hashtbl.fold (fun id _ acc -> max id acc) t.home_tbl (-1) in
+  Array.init (max_id + 1) (fun id -> home_of_mp t id)
+
+let home_redirects t = Stats.Counters.get t.counters "homes.redirects"
+let rehomed_minipages t = Stats.Counters.get t.counters "homes.rehomes"
 let faulty t = Fabric.faulty t.fabric
 let retransmits t = Stats.Counters.get t.counters "transport.retransmits"
 let dups_suppressed t = Stats.Counters.get t.counters "transport.dups_suppressed"
@@ -1850,4 +2514,5 @@ let leases_revoked t = Stats.Counters.get t.counters "ft.lease_revokes"
 let recovered_minipages t =
   Stats.Counters.get t.counters "ft.recovered_minipages"
 
-let idempotence_size t = Directory.idempotence_size t.dir
+let idempotence_size t =
+  Array.fold_left (fun acc dir -> acc + Directory.idempotence_size dir) 0 t.dirs

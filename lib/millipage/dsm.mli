@@ -1,11 +1,15 @@
 (** Millipage: a thin-layer, sequentially consistent, fine-grain DSM.
 
-    One simulated process per host; host 0 is the manager and holds the MPT
-    and the directory.  Application threads run as simulated processes and
-    access shared memory through {!ctx} accessors; a protection violation
-    raises a (simulated) page fault whose handler executes the protocol of
-    Figure 3: request → manager translate/forward → replica reply directly
-    into the privileged view → protection upgrade → wake → ack.
+    One simulated process per host.  Each minipage has a {e home} host that
+    runs its Figure-3 state machine (directory lookup, forwards,
+    invalidations); the home is assigned at {!malloc} by the configured
+    {!Config.Homes.policy}.  Under the default [Central] policy host 0 homes
+    everything — the paper's single-manager protocol, bit-identical to the
+    pre-sharding implementation.  Application threads run as simulated
+    processes and access shared memory through {!ctx} accessors; a protection
+    violation raises a (simulated) page fault whose handler executes the
+    protocol of Figure 3: request → home translate/forward → replica reply
+    directly into the privileged view → protection upgrade → wake → ack.
 
     Usage: create the system, allocate and initialize shared memory, spawn
     one or more application threads per host, then {!run}.  Allocation and
@@ -17,25 +21,104 @@ type ctx
 (** Handle given to each application thread. *)
 
 module Config : sig
+  (** Unreliable-network knobs: injected fabric faults and the hop-by-hop
+      reliable transport that masks them.  Inert under
+      {!Mp_net.Fabric.no_faults}. *)
+  module Net : sig
+    type t = {
+      faults : Mp_net.Fabric.faults;
+          (** network fault injection; {!Mp_net.Fabric.no_faults} (the
+              default) keeps the fabric's reliable FM semantics bit-for-bit *)
+      seed : int;  (** seed of the fault-injection RNG root *)
+      rto_us : float;
+          (** initial transport retransmission timeout (µs); only meaningful
+              with faults active *)
+      rto_backoff : float;  (** timeout multiplier per retry *)
+      max_retries : int;
+          (** retransmissions per packet before the run is declared
+              unrecoverable ([Failure]) *)
+    }
+
+    val default : t
+    (** No faults; RTO 5 ms ×2 up to 12 retries when enabled. *)
+
+    val with_faults : t -> Mp_net.Fabric.faults -> t
+    val with_seed : t -> int -> t
+
+    val with_rto :
+      t -> ?rto_us:float -> ?rto_backoff:float -> ?max_retries:int -> unit -> t
+  end
+
   (** Crash-fault tolerance knobs: injected host crashes/stalls, the
       heartbeat failure detector, and the deadlock watchdog.  [None] (the
       default) spawns no extra process and sends no extra message — fault-free
       runs are bit-identical to a build without the subsystem. *)
-  type ft = {
-    hb_interval_us : float;  (** heartbeat period per host *)
-    suspect_after_us : float;  (** silence before a host is suspected *)
+  module Ft : sig
+    type t = {
+      hb_interval_us : float;  (** heartbeat period per host *)
+      suspect_after_us : float;  (** silence before a host is suspected *)
+      declare_after_us : float;
+          (** silence before a suspect is declared dead; a stall shorter than
+              this survives (the suspicion is retracted) *)
+      crashes : (int * float) list;  (** (host, time µs): fail-stop *)
+      stalls : (int * float * float) list;  (** (host, time µs, duration µs) *)
+      deadlock_ticks : int;
+          (** detector ticks without protocol progress before {!Deadlock} *)
+    }
+
+    val default : t
+    (** 1 ms heartbeats, suspect after 3 ms, declare after 8 ms, no injected
+        faults, deadlock after 500 idle ticks. *)
+
+    val with_crashes : t -> (int * float) list -> t
+    val with_stalls : t -> (int * float * float) list -> t
+  end
+
+  (** Home assignment: which host runs each minipage's directory state
+      machine. *)
+  module Homes : sig
+    type policy =
+      | Central  (** everything homed at host 0 (paper §3, Figure 3) *)
+      | Round_robin  (** minipage id mod hosts *)
+      | Block  (** contiguous runs of [block] minipage ids per home *)
+      | First_toucher
+          (** homed at host 0 until first touched; the first remote requester
+              becomes the home (a one-time migration, learned lazily by the
+              other hosts through the redirect path) *)
+
+    type t = { policy : policy; block : int }
+
+    val default : t
+    (** [Central], block size 8. *)
+
+    val central : t
+    val round_robin : t
+
+    val block : int -> t
+    (** [block n] homes runs of [n] consecutive minipage ids per host. *)
+
+    val first_toucher : t
+
+    val policy_name : policy -> string
+    (** ["central"], ["rr"], ["block"], ["ft"]. *)
+
+    val policy_of_string : string -> policy option
+    (** Inverse of {!policy_name}; also accepts ["round-robin"] and
+        ["first-toucher"]. *)
+  end
+
+  type ft = Ft.t = {
+    hb_interval_us : float;
+    suspect_after_us : float;
     declare_after_us : float;
-        (** silence before a suspect is declared dead; a stall shorter than
-            this survives (the suspicion is retracted) *)
-    crashes : (int * float) list;  (** (host, time µs): fail-stop *)
-    stalls : (int * float * float) list;  (** (host, time µs, duration µs) *)
+    crashes : (int * float) list;
+    stalls : (int * float * float) list;
     deadlock_ticks : int;
-        (** detector ticks without protocol progress before {!Deadlock} *)
   }
+  (** @deprecated Compatibility alias for {!Ft.t}. *)
 
   val default_ft : ft
-  (** 1 ms heartbeats, suspect after 3 ms, declare after 8 ms, no injected
-      faults, deadlock after 500 idle ticks. *)
+  (** @deprecated Use {!Ft.default}. *)
 
   type t = {
     views : int;  (** application views mapped at initialization (§2.4) *)
@@ -45,29 +128,33 @@ module Config : sig
     cost : Cost_model.t;
     polling : Mp_net.Polling.mode;
     seed : int;
-    faults : Mp_net.Fabric.faults;
-        (** network fault injection; {!Mp_net.Fabric.no_faults} (the default)
-            keeps the fabric's reliable FM semantics bit-for-bit *)
-    net_seed : int;  (** seed of the fault-injection RNG root *)
-    rto_us : float;
-        (** initial transport retransmission timeout (µs); only meaningful
-            with faults active *)
-    rto_backoff : float;  (** timeout multiplier per retry *)
-    max_retries : int;
-        (** retransmissions per packet before the run is declared
-            unrecoverable ([Failure]) *)
-    ft : ft option;  (** crash-fault tolerance; [None] disables it entirely *)
+    net : Net.t;  (** network faults + reliable transport *)
+    ft : Ft.t option;  (** crash-fault tolerance; [None] disables it entirely *)
+    homes : Homes.t;  (** home-assignment policy (default [Central]) *)
   }
 
   val default : t
   (** 32 views, 16 MB object, 4 KB pages, no chunking, Table 1 costs,
-      NT-timer polling, no faults (RTO 5 ms ×2 up to 12 retries when
-      enabled). *)
+      NT-timer polling, no faults, no crash-fault tolerance, central homes. *)
+
+  val with_views : t -> int -> t
+  val with_object_size : t -> int -> t
+  val with_page_size : t -> int -> t
+  val with_chunking : t -> Mp_multiview.Allocator.chunking -> t
+  val with_cost : t -> Cost_model.t -> t
+  val with_polling : t -> Mp_net.Polling.mode -> t
+  val with_seed : t -> int -> t
+  val with_net : t -> Net.t -> t
+  val with_faults : t -> Mp_net.Fabric.faults -> t
+  val with_net_seed : t -> int -> t
+  val with_ft : t -> Ft.t option -> t
+  val with_homes : t -> Homes.t -> t
+  val with_policy : t -> Homes.policy -> t
 end
 
 exception Deadlock of string
 (** The run stopped making progress with live application threads still
-    blocked; the message lists the blocked processes and the manager's
+    blocked; the message lists the blocked processes and the directory
     queue state. *)
 
 exception Crash_unrecoverable of string
@@ -79,13 +166,27 @@ val create : Mp_sim.Engine.t -> hosts:int -> ?config:Config.t -> unit -> t
 
 val engine : t -> Mp_sim.Engine.t
 val hosts : t -> int
+
+val home_of : t -> addr:int -> int
+(** Current home of the minipage holding [addr] — the host running its
+    directory state machine.  Valid any time after the address was
+    allocated; under [First_toucher] or after crash re-homing the answer can
+    change over the run. *)
+
+val homes : t -> int array
+(** Home of every allocated minipage, indexed by minipage id. *)
+
 val manager_host : t -> int
+(** @deprecated The single-manager accessor from before sharding.  Still
+    answers 0 under the [Central] policy; under any other policy there is no
+    single manager and it raises [Invalid_argument].  Use {!home_of}. *)
 
 (** {2 Init phase} *)
 
 val malloc : t -> int -> int
 (** Allocate from the shared region; returns the virtual address (valid on
-    every host).  Must happen before {!run}. *)
+    every host).  The fresh minipage's home is assigned here by the
+    configured policy.  Must happen before {!run}. *)
 
 val malloc_array : t -> count:int -> size:int -> int array
 (** [count] successive allocations of [size] bytes each. *)
@@ -129,10 +230,13 @@ val compute : ctx -> float -> unit
     NT-timer polling). *)
 
 val barrier : ctx -> unit
-(** Global barrier across every spawned thread (manager-centralized). *)
+(** Global barrier across every spawned thread.  Each barrier phase is homed
+    on its own host ([phase mod live hosts] under a sharded policy), so
+    barrier traffic does not queue behind a loaded manager. *)
 
 val lock : ctx -> int -> unit
 val unlock : ctx -> int -> unit
+(** Locks are homed per lock id, like barriers. *)
 
 val prefetch : ctx -> int -> Proto.access -> unit
 (** Fire-and-forget fetch of the minipage holding the given address; a later
@@ -158,14 +262,19 @@ val compose : t -> int array -> int
 
 val fetch_group : ctx -> int -> unit
 (** Bring read copies of every group member this host doesn't already hold.
-    Members busy with a conflicting operation are skipped (they fault later
-    on demand).  Blocks until all batches have landed. *)
+    One sub-fetch goes to each distinct home among the members (a single
+    round-trip under [Central]).  Members busy with a conflicting operation
+    are skipped (they fault later on demand).  Blocks until all batches have
+    landed. *)
 
 (** {2 Statistics} *)
 
 val breakdown : t -> host:int -> Breakdown.t
 val breakdown_total : t -> Breakdown.t
+
 val competing_requests : t -> int
+(** Summed over every home shard. *)
+
 val read_faults : t -> int
 val write_faults : t -> int
 val barriers_entered : t -> int
@@ -176,7 +285,8 @@ val mpt : t -> Mp_multiview.Mpt.t
 val views_used : t -> int
 val counters : t -> Mp_util.Stats.Counters.t
 (** Protocol-level counters: ["invalidations"], ["acks"], ["pushes"],
-    ["replies.data"], ["grant.upgrades"], ... *)
+    ["replies.data"], ["grant.upgrades"], and under sharded policies
+    ["homes.redirects"], ["homes.migrations"], ["homes.rehomes"], ... *)
 
 val trace : t -> Trace.t
 (** Protocol event trace (disabled by default; [Trace.set_enabled] it before
@@ -187,12 +297,22 @@ val obs : t -> Mp_obs.Recorder.t
     object): per-fault spans, phase latency metrics, Perfetto export. *)
 
 val max_queue_depth : t -> int
-(** High-water mark of requests queued at the manager behind in-flight
-    operations. *)
+(** High-water mark of requests queued behind in-flight operations, taken
+    over every home shard. *)
+
+val max_queue_depth_by_home : t -> int array
+(** Per-home high-water queue depth (index = host id).  Under [Central] only
+    index 0 is ever non-zero. *)
+
+val home_redirects : t -> int
+(** Requests that reached a stale home and were redirected. *)
+
+val rehomed_minipages : t -> int
+(** Shard entries adopted by host 0 after their home host died. *)
 
 (** {2 Fault injection and reliable transport}
 
-    When {!Config.t.faults} enables any fault, protocol bodies travel in
+    When {!Config.Net.t.faults} enables any fault, protocol bodies travel in
     sequence-numbered {!Proto.packet}s under a hop-by-hop ARQ: every Data is
     acknowledged with a Tack, unacknowledged packets are retransmitted with
     exponential backoff, and receivers resequence and dedupe so the protocol
@@ -210,22 +330,23 @@ val net_reordered : t -> int
 
 (** {2 Crash-fault tolerance}
 
-    With {!Config.t.ft} set, every non-manager host sends heartbeats to the
-    manager over the fabric; a host silent past [suspect_after_us] is
-    suspected, and past [declare_after_us] it is declared dead and fenced.
-    Declaration triggers manager-side recovery: the directory is scrubbed
-    (copysets, in-flight operations, queued requests), minipages the dead
-    host exclusively owned are re-materialized from the manager's shadow
-    copies (refreshed eagerly on every data transfer and at each barrier
-    entry), lock leases held by the dead host are revoked and granted to the
-    next live waiter, and in-progress barriers reconfigure to the
-    survivors. *)
+    With {!Config.t.ft} set, every non-manager host sends heartbeats to host 0
+    over the fabric; a host silent past [suspect_after_us] is suspected, and
+    past [declare_after_us] it is declared dead and fenced.  Declaration
+    triggers recovery: every live home shard is scrubbed (copysets, in-flight
+    operations, queued requests), the dead host's own shard is re-homed onto
+    host 0 (survivors learn the new home through the redirect path), minipages
+    the dead host exclusively owned are re-materialized from shadow copies
+    (refreshed eagerly on every data transfer and at each barrier entry), lock
+    leases held by the dead host are revoked and granted to the next live
+    waiter, and in-progress barriers and locks homed on the dead host are
+    rebuilt on host 0 from sender-side ground truth. *)
 
 val crashed_hosts : t -> int list
 (** Hosts that fail-stopped (injected crash or detector fencing). *)
 
 val declared_dead : t -> int list
-(** Hosts the manager declared dead (and recovery ran for). *)
+(** Hosts declared dead (and recovery ran for). *)
 
 val lost_minipages : t -> int list
 (** Minipages whose dead owner wrote after the last observed transfer —
@@ -233,13 +354,13 @@ val lost_minipages : t -> int list
     {!Crash_unrecoverable}. *)
 
 val recovered_minipages : t -> int
-(** Exclusively-dead-owned minipages successfully re-materialized from the
-    manager's shadow copies. *)
+(** Exclusively-dead-owned minipages successfully re-materialized from
+    shadow copies. *)
 
 val heartbeats_sent : t -> int
 val leases_revoked : t -> int
 
 val idempotence_size : t -> int
-(** Current size of the manager's request-idempotence tables (bounded by
+(** Combined size of every shard's request-idempotence tables (bounded by
     periodic pruning of completions older than the retransmission
     window). *)

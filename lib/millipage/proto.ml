@@ -11,10 +11,11 @@ type body =
   | Invalidate of { req_id : int; info : info }
   | Invalidate_reply of { req_id : int; mp_id : int; from : int }
   | Ack of { req_id : int; mp_id : int; from : int }
-  | Barrier_enter of { from : int; phase : int }
+  | Home_redirect of { req_id : int; mp_id : int; home : int }
+  | Barrier_enter of { from : int; tid : int; phase : int }
   | Barrier_release of { phase : int }
-  | Lock_acquire of { req_id : int; from : int; lock : int }
-  | Lock_grant of { lock : int }
+  | Lock_acquire of { req_id : int; from : int; tid : int; lock : int }
+  | Lock_grant of { lock : int; tid : int }
   | Lock_release of { from : int; lock : int }
   | Push of { req_id : int; from : int; info : info; data : bytes }
   | Push_update of { info : info; data : bytes }
@@ -49,10 +50,13 @@ let describe = function
   | Invalidate { info; _ } -> Printf.sprintf "INVALIDATE(mp%d)" info.mp_id
   | Invalidate_reply { mp_id; _ } -> Printf.sprintf "INVALIDATE_REPLY(mp%d)" mp_id
   | Ack { mp_id; _ } -> Printf.sprintf "ACK(mp%d)" mp_id
-  | Barrier_enter { from; phase } -> Printf.sprintf "BARRIER_ENTER(h%d p%d)" from phase
+  | Home_redirect { mp_id; home; _ } ->
+    Printf.sprintf "HOME_REDIRECT(mp%d -> h%d)" mp_id home
+  | Barrier_enter { from; phase; _ } ->
+    Printf.sprintf "BARRIER_ENTER(h%d p%d)" from phase
   | Barrier_release { phase } -> Printf.sprintf "BARRIER_RELEASE(p%d)" phase
   | Lock_acquire { lock; from; _ } -> Printf.sprintf "LOCK_ACQ(l%d h%d)" lock from
-  | Lock_grant { lock } -> Printf.sprintf "LOCK_GRANT(l%d)" lock
+  | Lock_grant { lock; _ } -> Printf.sprintf "LOCK_GRANT(l%d)" lock
   | Lock_release { lock; from } -> Printf.sprintf "LOCK_REL(l%d h%d)" lock from
   | Push { info; _ } -> Printf.sprintf "PUSH(mp%d)" info.mp_id
   | Push_update { info; _ } -> Printf.sprintf "PUSH_UPDATE(mp%d)" info.mp_id

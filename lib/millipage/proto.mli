@@ -30,10 +30,16 @@ type body =
   | Ack of { req_id : int; mp_id : int; from : int }
       (** faulting host → manager once the woken thread has its access: ends
           the minipage's busy period (the delta-like mechanism of §3.3) *)
-  | Barrier_enter of { from : int; phase : int }
+  | Home_redirect of { req_id : int; mp_id : int; home : int }
+      (** home → requester whose home hint was stale (the minipage migrated
+          to its first toucher, or was re-homed after a crash): update the
+          hint and resend to [home] *)
+  | Barrier_enter of { from : int; tid : int; phase : int }
+      (** [tid] identifies the entering thread, so recovery can rebuild a
+          barrier's entered-set idempotently after its home host died *)
   | Barrier_release of { phase : int }
-  | Lock_acquire of { req_id : int; from : int; lock : int }
-  | Lock_grant of { lock : int }
+  | Lock_acquire of { req_id : int; from : int; tid : int; lock : int }
+  | Lock_grant of { lock : int; tid : int }
   | Lock_release of { from : int; lock : int }
   | Push of { req_id : int; from : int; info : info; data : bytes }
       (** pushing host → manager: distribute fresh read copies to all hosts

@@ -48,6 +48,9 @@ type kind =
   | Recover_minipage of { mp_id : int; lost : bool }
   | Lease_revoke of { lock : int; next : int }
   | Barrier_reconfig of { bphase : int; expected : int }
+  | Home_assign of { mp_id : int; home : int }
+  | Home_redirect of { mp_id : int; old_home : int; new_home : int }
+  | Rehome of { mp_id : int; from_home : int; to_home : int }
   | Mark of { kind : string; detail : string }
 
 type t = { time : float; host : int; span : int; kind : kind }
@@ -92,6 +95,9 @@ let kind_name = function
   | Recover_minipage _ -> "RECOVER_MINIPAGE"
   | Lease_revoke _ -> "LEASE_REVOKE"
   | Barrier_reconfig _ -> "BARRIER_RECONFIG"
+  | Home_assign _ -> "HOME_ASSIGN"
+  | Home_redirect _ -> "HOME_REDIRECT"
+  | Rehome _ -> "REHOME"
   | Mark m -> m.kind
 
 let detail = function
@@ -146,6 +152,11 @@ let detail = function
     else Printf.sprintf "l%d -> h%d" lock next
   | Barrier_reconfig { bphase; expected } ->
     Printf.sprintf "phase %d now expects %d" bphase expected
+  | Home_assign { mp_id; home } -> Printf.sprintf "mp%d -> h%d" mp_id home
+  | Home_redirect { mp_id; old_home; new_home } ->
+    Printf.sprintf "mp%d h%d -> h%d" mp_id old_home new_home
+  | Rehome { mp_id; from_home; to_home } ->
+    Printf.sprintf "mp%d h%d -> h%d" mp_id from_home to_home
   | Mark m -> m.detail
 
 let pp fmt e =

@@ -72,6 +72,16 @@ type kind =
       (** Lock lease revoked from this (dead) host; [next < 0]: no waiter. *)
   | Barrier_reconfig of { bphase : int; expected : int }
       (** Barrier retargeted to the surviving hosts' thread count. *)
+  | Home_assign of { mp_id : int; home : int }
+      (** Sharded management: this minipage's Figure-3 state machine was
+          placed at [home] by the home-assignment policy (at [malloc], or on
+          a first-toucher migration). *)
+  | Home_redirect of { mp_id : int; old_home : int; new_home : int }
+      (** A request hit a stale home hint; the receiver pointed the
+          requester at the minipage's current home. *)
+  | Rehome of { mp_id : int; from_home : int; to_home : int }
+      (** Crash recovery moved this minipage's directory entry from a dead
+          home host to a surviving one. *)
   | Mark of { kind : string; detail : string }
       (** Escape hatch for untyped events (the {!Mp_millipage.Trace} shim). *)
 

@@ -147,8 +147,10 @@ let perfetto_json (events : Event.t list) =
       | Event.Host_crash | Event.Host_stall _ | Event.Heartbeat_miss _
       | Event.Suspect | Event.Declare_dead | Event.Dead_notice _
       | Event.Shadow_refresh _ | Event.Shadow_sync _ | Event.Recover_minipage _
-      | Event.Lease_revoke _ | Event.Barrier_reconfig _ ->
+      | Event.Lease_revoke _ | Event.Barrier_reconfig _ | Event.Rehome _ ->
         add (instant ~name ~cat:"crash" ~ts:e.time ~pid ~tid:0 ~args)
+      | Event.Home_assign _ | Event.Home_redirect _ ->
+        add (instant ~name ~cat:"proto" ~ts:e.time ~pid ~tid:1 ~args)
       | Event.Mark _ -> add (instant ~name ~cat:"mark" ~ts:e.time ~pid ~tid:0 ~args)
       | Event.Fault _ | Event.Fault_done _ | Event.Queued _ | Event.Dequeued _ -> ())
     events;

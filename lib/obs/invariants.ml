@@ -32,6 +32,21 @@ let check (events : Event.t list) =
   let write_open = Hashtbl.create 16 in (* mp_id -> (span, time) *)
   (* -- invalidation conservation ---------------------------------------- *)
   let inval_open = Hashtbl.create 16 in (* span -> outstanding target list ref *)
+  (* -- home routing: serialization happens at one home per minipage ----- *)
+  let homes = Hashtbl.create 64 in (* mp_id -> current home host *)
+  let at_home what mp_id (e : Event.t) =
+    (* Under Central no HOME_ASSIGN is emitted; the first managing host seen
+       (host 0) calibrates the expectation.  Under sharded policies the
+       assignment/redirect/rehome events keep the map current, so a queue or
+       grant at any other host is a routing violation — SW/MR serialization
+       would be split across two managers. *)
+    match Hashtbl.find_opt homes mp_id with
+    | None -> Hashtbl.replace homes mp_id e.host
+    | Some home when home <> e.host ->
+      flag "mp %d: %s at h%d at t=%.1f but its home is h%d" mp_id what e.host
+        e.time home
+    | Some _ -> ()
+  in
   (* -- crash bookkeeping ------------------------------------------------- *)
   let crashed = Hashtbl.create 4 in (* host -> crash/declare time *)
   let knows_dead = Hashtbl.create 8 in (* (host, dead peer) -> unit *)
@@ -57,6 +72,9 @@ let check (events : Event.t list) =
       | Event.Request _ -> Hashtbl.replace requested e.span e.host
       | Event.Forward _ -> (
         ignore (bump forwards e.span 1);
+        (match e.kind with
+        | Event.Forward { mp_id; _ } -> at_home "FORWARD" mp_id e
+        | _ -> ());
         match e.kind with
         | Event.Forward { access = Event.Write; mp_id; _ } -> (
           match Hashtbl.find_opt write_open mp_id with
@@ -79,7 +97,8 @@ let check (events : Event.t list) =
               e.span e.host e.time
         end
         else Hashtbl.replace replied (e.span, e.host) ()
-      | Event.Queued _ ->
+      | Event.Queued { mp_id; _ } ->
+        at_home "QUEUE" mp_id e;
         incr queued;
         if Hashtbl.mem queue_open e.span then
           flag "span %d: queued twice at the manager" e.span;
@@ -119,6 +138,10 @@ let check (events : Event.t list) =
         if not (is_crashed e.host) then Hashtbl.add crashed e.host e.time;
         drop_dead_writer e.host
       | Event.Dead_notice { dead } -> Hashtbl.replace knows_dead (e.host, dead) ()
+      | Event.Home_assign { mp_id; home } -> Hashtbl.replace homes mp_id home
+      | Event.Home_redirect { mp_id; new_home; _ } ->
+        Hashtbl.replace homes mp_id new_home
+      | Event.Rehome { mp_id; to_home; _ } -> Hashtbl.replace homes mp_id to_home
       | Event.Msg_send { dst; label; _ } ->
         (* never speak to the known dead (transport acks excepted: the
            receive path acks before it can know anything about the body) *)

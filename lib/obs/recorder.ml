@@ -359,6 +359,31 @@ let barrier_reconfig t ~time ~host ~bphase ~expected =
     incr t "ft.barrier_reconfigs"
   end
 
+(* ------------------------------------------------------------------ *)
+(* Sharded home-based management                                       *)
+(* ------------------------------------------------------------------ *)
+
+let home_assign t ~time ~host ~mp_id ~home =
+  if t.on then begin
+    record t ~time ~host (Event.Home_assign { mp_id; home });
+    incr t "homes.assigns"
+  end
+
+let home_redirect t ~time ~host ~span ~mp_id ~old_home ~new_home =
+  if t.on then begin
+    record t ~time ~host ~span (Event.Home_redirect { mp_id; old_home; new_home });
+    incr t "homes.redirects"
+  end
+
+let rehome t ~time ~host ~mp_id ~from_home ~to_home =
+  if t.on then begin
+    record t ~time ~host (Event.Rehome { mp_id; from_home; to_home });
+    incr t "homes.rehomes"
+  end
+
+let home_queue_depth t ~home ~depth =
+  gauge_set t (Printf.sprintf "home.h%d.queue_depth" home) (float_of_int depth)
+
 let pp_dump t fmt =
   List.iter (fun e -> Format.fprintf fmt "%a@." Event.pp e) (events t);
   if dropped t > 0 then

@@ -129,4 +129,21 @@ val recover_minipage :
 val lease_revoke : t -> time:float -> host:int -> lock:int -> next:int -> unit
 val barrier_reconfig : t -> time:float -> host:int -> bphase:int -> expected:int -> unit
 
+(** {2 Sharded home-based management}
+
+    [host] is the home performing (or learning) the assignment. *)
+
+val home_assign : t -> time:float -> host:int -> mp_id:int -> home:int -> unit
+
+val home_redirect :
+  t -> time:float -> host:int -> span:int -> mp_id:int -> old_home:int ->
+  new_home:int -> unit
+
+val rehome :
+  t -> time:float -> host:int -> mp_id:int -> from_home:int -> to_home:int -> unit
+
+val home_queue_depth : t -> home:int -> depth:int -> unit
+(** Per-home queue-depth gauge ["home.h<i>.queue_depth"]; emitted by the DSM
+    only under non-[Central] policies. *)
+
 val pp_dump : t -> Format.formatter -> unit

@@ -17,11 +17,13 @@ let fast_ft =
     declare_after_us = 1600.0;
   }
 
-let ft_config ?(crashes = []) ?(stalls = []) ?(deadlock_ticks = 500) () =
+let ft_config ?(crashes = []) ?(stalls = []) ?(deadlock_ticks = 500)
+    ?(homes = Dsm.Config.Homes.default) () =
   {
     Dsm.Config.default with
     polling = Mp_net.Polling.Fast;
     ft = Some { fast_ft with crashes; stalls; deadlock_ticks };
+    homes;
   }
 
 let scenario ?(hosts = 3) ~config setup =
@@ -261,11 +263,14 @@ let test_idempotence_bounded_end_to_end () =
     {
       Dsm.Config.default with
       polling = Mp_net.Polling.Fast;
-      faults = { Fabric.no_faults with drop = 0.02 };
-      net_seed = 11;
-      rto_us = 100.0;
-      rto_backoff = 1.2;
-      max_retries = 6;
+      net =
+        {
+          Dsm.Config.Net.faults = { Fabric.no_faults with drop = 0.02 };
+          seed = 11;
+          rto_us = 100.0;
+          rto_backoff = 1.2;
+          max_retries = 6;
+        };
     }
   in
   let dsm = Dsm.create e ~hosts:2 ~config () in
@@ -367,6 +372,80 @@ let test_acceptance_stencil_survives_crash () =
         reads)
     [ 1; 2 ]
 
+(* ---------------- sharded homes: crash of a home host ------------------ *)
+
+(* Under round-robin homes on 3 hosts, minipages 2 and 5 are homed at host
+   2.  Host 2 runs a compute-only thread (it never owns data) and crashes
+   mid-run; its shard must be re-homed onto host 0 and the survivors must
+   keep read/write sharing those minipages to completion. *)
+let test_rehoming_after_home_crash () =
+  let final = Array.make 2 0.0 in
+  let dsm =
+    scenario
+      ~config:
+        (ft_config ~homes:Dsm.Config.Homes.round_robin ~crashes:[ (2, 3000.0) ] ())
+      (fun dsm ->
+        let cells = Dsm.malloc_array dsm ~count:6 ~size:64 in
+        Array.iter (fun c -> Dsm.init_write_f64 dsm c 0.0) cells;
+        for h = 0 to 1 do
+          Dsm.spawn dsm ~host:h (fun ctx ->
+              for p = 1 to 6 do
+                Array.iteri
+                  (fun i c -> if i mod 2 = h then Dsm.write_f64 ctx c (float_of_int p))
+                  cells;
+                Dsm.compute ctx 2500.0;
+                Dsm.barrier ctx;
+                Array.iter (fun c -> ignore (Dsm.read_f64 ctx c)) cells;
+                Dsm.barrier ctx
+              done;
+              final.(h) <- Dsm.read_f64 ctx cells.(2 + h))
+        done;
+        Dsm.spawn dsm ~host:2 (fun ctx -> Dsm.compute ctx 60000.0))
+  in
+  Alcotest.(check (list int)) "home host declared dead" [ 2 ] (Dsm.declared_dead dsm);
+  Alcotest.(check bool)
+    (Printf.sprintf "host 2's shard re-homed (%d)" (Dsm.rehomed_minipages dsm))
+    true
+    (Dsm.rehomed_minipages dsm >= 2);
+  Alcotest.(check (list int)) "no data lost" [] (Dsm.lost_minipages dsm);
+  (* every minipage formerly homed at 2 now answers 0 *)
+  let homes = Dsm.homes dsm in
+  Alcotest.(check (array int)) "mod-3 homes collapsed onto 0"
+    [| 0; 1; 0; 0; 1; 0 |] homes;
+  Array.iteri
+    (fun h v ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "survivor %d finished all phases" h)
+        6.0 v)
+    final
+
+let test_rehoming_under_first_toucher () =
+  (* a first-toucher migration moves a minipage to host 2; host 2 then dies
+     and the minipage must come home to host 0, reachable by survivors
+     whose hints still name the dead host *)
+  let seen = ref 0.0 in
+  let dsm =
+    scenario
+      ~config:
+        (ft_config ~homes:Dsm.Config.Homes.first_toucher ~crashes:[ (2, 3000.0) ] ())
+      (fun dsm ->
+        let x = Dsm.malloc dsm 64 in
+        Dsm.init_write_f64 dsm x 1.0;
+        Dsm.spawn dsm ~host:2 (fun ctx -> ignore (Dsm.read_f64 ctx x));
+        Dsm.spawn dsm ~host:1 (fun ctx ->
+            Dsm.compute ctx 500.0;
+            Dsm.write_f64 ctx x 5.0;
+            Dsm.compute ctx 8000.0;
+            seen := Dsm.read_f64 ctx x);
+        Dsm.spawn dsm ~host:0 (fun ctx -> Dsm.compute ctx 10000.0))
+  in
+  Alcotest.(check (list int)) "first toucher declared dead" [ 2 ]
+    (Dsm.declared_dead dsm);
+  Alcotest.(check int) "migration happened before the crash" 1
+    (counter dsm "homes.migrations");
+  Alcotest.(check bool) "migrated shard re-homed" true (Dsm.rehomed_minipages dsm >= 1);
+  Alcotest.(check (float 0.0)) "survivor's data intact" 5.0 !seen
+
 (* ---------------- property: random crash schedules never hang ---------- *)
 
 let crash_schedule =
@@ -423,5 +502,9 @@ let suite =
       test_idempotence_bounded_end_to_end;
     Alcotest.test_case "acceptance: stencil survives crash" `Quick
       test_acceptance_stencil_survives_crash;
+    Alcotest.test_case "re-homing after home crash" `Quick
+      test_rehoming_after_home_crash;
+    Alcotest.test_case "re-homing under first toucher" `Quick
+      test_rehoming_under_first_toucher;
     QCheck_alcotest.to_alcotest prop_random_crash_never_hangs;
   ]

@@ -184,7 +184,12 @@ let test_directory_dedupes_requests () =
 let run_sor ~hosts ~faults ~net_seed ~polling =
   let e = Engine.create () in
   let config =
-    { Dsm.Config.default with polling; faults; net_seed; seed = 2 }
+    {
+      Dsm.Config.default with
+      polling;
+      net = { Dsm.Config.Net.default with faults; seed = net_seed };
+      seed = 2;
+    }
   in
   let dsm = Dsm.create e ~hosts ~config () in
   let obs = Dsm.obs dsm in

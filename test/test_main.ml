@@ -21,4 +21,5 @@ let () =
       ("obs", Test_obs.suite);
       ("faults", Test_faults.suite);
       ("crash", Test_crash.suite);
+      ("shard", Test_shard.suite);
     ]
