@@ -16,6 +16,7 @@ let all_experiments ~full ~fast () =
   Exp_soak.run ();
   Exp_crash.run ();
   Exp_shard.run ();
+  Exp_mc.run ();
   Bechamel_bench.run ()
 
 let full_flag =
@@ -63,6 +64,10 @@ let shard =
   cmd "shard" "Sharded-home sweep: per-home queue depth and end time vs central"
     Term.(const Exp_shard.run $ const ())
 
+let mc =
+  cmd "mc" "mpcheck sweep: schedule-exploration throughput and coverage"
+    Term.(const Exp_mc.run $ const ())
+
 let bechamel =
   cmd "bechamel" "Wall-clock microbenchmarks of simulator primitives"
     Term.(const Bechamel_bench.run $ const ())
@@ -82,4 +87,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ table1; costs; fig5; table2; fig6; fig7; ablation; gms; soak; crash;
-            shard; bechamel; all_cmd ]))
+            shard; mc; bechamel; all_cmd ]))

@@ -2,15 +2,38 @@ type kind = Read | Write
 
 type op = { time : float; host : int; loc : int; kind : kind; value : int }
 
-type t = { initial : int; mutable ops : op list; mutable count : int }
+type t = {
+  initial : int;
+  mutable ops : op list;
+  mutable count : int;
+  mutable next_value : int;  (* lowest value fresh_value may hand out *)
+}
 
-let create ?(initial = 0) () = { initial; ops = []; count = 0 }
+let create ?(initial = 0) () =
+  { initial; ops = []; count = 0; next_value = initial + 1 }
 
 let record t ~time ~host ~loc ~kind ~value =
   t.ops <- { time; host; loc; kind; value } :: t.ops;
-  t.count <- t.count + 1
+  t.count <- t.count + 1;
+  (* keep the allocator ahead of manually chosen write values *)
+  if kind = Write && value >= t.next_value then t.next_value <- value + 1
+
+let fresh_value t =
+  let v = t.next_value in
+  t.next_value <- v + 1;
+  v
 
 let operations t = t.count
+
+let ops t = List.rev t.ops
+
+let of_ops ?initial ops =
+  let t = create ?initial () in
+  List.iter
+    (fun (o : op) ->
+      record t ~time:o.time ~host:o.host ~loc:o.loc ~kind:o.kind ~value:o.value)
+    ops;
+  t
 
 let check t =
   let violations = ref [] in

@@ -18,15 +18,33 @@
 
 type kind = Read | Write
 
+type op = { time : float; host : int; loc : int; kind : kind; value : int }
+
 type t
 
 val create : ?initial:int -> unit -> t
 (** [initial] is the value locations hold before any write (default 0). *)
 
 val record : t -> time:float -> host:int -> loc:int -> kind:kind -> value:int -> unit
-(** For writes, [value] must be unique across the whole run. *)
+(** For writes, [value] must be unique across the whole run; {!fresh_value}
+    allocates safe ones. *)
+
+val fresh_value : t -> int
+(** A write value no earlier {!record} or {!fresh_value} on this log has
+    used (and that never collides with [initial]).  Concurrent test threads
+    that all draw from the log's own allocator cannot violate the
+    write-value uniqueness precondition by accident — hand-rolled counters
+    shared across processes can. *)
 
 val operations : t -> int
+
+val ops : t -> op list
+(** Every recorded operation, in recording order.  Exposed so tests can
+    mutate real histories (checker-checks-the-checker) and so the schedule
+    explorer can fingerprint observed states. *)
+
+val of_ops : ?initial:int -> op list -> t
+(** A log holding exactly the given history (in list order). *)
 
 val check : t -> string list
 (** Empty when the execution is coherent; otherwise human-readable

@@ -1,0 +1,142 @@
+type expect = {
+  violations : int;
+  end_us : float;
+  state_sig : int;
+  ops : int;
+  choice_points : int;
+}
+
+type t = { scenario : Scenario.t; plan : Plan.t; expect : expect option }
+
+let magic = "mpcheck-artifact v1"
+
+let of_outcome scenario plan (o : Scenario.outcome) =
+  {
+    scenario;
+    plan;
+    expect =
+      Some
+        {
+          violations = List.length o.violations;
+          end_us = o.end_us;
+          state_sig = o.state_sig;
+          ops = o.ops;
+          choice_points = o.choice_points;
+        };
+  }
+
+let replay t = Scenario.run_plan t.scenario t.plan
+
+let check t (o : Scenario.outcome) =
+  match t.expect with
+  | None -> []
+  | Some e ->
+    let mismatch name fmt recorded got =
+      if recorded = got then None
+      else
+        Some
+          (Printf.sprintf "%s: recorded %s, replay produced %s" name
+             (fmt recorded) (fmt got))
+    in
+    List.filter_map
+      (fun x -> x)
+      [
+        mismatch "violations" string_of_int e.violations (List.length o.violations);
+        (* end_us lives in the file as "%.6f" text, so the recorded value
+           already went through that rounding — compare at file precision. *)
+        mismatch "end_us" Fun.id
+          (Printf.sprintf "%.6f" e.end_us)
+          (Printf.sprintf "%.6f" o.end_us);
+        mismatch "state_sig" (Printf.sprintf "%#x") e.state_sig o.state_sig;
+        mismatch "ops" string_of_int e.ops o.ops;
+        mismatch "choice_points" string_of_int e.choice_points o.choice_points;
+      ]
+
+let to_string t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b magic;
+  Buffer.add_char b '\n';
+  Buffer.add_string b ("scenario " ^ Scenario.to_string t.scenario);
+  Buffer.add_char b '\n';
+  Buffer.add_string b ("plan " ^ Plan.to_string t.plan);
+  Buffer.add_char b '\n';
+  (match t.expect with
+  | None -> ()
+  | Some e ->
+    Buffer.add_string b
+      (Printf.sprintf "expect violations=%d end=%.6f sig=%#x ops=%d choices=%d\n"
+         e.violations e.end_us e.state_sig e.ops e.choice_points));
+  Buffer.contents b
+
+let of_string s =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  match lines with
+  | m :: rest when m = magic ->
+    let field line =
+      match String.index_opt line ' ' with
+      | Some i ->
+        ( String.sub line 0 i,
+          String.sub line (i + 1) (String.length line - i - 1) )
+      | None -> (line, "")
+    in
+    let scenario = ref None and plan = ref None and expect = ref None in
+    List.iter
+      (fun line ->
+        match field line with
+        | "scenario", v -> scenario := Some (Scenario.of_string v)
+        | "plan", v -> plan := Some (Plan.of_string v)
+        | "expect", v ->
+          let assoc =
+            String.split_on_char ' ' v
+            |> List.filter (fun tok -> tok <> "")
+            |> List.map (fun tok ->
+                   match String.index_opt tok '=' with
+                   | Some i ->
+                     ( String.sub tok 0 i,
+                       String.sub tok (i + 1) (String.length tok - i - 1) )
+                   | None -> fail "Artifact.of_string: bad expect token %S" tok)
+          in
+          let get k conv =
+            match List.assoc_opt k assoc with
+            | None -> fail "Artifact.of_string: expect missing %S" k
+            | Some v -> (
+              match conv v with
+              | Some x -> x
+              | None -> fail "Artifact.of_string: bad expect value %s=%S" k v)
+          in
+          expect :=
+            Some
+              {
+                violations = get "violations" int_of_string_opt;
+                end_us = get "end" float_of_string_opt;
+                state_sig = get "sig" int_of_string_opt;
+                ops = get "ops" int_of_string_opt;
+                choice_points = get "choices" int_of_string_opt;
+              }
+        | k, _ -> fail "Artifact.of_string: unknown line kind %S" k)
+      rest;
+    let scenario =
+      match !scenario with
+      | Some s -> s
+      | None -> fail "Artifact.of_string: missing scenario line"
+    in
+    let plan = match !plan with Some p -> p | None -> Plan.empty in
+    { scenario; plan; expect = !expect }
+  | _ -> fail "Artifact.of_string: not an mpcheck artifact"
+
+let save ~file t =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let load ~file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,39 @@
+(** Replayable failure artifacts.
+
+    A failing schedule is persisted as a small text file: the scenario's
+    [k=v] line, the (shrunk) plan, and the expected outcome summary.
+    [mpcheck --replay file.mpc] loads it, re-runs the plan in [Follow]
+    mode, and checks the run against the recorded expectations —
+    bit-identical replay means the same end time, state fingerprint,
+    operation count and violation count come back. *)
+
+type expect = {
+  violations : int;
+  end_us : float;
+  state_sig : int;
+  ops : int;
+  choice_points : int;
+}
+
+type t = {
+  scenario : Scenario.t;
+  plan : Plan.t;
+  expect : expect option;  (** [None] for hand-written artifacts *)
+}
+
+val of_outcome : Scenario.t -> Plan.t -> Scenario.outcome -> t
+
+val replay : t -> Scenario.outcome
+(** [Scenario.run_plan] of the artifact's scenario and plan. *)
+
+val check : t -> Scenario.outcome -> string list
+(** Mismatches between the recorded expectations and a replay outcome;
+    empty when the replay reproduced the recording exactly (or when the
+    artifact carries no expectations). *)
+
+val to_string : t -> string
+val of_string : string -> t
+(** Raises [Failure] on malformed input. *)
+
+val save : file:string -> t -> unit
+val load : file:string -> t

@@ -1,0 +1,160 @@
+type budget = { max_schedules : int; max_wall_s : float }
+
+let budget ?(max_schedules = 1000) ?(max_wall_s = 60.0) () =
+  { max_schedules; max_wall_s }
+
+type result = {
+  schedules : int;
+  distinct_traces : int;
+  distinct_states : int;
+  total_choice_points : int;
+  max_choice_points : int;
+  pruned : int;
+  wall_s : float;
+  failure : (Plan.t * Scenario.outcome) option;
+}
+
+(* Shared accounting across both search modes. *)
+type acc = {
+  metrics : Mp_obs.Metrics.t option;
+  t0 : float;
+  traces : (int, unit) Hashtbl.t;
+  states : (int, unit) Hashtbl.t;
+  mutable n : int;
+  mutable cps : int;
+  mutable max_cps : int;
+  mutable pruned : int;
+}
+
+let acc metrics =
+  {
+    metrics;
+    t0 = Sys.time ();
+    traces = Hashtbl.create 257;
+    states = Hashtbl.create 257;
+    n = 0;
+    cps = 0;
+    max_cps = 0;
+    pruned = 0;
+  }
+
+let note a (o : Scenario.outcome) =
+  a.n <- a.n + 1;
+  a.cps <- a.cps + o.choice_points;
+  a.max_cps <- max a.max_cps o.choice_points;
+  Hashtbl.replace a.traces o.trace_sig ();
+  Hashtbl.replace a.states o.state_sig ();
+  Option.iter
+    (fun m ->
+      Mp_obs.Metrics.incr m "mc.schedules";
+      if o.violations <> [] then Mp_obs.Metrics.incr m "mc.violations";
+      Mp_obs.Metrics.observe m ~bucket_width:32.0 "mc.choice_points"
+        (float_of_int o.choice_points))
+    a.metrics
+
+let finish a failure =
+  {
+    schedules = a.n;
+    distinct_traces = Hashtbl.length a.traces;
+    distinct_states = Hashtbl.length a.states;
+    total_choice_points = a.cps;
+    max_choice_points = a.max_cps;
+    pruned = a.pruned;
+    wall_s = Sys.time () -. a.t0;
+    failure;
+  }
+
+let exhausted a b = a.n >= b.max_schedules || Sys.time () -. a.t0 > b.max_wall_s
+
+let random_walk ?metrics ?(prob = 0.05) scenario ~seed b =
+  let a = acc metrics in
+  let rec loop i =
+    if exhausted a b then finish a None
+    else begin
+      let o =
+        if i = 0 then Scenario.run_plan scenario Plan.empty
+        else Scenario.run_random scenario ~seed:(seed + i) ~prob
+      in
+      note a o;
+      if o.violations <> [] then finish a (Some (o.taken, o)) else loop (i + 1)
+    end
+  in
+  loop 0
+
+(* Promoting alternative [a] of a tie group runs it before events 0..a-1.
+   If it commutes with all of them the swap cannot reach a new state. *)
+let worth_promoting labels a =
+  let la = labels.(a) in
+  let rec dep j = j < a && ((not (Sched.independent la labels.(j))) || dep (j + 1)) in
+  dep 0
+
+let max_frontier = 200_000
+
+let delay_bounded ?metrics scenario ~bound b =
+  let a = acc metrics in
+  let frontier = Queue.create () in
+  Queue.add Plan.empty frontier;
+  let seen = Hashtbl.create 257 in
+  Hashtbl.replace seen (Plan.to_string Plan.empty) ();
+  let enqueue plan =
+    let key = Plan.to_string plan in
+    if (not (Hashtbl.mem seen key)) && Queue.length frontier < max_frontier then begin
+      Hashtbl.replace seen key ();
+      Queue.add plan frontier
+    end
+  in
+  let expand plan (o : Scenario.outcome) =
+    if Plan.deviations plan < bound then
+      let steps = o.steps in
+      for pos = Plan.max_pos plan + 1 to Array.length steps - 1 do
+        match steps.(pos) with
+        | Sched.Tie { n; labels; _ } ->
+          for alt = 1 to n - 1 do
+            if worth_promoting labels alt then enqueue (Plan.set plan ~pos ~pick:alt)
+            else a.pruned <- a.pruned + 1
+          done
+        | Sched.Net { n; _ } ->
+          for alt = 1 to n - 1 do
+            enqueue (Plan.set plan ~pos ~pick:alt)
+          done
+      done
+  in
+  let rec loop () =
+    if exhausted a b || Queue.is_empty frontier then finish a None
+    else begin
+      let plan = Queue.pop frontier in
+      let o = Scenario.run_plan scenario plan in
+      note a o;
+      if o.violations <> [] then finish a (Some (o.taken, o))
+      else begin
+        expand plan o;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let shrink scenario plan0 =
+  let failing (o : Scenario.outcome) = o.violations <> [] in
+  let o0 = Scenario.run_plan scenario plan0 in
+  if not (failing o0) then (plan0, o0)
+  else
+    let rec fixpoint plan o =
+      let improved = ref false in
+      let plan, o =
+        List.fold_left
+          (fun (p, ob) (pos, _) ->
+            if Plan.find p ~pos = None then (p, ob)
+            else
+              let candidate = Plan.remove p ~pos in
+              let oc = Scenario.run_plan scenario candidate in
+              if failing oc then begin
+                improved := true;
+                (candidate, oc)
+              end
+              else (p, ob))
+          (plan, o) plan
+      in
+      if !improved then fixpoint plan o else (plan, o)
+    in
+    fixpoint plan0 o0

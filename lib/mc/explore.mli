@@ -1,0 +1,48 @@
+(** Bounded systematic schedule exploration, and shrinking of failures.
+
+    Two search modes over one {!Scenario.t}:
+
+    - {!random_walk} — seeded random scheduling: every run perturbs tie
+      order and message latency independently; distinct traces are counted
+      by fingerprint.  Cheap, embarrassingly diverse, the default.
+    - {!delay_bounded} — breadth-first over plans with at most [bound]
+      deviations from the default schedule (delay-bounded scheduling).
+      Tie alternatives that commute with every earlier same-instant event
+      are pruned (persistent-set-style reduction): swapping independent
+      events cannot reach a new state, so their plans are never enqueued.
+
+    Both stop at the first violating schedule and return it; {!shrink} then
+    greedily removes deviations while the violation still reproduces,
+    yielding the minimal replayable plan. *)
+
+type budget = { max_schedules : int; max_wall_s : float }
+
+val budget : ?max_schedules:int -> ?max_wall_s:float -> unit -> budget
+(** Defaults: 1000 schedules, 60 s of wall clock. *)
+
+type result = {
+  schedules : int;  (** schedules actually run *)
+  distinct_traces : int;  (** unique choice-sequence fingerprints *)
+  distinct_states : int;  (** unique end-state fingerprints *)
+  total_choice_points : int;  (** summed over all runs *)
+  max_choice_points : int;  (** largest single run *)
+  pruned : int;  (** plans skipped by the independence reduction *)
+  wall_s : float;
+  failure : (Plan.t * Scenario.outcome) option;
+      (** first violating schedule, unshrunk *)
+}
+
+val random_walk :
+  ?metrics:Mp_obs.Metrics.t -> ?prob:float -> Scenario.t -> seed:int -> budget -> result
+(** Runs the default schedule first, then random walks seeded [seed + i].
+    [prob] is the per-choice-point deviation probability (default 0.05).
+    When [metrics] is given, progress lands in the registry under
+    ["mc.schedules"], ["mc.violations"], ["mc.choice_points"] (histogram). *)
+
+val delay_bounded :
+  ?metrics:Mp_obs.Metrics.t -> Scenario.t -> bound:int -> budget -> result
+
+val shrink : Scenario.t -> Plan.t -> Plan.t * Scenario.outcome
+(** Greedy fixpoint: repeatedly drop any single deviation whose removal
+    keeps the run violating; returns the minimal plan and its outcome.
+    If the input plan does not reproduce a violation it is returned as-is. *)

@@ -1,0 +1,409 @@
+open Mp_sim
+open Mp_millipage
+module Coherence = Mp_check.Coherence
+module Homes = Dsm.Config.Homes
+
+type workload =
+  | Racer of { locs : int; ops_per_host : int; wseed : int }
+  | App of string
+
+type t = {
+  workload : workload;
+  hosts : int;
+  homes : Homes.t;
+  faults : Mp_net.Fabric.faults;
+  net_seed : int;
+  crashes : (int * float) list;
+  mutation : Dsm.Testonly.mutation option;
+  seed : int;
+  quantum_us : float;
+  max_delay_steps : int;
+}
+
+let default =
+  {
+    workload = Racer { locs = 4; ops_per_host = 10; wseed = 7 };
+    hosts = 3;
+    homes = Homes.central;
+    faults = Mp_net.Fabric.no_faults;
+    net_seed = 9;
+    crashes = [];
+    mutation = None;
+    seed = 1;
+    quantum_us = 2.0;
+    max_delay_steps = 3;
+  }
+
+let name t =
+  let workload =
+    match t.workload with Racer _ -> "racer" | App a -> a
+  in
+  Printf.sprintf "%s h%d %s%s%s%s" workload t.hosts
+    (Homes.policy_name t.homes.Homes.policy)
+    (if Mp_net.Fabric.faults_active t.faults then " faulty" else "")
+    (if t.crashes <> [] then " crash" else "")
+    (match t.mutation with
+    | None -> ""
+    | Some (Dsm.Testonly.Stale_reply_data _) -> " mut:stale"
+    | Some (Dsm.Testonly.Drop_inval_ack _) -> " mut:dropack")
+
+(* ------------------------------ encoding ------------------------------- *)
+
+let to_string t =
+  let b = Buffer.create 128 in
+  let kv fmt = Printf.ksprintf (fun s -> Buffer.add_string b s) fmt in
+  (match t.workload with
+  | Racer { locs; ops_per_host; wseed } ->
+    kv "app=racer locs=%d ops=%d wseed=%d" locs ops_per_host wseed
+  | App a -> kv "app=%s" a);
+  kv " hosts=%d homes=%s" t.hosts (Homes.policy_name t.homes.Homes.policy);
+  if t.homes.Homes.policy = Homes.Block then kv " block=%d" t.homes.Homes.block;
+  let f = t.faults in
+  if Mp_net.Fabric.faults_active f then
+    kv " drop=%g dup=%g reorder=%g jitter=%g" f.Mp_net.Fabric.drop
+      f.Mp_net.Fabric.duplicate f.Mp_net.Fabric.reorder f.Mp_net.Fabric.jitter_us;
+  if t.crashes <> [] then
+    kv " crash=%s"
+      (String.concat ","
+         (List.map (fun (h, at) -> Printf.sprintf "%d@%g" h at) t.crashes));
+  (match t.mutation with
+  | None -> ()
+  | Some (Dsm.Testonly.Stale_reply_data { nth }) -> kv " mutation=stale-reply:%d" nth
+  | Some (Dsm.Testonly.Drop_inval_ack { nth }) -> kv " mutation=drop-inval-ack:%d" nth);
+  kv " seed=%d netseed=%d quantum=%g maxdelay=%d" t.seed t.net_seed t.quantum_us
+    t.max_delay_steps;
+  Buffer.contents b
+
+let apps = [ "sor"; "lu"; "water"; "is"; "tsp" ]
+
+let of_string s =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let tokens =
+    String.split_on_char ' ' s |> List.filter (fun tok -> tok <> "")
+  in
+  let assoc =
+    List.map
+      (fun tok ->
+        match String.index_opt tok '=' with
+        | Some i ->
+          ( String.sub tok 0 i,
+            String.sub tok (i + 1) (String.length tok - i - 1) )
+        | None -> fail "Scenario.of_string: bad token %S" tok)
+      tokens
+  in
+  let get k = List.assoc_opt k assoc in
+  let int k d =
+    match get k with
+    | None -> d
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some i -> i
+      | None -> fail "Scenario.of_string: %s=%S not an int" k v)
+  in
+  let flt k d =
+    match get k with
+    | None -> d
+    | Some v -> (
+      match float_of_string_opt v with
+      | Some f -> f
+      | None -> fail "Scenario.of_string: %s=%S not a float" k v)
+  in
+  List.iter
+    (fun (k, _) ->
+      if
+        not
+          (List.mem k
+             [ "app"; "locs"; "ops"; "wseed"; "hosts"; "homes"; "block"; "drop";
+               "dup"; "reorder"; "jitter"; "crash"; "mutation"; "seed";
+               "netseed"; "quantum"; "maxdelay" ])
+      then fail "Scenario.of_string: unknown key %S" k)
+    assoc;
+  let workload =
+    match get "app" with
+    | None | Some "racer" ->
+      Racer { locs = int "locs" 4; ops_per_host = int "ops" 10; wseed = int "wseed" 7 }
+    | Some a when List.mem a apps -> App a
+    | Some a -> fail "Scenario.of_string: unknown app %S" a
+  in
+  let homes =
+    match get "homes" with
+    | None -> default.homes
+    | Some p -> (
+      match Homes.policy_of_string p with
+      | Some policy -> { Homes.policy; block = int "block" Homes.default.Homes.block }
+      | None -> fail "Scenario.of_string: unknown homes policy %S" p)
+  in
+  let faults =
+    {
+      Mp_net.Fabric.drop = flt "drop" 0.0;
+      duplicate = flt "dup" 0.0;
+      reorder = flt "reorder" 0.0;
+      jitter_us = flt "jitter" 0.0;
+    }
+  in
+  let crashes =
+    match get "crash" with
+    | None -> []
+    | Some spec ->
+      String.split_on_char ',' spec
+      |> List.map (fun part ->
+             match String.index_opt part '@' with
+             | Some i -> (
+               let h = String.sub part 0 i in
+               let at = String.sub part (i + 1) (String.length part - i - 1) in
+               match (int_of_string_opt h, float_of_string_opt at) with
+               | Some h, Some at -> (h, at)
+               | _ -> fail "Scenario.of_string: bad crash %S" part)
+             | None -> fail "Scenario.of_string: bad crash %S" part)
+  in
+  let mutation =
+    match get "mutation" with
+    | None -> None
+    | Some spec -> (
+      match String.index_opt spec ':' with
+      | Some i -> (
+        let kind = String.sub spec 0 i in
+        let nth = String.sub spec (i + 1) (String.length spec - i - 1) in
+        match (kind, int_of_string_opt nth) with
+        | "stale-reply", Some nth -> Some (Dsm.Testonly.Stale_reply_data { nth })
+        | "drop-inval-ack", Some nth -> Some (Dsm.Testonly.Drop_inval_ack { nth })
+        | _ -> fail "Scenario.of_string: bad mutation %S" spec)
+      | None -> fail "Scenario.of_string: bad mutation %S" spec)
+  in
+  {
+    workload;
+    hosts = int "hosts" default.hosts;
+    homes;
+    faults;
+    net_seed = int "netseed" default.net_seed;
+    crashes;
+    mutation;
+    seed = int "seed" default.seed;
+    quantum_us = flt "quantum" default.quantum_us;
+    max_delay_steps = int "maxdelay" default.max_delay_steps;
+  }
+
+(* ------------------------------ workloads ------------------------------ *)
+
+(* The racer draws each host's operation plan from a per-host generator
+   derived before the run starts, so the operation sequences are a function
+   of [wseed] alone — never of the schedule under exploration. *)
+let setup_racer e dsm log ~locs ~ops_per_host ~wseed =
+  let hosts = Dsm.hosts dsm in
+  let xs = Dsm.malloc_array dsm ~count:locs ~size:64 in
+  Array.iter (fun x -> Dsm.init_write_int dsm x 0) xs;
+  let root = Mp_util.Prng.create ~seed:wseed in
+  for host = 0 to hosts - 1 do
+    let hr = Mp_util.Prng.split root in
+    Dsm.spawn dsm ~host ~name:(Printf.sprintf "racer%d" host) (fun ctx ->
+        for _ = 1 to ops_per_host do
+          let l = Mp_util.Prng.int hr locs in
+          match Mp_util.Prng.int hr 3 with
+          | 0 ->
+            Dsm.lock ctx l;
+            let v = Coherence.fresh_value log in
+            Dsm.write_int ctx xs.(l) v;
+            Coherence.record log ~time:(Engine.now e) ~host ~loc:l
+              ~kind:Coherence.Write ~value:v;
+            Dsm.unlock ctx l
+          | 1 ->
+            let v = Dsm.read_int ctx xs.(l) in
+            Coherence.record log ~time:(Engine.now e) ~host ~loc:l
+              ~kind:Coherence.Read ~value:v
+          | _ -> Dsm.compute ctx (1.0 +. Mp_util.Prng.float hr 20.0)
+        done)
+  done;
+  fun () -> None
+
+let setup_app dsm app =
+  let module M = Mp_dsm.Millipage_impl in
+  let hosts = Dsm.hosts dsm in
+  match app with
+  | "sor" ->
+    let module A = Mp_apps.Sor.Make (M) in
+    let h =
+      A.setup dsm { Mp_apps.Sor.default_params with rows = 16; iterations = 2 }
+    in
+    fun () -> Some (A.verify h)
+  | "lu" ->
+    let module A = Mp_apps.Lu.Make (M) in
+    let h =
+      A.setup dsm
+        { Mp_apps.Lu.default_params with n = 32; block = 8; use_prefetch = false }
+    in
+    fun () -> Some (A.verify h)
+  | "water" ->
+    let module A = Mp_apps.Water.Make (M) in
+    let h =
+      A.setup dsm
+        {
+          Mp_apps.Water.default_params with
+          molecules = 8;
+          iterations = 2;
+          composed_read_phase = false;
+        }
+    in
+    fun () -> Some (A.verify h)
+  | "is" ->
+    let module A = Mp_apps.Is.Make (M) in
+    let h =
+      A.setup dsm
+        {
+          Mp_apps.Is.default_params with
+          keys = 256;
+          max_key = 64;
+          iterations = 2;
+          key_us = 0.05;
+        }
+    in
+    fun () -> Some (A.verify ~hosts h)
+  | "tsp" ->
+    let module A = Mp_apps.Tsp.Make (M) in
+    let h =
+      A.setup dsm { Mp_apps.Tsp.default_params with cities = 8; level = 2; batch = 4 }
+    in
+    fun () -> Some (A.verify h)
+  | other -> Printf.ksprintf invalid_arg "Scenario: unknown app %S" other
+
+(* ------------------------------ running -------------------------------- *)
+
+type outcome = {
+  violations : string list;
+  end_us : float;
+  steps : Sched.step array;
+  taken : Plan.t;
+  choice_points : int;
+  state_sig : int;
+  trace_sig : int;
+  ops : int;
+  obs_events : int;
+  mutation_fired : bool;
+  crashed : int list;
+}
+
+(* splitmix64-style finalizer, truncated to OCaml's native int. *)
+let mix h x =
+  let h = h lxor (x * 0x9E3779B97F4A7C1 land max_int) in
+  let h = h lxor (h lsr 30) in
+  let h = h * 0xBF58476D1CE4E5B land max_int in
+  h lxor (h lsr 27)
+
+let config t =
+  let c = { Dsm.Config.default with seed = t.seed; homes = t.homes } in
+  let c = Dsm.Config.with_faults c t.faults in
+  let c = Dsm.Config.with_net_seed c t.net_seed in
+  if t.crashes = [] then c
+  else
+    {
+      c with
+      Dsm.Config.ft =
+        Some (Dsm.Config.Ft.with_crashes Dsm.Config.Ft.default t.crashes);
+    }
+
+let run t ~sched =
+  let e = Engine.create () in
+  let dsm = Dsm.create e ~hosts:t.hosts ~config:(config t) () in
+  Dsm.Testonly.set_mutation dsm t.mutation;
+  let obs = Dsm.obs dsm in
+  Mp_obs.Recorder.set_capacity obs (1 lsl 18);
+  Mp_obs.Recorder.set_enabled obs true;
+  let log = Coherence.create () in
+  let verify =
+    match t.workload with
+    | Racer { locs; ops_per_host; wseed } ->
+      setup_racer e dsm log ~locs ~ops_per_host ~wseed
+    | App a -> setup_app dsm a
+  in
+  Sched.install sched e;
+  let failure =
+    try
+      Dsm.run dsm;
+      None
+    with
+    | Dsm.Deadlock m -> Some ("deadlock: " ^ m)
+    | Dsm.Crash_unrecoverable m ->
+      (* Injected crashes may legitimately exceed what recovery covers;
+         without injections an unrecoverable run is a protocol bug. *)
+      if t.crashes = [] then Some ("unrecoverable: " ^ m) else None
+    | Failure m -> Some ("transport: " ^ m)
+  in
+  let end_us = Engine.now e in
+  let crashed = Dsm.declared_dead dsm in
+  let coherence = List.map (fun v -> "coherence: " ^ v) (Coherence.check log) in
+  let invariants =
+    (* The invariant checker models the crash-free protocol: a host that
+       dies mid-span leaves legitimately unmatched events. *)
+    if t.crashes <> [] || Mp_obs.Recorder.dropped obs > 0 then []
+    else
+      List.map (fun v -> "invariant: " ^ v)
+        (Mp_obs.Invariants.check (Mp_obs.Recorder.events obs))
+  in
+  let result =
+    (* Results are only meaningful when every thread ran to completion. *)
+    if failure <> None || crashed <> [] then []
+    else
+      match verify () with
+      | Some false -> [ "result: verification failed" ]
+      | _ -> []
+  in
+  let violations =
+    (match failure with Some f -> [ f ] | None -> [])
+    @ coherence @ invariants @ result
+  in
+  let state_sig =
+    let h = ref 0x2545F49 in
+    List.iter
+      (fun (o : Coherence.op) ->
+        h := mix !h o.host;
+        h := mix !h o.loc;
+        h := mix !h (match o.kind with Coherence.Read -> 0 | Coherence.Write -> 1);
+        h := mix !h o.value)
+      (Coherence.ops log);
+    h := mix !h (int_of_float (end_us *. 1000.0));
+    h := mix !h (Dsm.messages_sent dsm);
+    List.iter (fun d -> h := mix !h d) crashed;
+    if violations <> [] then h := mix !h (List.length violations);
+    !h
+  in
+  let steps = Sched.steps sched in
+  let trace_sig =
+    let h = ref 0x1B873593 in
+    Array.iter
+      (fun s ->
+        match s with
+        | Sched.Tie { n; pick; _ } ->
+          h := mix !h ((n lsl 1) lor 0);
+          h := mix !h pick
+        | Sched.Net { n; pick; _ } ->
+          h := mix !h ((n lsl 1) lor 1);
+          h := mix !h pick)
+      steps;
+    !h
+  in
+  {
+    violations;
+    end_us;
+    steps;
+    taken = Sched.taken sched;
+    choice_points = Sched.choice_points sched;
+    state_sig;
+    trace_sig;
+    ops = Coherence.operations log;
+    obs_events = List.length (Mp_obs.Recorder.events obs);
+    mutation_fired = Dsm.Testonly.mutation_fired dsm;
+    crashed;
+  }
+
+let run_plan t plan =
+  let sched =
+    Sched.create ~quantum_us:t.quantum_us ~max_delay_steps:t.max_delay_steps
+      ~mode:Sched.Follow ~plan ()
+  in
+  run t ~sched
+
+let run_random t ~seed ~prob =
+  let sched =
+    Sched.create ~quantum_us:t.quantum_us ~max_delay_steps:t.max_delay_steps
+      ~mode:(Sched.Random { seed; prob }) ~plan:Plan.empty ()
+  in
+  run t ~sched

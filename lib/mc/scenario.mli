@@ -1,0 +1,77 @@
+(** One cell of the mpcheck exploration matrix, and how to run it.
+
+    A scenario fixes everything about an execution except the schedule: the
+    workload, host count, home-assignment policy, injected network faults
+    and crashes, seeds, and the scheduler's perturbation granularity.
+    {!run} executes it under a {!Sched.t} and returns an {!outcome} that
+    bundles every check mpcheck knows: coherence ({!Mp_check.Coherence}),
+    the observability invariant checker, application-level verification,
+    deadlock/unrecoverable detection — plus fingerprints for coverage
+    accounting and replay validation.
+
+    Scenarios round-trip through {!to_string}/{!of_string} so failing
+    schedules can be persisted as replayable artifacts. *)
+
+type workload =
+  | Racer of { locs : int; ops_per_host : int; wseed : int }
+      (** The adversarial workload: every host runs a seeded plan of
+          lock-protected writes, unsynchronized reads and short computes
+          over [locs] shared words, all recorded to a coherence log.
+          Maximizes protocol races per simulated microsecond. *)
+  | App of string
+      (** A real benchmark at miniature scale: ["sor"], ["lu"], ["water"],
+          ["is"] or ["tsp"].  Checked by the application's own [verify]
+          plus the obs invariant checker. *)
+
+type t = {
+  workload : workload;
+  hosts : int;
+  homes : Mp_millipage.Dsm.Config.Homes.t;
+  faults : Mp_net.Fabric.faults;
+  net_seed : int;
+  crashes : (int * float) list;  (** (host, time µs) fail-stop injections *)
+  mutation : Mp_millipage.Dsm.Testonly.mutation option;
+      (** seeded protocol bug, for checker validation *)
+  seed : int;  (** DSM config seed *)
+  quantum_us : float;  (** µs of delivery delay per net-point pick step *)
+  max_delay_steps : int;  (** net-point picks range over [0, max_delay_steps] *)
+}
+
+val default : t
+(** 3-host racer, central homes, reliable fabric, no crashes, no mutation. *)
+
+val name : t -> string
+(** Short display label, e.g. ["racer h3 rr loss crash"]. *)
+
+val to_string : t -> string
+(** Single-line [k=v] encoding (artifact format). *)
+
+val of_string : string -> t
+(** Inverse of {!to_string}; unknown keys raise [Failure]. *)
+
+type outcome = {
+  violations : string list;
+      (** everything that failed, prefixed ["deadlock:"], ["coherence:"],
+          ["invariant:"], ["result:"], ["transport:"] *)
+  end_us : float;  (** simulated completion time *)
+  steps : Sched.step array;  (** the schedule's full choice-point log *)
+  taken : Plan.t;  (** non-default picks taken (replays this schedule) *)
+  choice_points : int;
+  state_sig : int;
+      (** fingerprint of the observed state: coherence history, end time,
+          message count, dead hosts — distinct-state coverage *)
+  trace_sig : int;  (** fingerprint of the choice sequence itself *)
+  ops : int;  (** coherence operations recorded *)
+  obs_events : int;  (** typed events captured by the recorder *)
+  mutation_fired : bool;
+  crashed : int list;  (** hosts declared dead *)
+}
+
+val run : t -> sched:Sched.t -> outcome
+
+val run_plan : t -> Plan.t -> outcome
+(** {!run} under a [Follow]-mode scheduler: deterministic replay of the
+    plan (the empty plan is the engine's default schedule). *)
+
+val run_random : t -> seed:int -> prob:float -> outcome
+(** {!run} under a fresh [Random]-mode scheduler. *)

@@ -248,6 +248,13 @@ type transport = {
   rx_hold : (int * int, Proto.body) Hashtbl.t;  (* out-of-order arrivals *)
 }
 
+(* Test-only protocol mutations (see module [Testonly] below): mpcheck and
+   the test suite use these to prove the checkers are not vacuously green.
+   [None] in production; every hook site is a cheap match on that case. *)
+type test_mutation =
+  | Stale_reply_data of { nth : int }
+  | Drop_inval_ack of { nth : int }
+
 type t = {
   engine : Engine.t;
   config : Config.t;
@@ -301,6 +308,10 @@ type t = {
   mutable watchdog_idle : int;
   idem_retention_us : float;  (* completed-request retention window *)
   mutable completions : int;
+  (* test-only mutation state *)
+  mutable mutation : test_mutation option;
+  mutable mutation_count : int;
+  mutable mutation_fired : bool;
 }
 
 type ctx = { t : t; hs : host_state; tid : int; mutable barrier_phase : int }
@@ -1018,6 +1029,20 @@ let host_forward t (h : host_state) ~req_id ~from ~access (info : Proto.info) =
       protect_info t h info Prot.No_access);
     let data = Vm.priv_read_bytes h.vm ~off:info.base_off ~len:info.length in
     shadow_refresh t info data;
+    (* test-only mutation: the nth data reply serves the minipage's initial
+       (all-zero) snapshot instead of the current bytes — the stale-supply
+       bug mpcheck's coherence checker must catch *)
+    let data =
+      match t.mutation with
+      | Some (Stale_reply_data { nth }) ->
+        t.mutation_count <- t.mutation_count + 1;
+        if t.mutation_count = nth then begin
+          t.mutation_fired <- true;
+          Bytes.make info.length '\000'
+        end
+        else data
+      | _ -> data
+    in
     send t ~src:h.id ~dst:from ~bytes:(header t)
       (Proto.Reply_header { req_id; access; info });
     Stats.Counters.incr t.counters "replies.data";
@@ -1167,8 +1192,24 @@ let host_group_replan (h : host_state) ~req_id ~drop =
 let host_invalidate t (h : host_state) ~req_id (info : Proto.info) =
   Engine.delay (set_prot_cost t info);
   protect_info t h info Prot.No_access;
-  send t ~src:h.id ~dst:(hint_of h info.mp_id) ~bytes:(header t)
-    (Proto.Invalidate_reply { req_id; mp_id = info.mp_id; from = h.id })
+  (* test-only mutation: swallow the nth invalidation acknowledgement — the
+     writer's invalidation round never completes, which the invariant
+     checker (Inval without Inval_ack, Fault without Fault_done) and the
+     deadlock report must both surface *)
+  let swallow =
+    match t.mutation with
+    | Some (Drop_inval_ack { nth }) ->
+      t.mutation_count <- t.mutation_count + 1;
+      if t.mutation_count = nth then begin
+        t.mutation_fired <- true;
+        true
+      end
+      else false
+    | _ -> false
+  in
+  if not swallow then
+    send t ~src:h.id ~dst:(hint_of h info.mp_id) ~bytes:(header t)
+      (Proto.Invalidate_reply { req_id; mp_id = info.mp_id; from = h.id })
 
 let host_push_update t (h : host_state) (info : Proto.info) data =
   let cost = t.config.cost in
@@ -2181,6 +2222,9 @@ let create engine ~hosts:nhosts ?(config = Config.default) () =
       watchdog_idle = 0;
       idem_retention_us;
       completions = 0;
+      mutation = None;
+      mutation_count = 0;
+      mutation_fired = false;
     }
   in
   Fabric.attach_obs fabric ~obs:t.trace ~describe:Proto.describe_packet;
@@ -2516,3 +2560,21 @@ let recovered_minipages t =
 
 let idempotence_size t =
   Array.fold_left (fun acc dir -> acc + Directory.idempotence_size dir) 0 t.dirs
+
+(* ------------------------------------------------------------------ *)
+(* Test-only protocol mutations                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Testonly = struct
+  type mutation = test_mutation =
+    | Stale_reply_data of { nth : int }
+    | Drop_inval_ack of { nth : int }
+
+  let set_mutation t m =
+    if t.started then invalid_arg "Dsm.Testonly.set_mutation: run already started";
+    t.mutation <- m;
+    t.mutation_count <- 0;
+    t.mutation_fired <- false
+
+  let mutation_fired t = t.mutation_fired
+end

@@ -364,3 +364,31 @@ val idempotence_size : t -> int
 (** Combined size of every shard's request-idempotence tables (bounded by
     periodic pruning of completions older than the retransmission
     window). *)
+
+(** {2 Test-only protocol mutations}
+
+    Deliberately seeded protocol bugs, used by mpcheck and the test suite to
+    prove the coherence and invariant checkers actually catch broken
+    protocols (a checker that never fires is indistinguishable from a
+    vacuous one).  Never set outside tests. *)
+module Testonly : sig
+  type mutation =
+    | Stale_reply_data of { nth : int }
+        (** The [nth] data reply (counting every reply the run sends) serves
+            the minipage's initial all-zero snapshot instead of the current
+            bytes: a reader that already observed a newer write re-observes
+            an older one — the stale-supply bug {!Mp_check.Coherence.check}
+            flags. *)
+    | Drop_inval_ack of { nth : int }
+        (** The [nth] invalidation processed by any host downgrades
+            protection but never acknowledges: the writer's invalidation
+            round hangs, which surfaces as an unmatched [Inval] /
+            unmatched [Fault] in the trace invariants plus a {!Deadlock}. *)
+
+  val set_mutation : t -> mutation option -> unit
+  (** Arm (or disarm) a mutation.  Init phase only; resets the fire
+      counter. *)
+
+  val mutation_fired : t -> bool
+  (** Whether the armed mutation's [nth] trigger was reached this run. *)
+end

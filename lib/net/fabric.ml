@@ -33,6 +33,7 @@ type 'a node = {
   mutable stalled_until : float;  (* polls deferred past this instant *)
   handled_key : string;  (* precomputed counter keys (hot path) *)
   send_key : string;
+  poll_label : string;  (* precomputed event label for schedule exploration *)
 }
 
 type 'a t = {
@@ -40,6 +41,7 @@ type 'a t = {
   nodes : 'a node array;
   latency : bytes:int -> float;
   chan_last : float array;  (* per (src,dst) last arrival, for FIFO *)
+  chan_label : string array;  (* per (src,dst) "net:hS>hD" event label *)
   counters : Stats.Counters.t;
   faults : faults;
   fault_rngs : Prng.t array option;  (* per (src,dst); None when fault-free *)
@@ -72,6 +74,7 @@ let create engine ~hosts ?(latency = default_latency) ?(poll_idle_us = 2.0)
       stalled_until = neg_infinity;
       handled_key = Printf.sprintf "handled.h%d" id;
       send_key = Printf.sprintf "send.count.h%d" id;
+      poll_label = Printf.sprintf "poll:h%d" id;
     }
   in
   (* The fault RNGs come from a separate root so that enabling faults never
@@ -90,6 +93,9 @@ let create engine ~hosts ?(latency = default_latency) ?(poll_idle_us = 2.0)
       nodes = Array.init hosts node;
       latency;
       chan_last = Array.make (hosts * hosts) neg_infinity;
+      chan_label =
+        Array.init (hosts * hosts) (fun c ->
+            Printf.sprintf "net:h%d>h%d" (c / hosts) (c mod hosts));
       counters = Stats.Counters.create ();
       faults;
       fault_rngs;
@@ -154,7 +160,7 @@ let schedule_poll t n ~arrival =
        event (a spurious set would satisfy the server's next wait for free). *)
     n.poll_gen <- n.poll_gen + 1;
     let gen = n.poll_gen in
-    Engine.schedule t.engine ~at:pt (fun () ->
+    Engine.schedule t.engine ~at:pt ~label:n.poll_label (fun () ->
         if gen = n.poll_gen then begin
           n.pending_poll <- infinity;
           (match t.obs with
@@ -167,7 +173,9 @@ let schedule_poll t n ~arrival =
   end
 
 let deliver t (dst_node : 'a node) m ~at =
-  Engine.schedule t.engine ~at (fun () ->
+  Engine.schedule t.engine ~at
+    ~label:t.chan_label.((m.src * Array.length t.nodes) + m.dst)
+    (fun () ->
       if dst_node.dead then Stats.Counters.incr t.counters "net.dead_dropped"
       else begin
         Queue.add m dst_node.ready;
@@ -222,11 +230,20 @@ let send t ~src ~dst ~bytes body =
   | None -> ());
   let chan = (src * Array.length t.nodes) + dst in
   let m = { src; dst; bytes; body } in
+  (* Schedule exploration: a chooser may stretch this delivery's latency.
+     The perturbation lands before the FIFO clamp, so a perturbed channel
+     still delivers in order — only cross-channel races move. *)
+  let latency =
+    let l = t.latency ~bytes in
+    if Engine.chooser_active t.engine then
+      l +. Engine.perturb_latency t.engine ~label:t.chan_label.(chan)
+    else l
+  in
   match t.fault_rngs with
   | None ->
     (* reliable FIFO: clamp behind the channel's previous arrival *)
     let arrival =
-      Float.max (now +. t.latency ~bytes) (t.chan_last.(chan) +. fifo_spacing_us)
+      Float.max (now +. latency) (t.chan_last.(chan) +. fifo_spacing_us)
     in
     t.chan_last.(chan) <- arrival;
     deliver t dst_node m ~at:arrival
@@ -239,7 +256,7 @@ let send t ~src ~dst ~bytes body =
        draw per copy) keeps the schedule a deterministic function of
        (fault_seed, channel, send sequence). *)
     let jitter = if f.jitter_us > 0.0 then Prng.float rng f.jitter_us else 0.0 in
-    let base = now +. t.latency ~bytes +. jitter in
+    let base = now +. latency +. jitter in
     let reordered =
       f.reorder > 0.0
       && Prng.float rng 1.0 < f.reorder

@@ -9,15 +9,23 @@ type proc_state = {
   mutable kill_suspended : (unit -> unit) option;
 }
 
+type ev = { run : unit -> unit; label : string }
+
+type chooser = {
+  choose : time:float -> labels:string array -> int;
+  perturb_latency : label:string -> now:float -> float;
+}
+
 type t = {
   mutable now : float;
-  queue : (unit -> unit) Pqueue.t;
+  queue : ev Pqueue.t;
   mutable seq : int;
   mutable live : int;
   mutable stopped : bool;
   blocked_tbl : (int, string * string) Hashtbl.t;
   mutable susp_id : int;
   mutable observer : (time:float -> sched_event -> unit) option;
+  mutable chooser : chooser option;
   groups : (int, proc_state list ref) Hashtbl.t;
 }
 
@@ -40,6 +48,7 @@ let create () =
     blocked_tbl = Hashtbl.create 32;
     susp_id = 0;
     observer = None;
+    chooser = None;
     groups = Hashtbl.create 8;
   }
 
@@ -49,12 +58,20 @@ let set_observer t obs = t.observer <- obs
 
 let notify t ev = match t.observer with Some f -> f ~time:t.now ev | None -> ()
 
-let schedule_raw t ~at thunk =
+let set_chooser t c = t.chooser <- c
+let chooser_active t = t.chooser <> None
+
+let perturb_latency t ~label =
+  match t.chooser with
+  | None -> 0.0
+  | Some c -> Float.max 0.0 (c.perturb_latency ~label ~now:t.now)
+
+let schedule_raw t ~at ?(label = "cb") thunk =
   let at = if at < t.now then t.now else at in
   t.seq <- t.seq + 1;
-  Pqueue.push t.queue ~time:at ~seq:t.seq thunk
+  Pqueue.push t.queue ~time:at ~seq:t.seq { run = thunk; label }
 
-let schedule = schedule_raw
+let schedule t ~at ?label thunk = schedule_raw t ~at ?label thunk
 
 let spawn t ?(name = "proc") ?group f =
   t.live <- t.live + 1;
@@ -93,7 +110,8 @@ let spawn t ?(name = "proc") ?group f =
             Some
               (fun (k : (a, unit) Effect.Deep.continuation) ->
                 let d = if d < 0.0 then 0.0 else d in
-                schedule_raw t ~at:(t.now +. d) (fun () ->
+                schedule_raw t ~at:(t.now +. d) ~label:("delay:" ^ name)
+                  (fun () ->
                     if st.cancelled then Effect.Deep.discontinue k Killed
                     else Effect.Deep.continue k ()))
           | Suspend (t, label, register) ->
@@ -118,7 +136,8 @@ let spawn t ?(name = "proc") ?group f =
                       Effect.Deep.discontinue k Stopped
                     else if st.cancelled then Effect.Deep.discontinue k Killed
                     else
-                      schedule_raw t ~at:t.now (fun () -> Effect.Deep.continue k ())
+                      schedule_raw t ~at:t.now ~label:("resume:" ^ name)
+                        (fun () -> Effect.Deep.continue k ())
                   end
                 in
                 st.kill_suspended <-
@@ -133,7 +152,7 @@ let spawn t ?(name = "proc") ?group f =
           | _ -> None);
     }
   in
-  schedule_raw t ~at:t.now (fun () ->
+  schedule_raw t ~at:t.now ~label:("start:" ^ name) (fun () ->
       if st.cancelled then finish () else Effect.Deep.match_with f () handler)
 
 (* The engine of the innermost handler is the one stored in the effect
@@ -164,13 +183,40 @@ let suspend ~name register =
 let self_name () =
   try Effect.perform Self_name with Effect.Unhandled _ -> raise Not_in_process
 
+let run_ev t time (e : ev) =
+  t.now <- time;
+  with_current t e.run
+
 let step t =
-  match Pqueue.pop t.queue with
-  | None -> false
-  | Some (time, thunk) ->
-    t.now <- time;
-    with_current t thunk;
-    true
+  match t.chooser with
+  | None -> (
+    match Pqueue.pop t.queue with
+    | None -> false
+    | Some (time, e) ->
+      run_ev t time e;
+      true)
+  | Some c -> (
+    (* Exploration path: pop the whole same-instant group, let the chooser
+       pick one, and push the rest back with their seqs intact — so a chooser
+       that always answers 0 reproduces the deterministic order exactly, and
+       a group of n events yields n-1 successive choice points. *)
+    match Pqueue.pop_min_group t.queue with
+    | None -> false
+    | Some (time, [ (_, e) ]) ->
+      run_ev t time e;
+      true
+    | Some (time, group) ->
+      let group = Array.of_list group in
+      let labels = Array.map (fun (_, e) -> e.label) group in
+      let pick = c.choose ~time ~labels in
+      let pick = if pick < 0 || pick >= Array.length group then 0 else pick in
+      Array.iteri
+        (fun i (seq, e) ->
+          if i <> pick then Pqueue.push t.queue ~time ~seq e)
+        group;
+      let _, e = group.(pick) in
+      run_ev t time e;
+      true)
 
 let run t =
   t.stopped <- false;

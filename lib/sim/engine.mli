@@ -31,9 +31,12 @@ val spawn : t -> ?name:string -> ?group:int -> (unit -> unit) -> unit
     whole run.  [group] tags the process for {!kill_group} (used to model
     host crashes: everything running on host [h] is spawned in group [h]). *)
 
-val schedule : t -> at:float -> (unit -> unit) -> unit
+val schedule : t -> at:float -> ?label:string -> (unit -> unit) -> unit
 (** Run a plain callback (not a process: it must not perform effects) at
-    absolute time [at].  [at] below the current time is clamped to now. *)
+    absolute time [at].  [at] below the current time is clamped to now.
+    [label] names the event for the {!chooser}'s same-instant tie-breaks
+    (default ["cb"]); internal events are labeled ["start:"], ["delay:"] and
+    ["resume:"] plus the process name. *)
 
 val delay : float -> unit
 (** Advance this process's clock by the given number of µs. *)
@@ -74,6 +77,39 @@ val set_observer : t -> (time:float -> sched_event -> unit) option -> unit
 
 val blocked : t -> (string * string) list
 (** [(process, suspension)] pairs for every currently suspended process. *)
+
+(** {2 Schedule exploration}
+
+    Without a chooser the engine is strictly deterministic: same-instant
+    events fire in scheduling order.  A {!chooser} turns the two sources of
+    schedule freedom into controlled choice points so a model checker
+    (lib/mc) can explore them: {!chooser.choose} breaks same-instant ties,
+    and {!chooser.perturb_latency} lets cooperating components (the network
+    fabric) stretch a delivery latency.  A chooser whose [choose] always
+    returns 0 and whose [perturb_latency] always returns 0.0 reproduces the
+    default schedule bit-for-bit. *)
+
+type chooser = {
+  choose : time:float -> labels:string array -> int;
+      (** Called whenever ≥ 2 events are runnable at the same instant, with
+          their labels in scheduling ([seq]) order; returns the index of the
+          event to run first (out-of-range picks fall back to 0).  The
+          remaining events stay queued and produce further choice points. *)
+  perturb_latency : label:string -> now:float -> float;
+      (** Extra latency (µs, ≥ 0) a cooperating component adds to one
+          delivery; consulted through {!perturb_latency} at send time so
+          FIFO-channel clamps still apply {e after} the perturbation. *)
+}
+
+val set_chooser : t -> chooser option -> unit
+(** Install or remove the exploration hook.  [None] (the default) keeps the
+    zero-cost deterministic fast path. *)
+
+val chooser_active : t -> bool
+
+val perturb_latency : t -> label:string -> float
+(** [perturb_latency t ~label] asks the installed chooser for extra latency
+    (clamped to ≥ 0); 0.0 when no chooser is installed. *)
 
 val kill_group : t -> int -> int
 (** [kill_group t g] cancels every unfinished process spawned with

@@ -38,7 +38,7 @@ let push t ~time ~seq value =
     i := p
   done
 
-let pop t =
+let pop_entry t =
   if t.size = 0 then None
   else begin
     let top = t.data.(0) in
@@ -62,7 +62,24 @@ let pop t =
         end
       done
     end;
-    Some (top.time, top.value)
+    Some top
   end
+
+let pop t =
+  match pop_entry t with None -> None | Some e -> Some (e.time, e.value)
+
+let pop_min_group t =
+  match pop_entry t with
+  | None -> None
+  | Some first ->
+    (* pops come out (time, seq)-ordered, so the group is already seq-sorted *)
+    let rec drain acc =
+      if t.size > 0 && t.data.(0).time = first.time then
+        match pop_entry t with
+        | Some e -> drain ((e.seq, e.value) :: acc)
+        | None -> acc
+      else acc
+    in
+    Some (first.time, List.rev (drain [ (first.seq, first.value) ]))
 
 let peek_time t = if t.size = 0 then None else Some t.data.(0).time

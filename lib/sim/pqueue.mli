@@ -14,4 +14,10 @@ val push : 'a t -> time:float -> seq:int -> 'a -> unit
 val pop : 'a t -> (float * 'a) option
 (** Smallest [(time, seq)] entry, or [None] when empty. *)
 
+val pop_min_group : 'a t -> (float * (int * 'a) list) option
+(** Removes {e every} entry scheduled for the minimal time and returns them
+    in [seq] order together with their [seq] keys, so a scheduler that runs
+    only one of them can {!push} the rest back with their ordering intact.
+    [None] when empty. *)
+
 val peek_time : 'a t -> float option

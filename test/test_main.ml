@@ -22,4 +22,5 @@ let () =
       ("faults", Test_faults.suite);
       ("crash", Test_crash.suite);
       ("shard", Test_shard.suite);
+      ("mc", Test_mc.suite);
     ]

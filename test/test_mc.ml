@@ -1,0 +1,339 @@
+(* mpcheck: the controlled scheduler (tie-break + delivery-perturbation
+   choice points), bounded exploration, shrinking, replayable artifacts —
+   and the checker-checks-the-checker mutations that prove the coherence
+   and invariant checkers actually catch what they claim to. *)
+
+open Mp_sim
+open Mp_millipage
+open Mp_mc
+module Coherence = Mp_check.Coherence
+module Event = Mp_obs.Event
+module Invariants = Mp_obs.Invariants
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let any_contains needle = List.exists (fun s -> contains s needle)
+
+(* ---------------- plans and scenario encoding ---------------- *)
+
+let test_plan_roundtrip () =
+  let p = Plan.(set (set (set empty ~pos:7 ~pick:2) ~pos:3 ~pick:1) ~pos:12 ~pick:3) in
+  Alcotest.(check string) "sorted encoding" "3=1 7=2 12=3" (Plan.to_string p);
+  Alcotest.(check bool) "parse round-trips" true (Plan.of_string (Plan.to_string p) = p);
+  Alcotest.(check bool) "empty round-trips" true (Plan.of_string "-" = Plan.empty);
+  Alcotest.(check string) "pick 0 deletes" "3=1 12=3"
+    (Plan.to_string (Plan.set p ~pos:7 ~pick:0));
+  Alcotest.(check int) "max_pos" 12 (Plan.max_pos p);
+  Alcotest.(check int) "deviations" 3 (Plan.deviations p)
+
+let test_scenario_roundtrip () =
+  let check s =
+    Alcotest.(check string) "k=v round-trips" (Scenario.to_string s)
+      (Scenario.to_string (Scenario.of_string (Scenario.to_string s)))
+  in
+  check Scenario.default;
+  check
+    {
+      Scenario.default with
+      hosts = 5;
+      homes = Dsm.Config.Homes.block 2;
+      faults =
+        { Mp_net.Fabric.drop = 0.05; duplicate = 0.01; reorder = 0.1; jitter_us = 3.5 };
+      crashes = [ (4, 1234.5) ];
+      mutation = Some (Dsm.Testonly.Stale_reply_data { nth = 7 });
+    };
+  check { Scenario.default with workload = Scenario.App "sor"; hosts = 2 };
+  check
+    {
+      Scenario.default with
+      mutation = Some (Dsm.Testonly.Drop_inval_ack { nth = 2 });
+    }
+
+let test_label_independence () =
+  Alcotest.(check bool) "net target" true (Sched.target_host "net:h0>h2" = Some 2);
+  Alcotest.(check bool) "poll target" true (Sched.target_host "poll:h1" = Some 1);
+  Alcotest.(check bool) "resume target" true (Sched.target_host "resume:app.h3" = Some 3);
+  Alcotest.(check bool) "no host" true (Sched.target_host "delay:sweeper" = None);
+  Alcotest.(check bool) "different hosts commute" true
+    (Sched.independent "poll:h1" "net:h0>h2");
+  Alcotest.(check bool) "same host depends" false
+    (Sched.independent "poll:h1" "net:h0>h1");
+  Alcotest.(check bool) "unknown is conservative" false
+    (Sched.independent "delay:sweeper" "poll:h1")
+
+(* ---------------- the engine chooser ---------------- *)
+
+(* Three same-instant events: with no chooser (or an all-default plan) they
+   run in schedule order; a plan can reorder them, and the scheduler logs
+   one choice point per pick (a group of n yields n-1 of them). *)
+let tie_order plan =
+  let e = Engine.create () in
+  let sched =
+    Sched.create ~quantum_us:1.0 ~max_delay_steps:3 ~mode:Sched.Follow ~plan ()
+  in
+  Sched.install sched e;
+  let order = ref [] in
+  List.iter
+    (fun name ->
+      Engine.schedule e ~at:5.0 ~label:name (fun () -> order := name :: !order))
+    [ "a"; "b"; "c" ];
+  Engine.run e;
+  (List.rev !order, sched)
+
+let test_chooser_default_is_neutral () =
+  let bare = ref [] in
+  let e = Engine.create () in
+  List.iter
+    (fun name -> Engine.schedule e ~at:5.0 (fun () -> bare := name :: !bare))
+    [ "a"; "b"; "c" ];
+  Engine.run e;
+  let order, sched = tie_order Plan.empty in
+  Alcotest.(check (list string)) "empty plan = default schedule" (List.rev !bare) order;
+  Alcotest.(check int) "two choice points for a group of 3" 2
+    (Sched.choice_points sched);
+  Alcotest.(check bool) "no deviations taken" true (Sched.taken sched = Plan.empty)
+
+let test_chooser_plan_reorders () =
+  let order, sched = tie_order (Plan.of_string "0=2 1=1") in
+  Alcotest.(check (list string)) "picks select the run order" [ "c"; "b"; "a" ] order;
+  Alcotest.(check bool) "taken = plan" true
+    (Sched.taken sched = Plan.of_string "0=2 1=1");
+  match Sched.steps sched with
+  | [| Sched.Tie { n = 3; pick = 2; _ }; Sched.Tie { n = 2; pick = 1; _ } |] -> ()
+  | _ -> Alcotest.fail "unexpected step log"
+
+let test_perturbation_clamped () =
+  let e = Engine.create () in
+  Engine.set_chooser e
+    (Some
+       {
+         Engine.choose = (fun ~time:_ ~labels:_ -> 0);
+         perturb_latency = (fun ~label:_ ~now:_ -> -5.0);
+       });
+  Alcotest.(check (float 0.0)) "negative perturbation clamped" 0.0
+    (Engine.perturb_latency e ~label:"net:h0>h1")
+
+(* ---------------- replay determinism ---------------- *)
+
+let racer20 = Scenario.{ default with workload = Racer { locs = 4; ops_per_host = 20; wseed = 7 } }
+
+let test_follow_reproduces_random () =
+  let r = Scenario.run_random racer20 ~seed:3 ~prob:0.1 in
+  let a = Scenario.run_plan racer20 r.Scenario.taken in
+  let b = Scenario.run_plan racer20 r.Scenario.taken in
+  Alcotest.(check (float 0.0)) "replay end = random end" r.Scenario.end_us a.Scenario.end_us;
+  Alcotest.(check bool) "replay state = random state" true
+    (a.Scenario.state_sig = r.Scenario.state_sig);
+  Alcotest.(check bool) "replay trace = random trace" true
+    (a.Scenario.trace_sig = r.Scenario.trace_sig);
+  Alcotest.(check bool) "replay is reproducible" true
+    (a.Scenario.state_sig = b.Scenario.state_sig
+    && a.Scenario.end_us = b.Scenario.end_us
+    && a.Scenario.trace_sig = b.Scenario.trace_sig)
+
+(* ---------------- exploration ---------------- *)
+
+(* The headline guarantee: a thousand distinct schedules of the racer, every
+   one passing coherence + invariants on the unmutated protocol. *)
+let test_exploration_clean_1000 () =
+  let budget = Explore.budget ~max_schedules:1100 ~max_wall_s:300.0 () in
+  let r = Explore.random_walk racer20 ~seed:11 budget in
+  (match r.Explore.failure with
+  | None -> ()
+  | Some (plan, o) ->
+    Alcotest.failf "violating schedule %s: %s" (Plan.to_string plan)
+      (String.concat "; " o.Scenario.violations));
+  Alcotest.(check bool)
+    (Printf.sprintf "distinct traces %d >= 1000" r.Explore.distinct_traces)
+    true
+    (r.Explore.distinct_traces >= 1000);
+  Alcotest.(check bool) "choice points seen" true (r.Explore.max_choice_points > 50)
+
+let test_delay_bounded_prunes () =
+  let budget = Explore.budget ~max_schedules:40 ~max_wall_s:60.0 () in
+  let r = Explore.delay_bounded Scenario.default ~bound:1 budget in
+  Alcotest.(check int) "budget honored" 40 r.Explore.schedules;
+  Alcotest.(check bool) "independent ties pruned" true (r.Explore.pruned > 0);
+  Alcotest.(check bool) "protocol clean under delay bounding" true
+    (r.Explore.failure = None)
+
+(* ---------------- seeded protocol mutations ---------------- *)
+
+(* Stale_reply_data 10 survives the default schedule: only exploration finds
+   an interleaving where the zeroed snapshot reaches a host that already
+   observed newer writes.  The failing schedule must shrink small and
+   round-trip through an artifact bit-identically. *)
+let test_mutation_caught_and_shrunk () =
+  let scenario =
+    { racer20 with mutation = Some (Dsm.Testonly.Stale_reply_data { nth = 10 }) }
+  in
+  let baseline = Scenario.run_plan scenario Plan.empty in
+  Alcotest.(check (list string)) "default schedule misses the bug" []
+    baseline.Scenario.violations;
+  let budget = Explore.budget ~max_schedules:400 ~max_wall_s:300.0 () in
+  let r = Explore.random_walk ~prob:0.1 scenario ~seed:1 budget in
+  match r.Explore.failure with
+  | None -> Alcotest.fail "exploration missed the seeded mutation"
+  | Some (plan, o) ->
+    Alcotest.(check bool) "mutation fired" true o.Scenario.mutation_fired;
+    Alcotest.(check bool) "coherence checker flagged it" true
+      (any_contains "coherence" o.Scenario.violations);
+    let shrunk, so = Explore.shrink scenario plan in
+    Alcotest.(check bool) "still failing after shrink" true
+      (so.Scenario.violations <> []);
+    Alcotest.(check bool)
+      (Printf.sprintf "shrunk to %d deviations (<= 25)" (Plan.deviations shrunk))
+      true
+      (Plan.deviations shrunk <= 25);
+    Alcotest.(check bool) "shrink never grows" true
+      (Plan.deviations shrunk <= Plan.deviations plan);
+    let artifact = Artifact.of_outcome scenario shrunk so in
+    let artifact' = Artifact.of_string (Artifact.to_string artifact) in
+    let replayed = Artifact.replay artifact' in
+    Alcotest.(check (list string)) "artifact replays bit-identically" []
+      (Artifact.check artifact' replayed)
+
+let test_drop_inval_ack_caught () =
+  let scenario =
+    { racer20 with mutation = Some (Dsm.Testonly.Drop_inval_ack { nth = 3 }) }
+  in
+  let o = Scenario.run_plan scenario Plan.empty in
+  Alcotest.(check bool) "mutation fired" true o.Scenario.mutation_fired;
+  Alcotest.(check bool) "invariant checker flagged the lost ack" true
+    (any_contains "invariant" o.Scenario.violations)
+
+(* ---------------- checker-checks-the-checker ---------------- *)
+
+(* A legal interleaved history over two locations; every mutation below
+   injects one specific protocol symptom into it and the checkers must
+   report each. *)
+let legal_history =
+  let w t host loc value = { Coherence.time = t; host; loc; kind = Coherence.Write; value } in
+  let r t host loc value = { Coherence.time = t; host; loc; kind = Coherence.Read; value } in
+  [
+    w 1.0 0 0 1; r 2.0 1 0 1; w 3.0 1 0 2; r 4.0 0 0 2;
+    w 5.0 0 1 3; r 6.0 2 1 3; r 7.0 2 0 2;
+  ]
+
+let test_legal_history_is_clean () =
+  Alcotest.(check (list string)) "base history passes" []
+    (Coherence.check (Coherence.of_ops legal_history))
+
+let test_checker_catches_stale_read () =
+  let stale =
+    legal_history
+    @ [ { Coherence.time = 8.0; host = 2; loc = 0; kind = Coherence.Read; value = 1 } ]
+  in
+  let violations = Coherence.check (Coherence.of_ops stale) in
+  Alcotest.(check bool) "stale read reported" true (any_contains "stale read" violations)
+
+let test_checker_catches_double_completed_write () =
+  let doubled =
+    legal_history
+    @ [ { Coherence.time = 8.0; host = 1; loc = 0; kind = Coherence.Write; value = 2 } ]
+  in
+  let violations = Coherence.check (Coherence.of_ops doubled) in
+  Alcotest.(check bool) "double-completed write reported" true
+    (any_contains "not unique" violations)
+
+(* Lost invalidation ack, injected into a *real* recorded event history: a
+   2-host run whose write provokes an invalidation round; deleting the
+   Inval_ack event from the trace must trip the invariant checker. *)
+let test_checker_catches_lost_inval_ack () =
+  let e = Engine.create () in
+  let dsm = Dsm.create e ~hosts:2 () in
+  let obs = Dsm.obs dsm in
+  Mp_obs.Recorder.set_capacity obs (1 lsl 16);
+  Mp_obs.Recorder.set_enabled obs true;
+  let x = Dsm.malloc dsm 64 in
+  Dsm.init_write_int dsm x 1;
+  Dsm.spawn dsm ~host:1 (fun ctx ->
+      ignore (Dsm.read_int ctx x);
+      Dsm.barrier ctx);
+  Dsm.spawn dsm ~host:0 (fun ctx ->
+      Dsm.barrier ctx;
+      Dsm.write_int ctx x 2);
+  Dsm.run dsm;
+  let events = Mp_obs.Recorder.events obs in
+  Alcotest.(check bool) "run produced an invalidation" true
+    (List.exists (fun ev -> match ev.Event.kind with Event.Inval _ -> true | _ -> false) events);
+  Alcotest.(check (list string)) "real trace passes" [] (Invariants.check events);
+  let dropped_one = ref false in
+  let mutated =
+    List.filter
+      (fun ev ->
+        match ev.Event.kind with
+        | Event.Inval_ack _ when not !dropped_one ->
+          dropped_one := true;
+          false
+        | _ -> true)
+      events
+  in
+  Alcotest.(check bool) "an ack was dropped" true !dropped_one;
+  Alcotest.(check bool) "lost ack reported" true
+    (any_contains "acknowledged" (Invariants.check mutated))
+
+(* ---------------- the write-value allocator ---------------- *)
+
+let test_fresh_value_allocator () =
+  let log = Coherence.create () in
+  let v1 = Coherence.fresh_value log in
+  Alcotest.(check bool) "never the initial value" true (v1 <> 0);
+  Coherence.record log ~time:1.0 ~host:0 ~loc:0 ~kind:Coherence.Write ~value:10;
+  let v2 = Coherence.fresh_value log in
+  Alcotest.(check bool) "jumps past manual write values" true (v2 > 10);
+  Coherence.record log ~time:2.0 ~host:1 ~loc:0 ~kind:Coherence.Read ~value:10;
+  let v3 = Coherence.fresh_value log in
+  Alcotest.(check bool) "reads do not consume values" true (v3 = v2 + 1);
+  Alcotest.(check bool) "strictly increasing" true (v1 < v2 && v2 < v3);
+  let log2 = Coherence.of_ops (Coherence.ops log) in
+  Alcotest.(check bool) "of_ops restores the allocator" true
+    (Coherence.fresh_value log2 > 10)
+
+(* ---------------- golden artifact replay ---------------- *)
+
+(* cwd is test/ under `dune runtest`, the project root under `dune exec` *)
+let golden_path =
+  if Sys.file_exists "golden/stale_reply.mpc" then "golden/stale_reply.mpc"
+  else "test/golden/stale_reply.mpc"
+
+let test_golden_replay () =
+  let artifact = Artifact.load ~file:golden_path in
+  let a = Artifact.replay artifact in
+  Alcotest.(check (list string)) "golden replay matches its recording" []
+    (Artifact.check artifact a);
+  Alcotest.(check bool) "the recorded bug still reproduces" true
+    (a.Scenario.violations <> []);
+  let b = Artifact.replay artifact in
+  Alcotest.(check bool) "replay is identical across runs" true
+    (a.Scenario.state_sig = b.Scenario.state_sig
+    && a.Scenario.trace_sig = b.Scenario.trace_sig
+    && a.Scenario.end_us = b.Scenario.end_us
+    && a.Scenario.violations = b.Scenario.violations)
+
+let suite =
+  [
+    Alcotest.test_case "plan round-trip" `Quick test_plan_roundtrip;
+    Alcotest.test_case "scenario round-trip" `Quick test_scenario_roundtrip;
+    Alcotest.test_case "label independence" `Quick test_label_independence;
+    Alcotest.test_case "chooser default is neutral" `Quick test_chooser_default_is_neutral;
+    Alcotest.test_case "chooser plan reorders ties" `Quick test_chooser_plan_reorders;
+    Alcotest.test_case "perturbation clamped" `Quick test_perturbation_clamped;
+    Alcotest.test_case "follow reproduces a random walk" `Quick test_follow_reproduces_random;
+    Alcotest.test_case "1000 distinct schedules, all clean" `Slow test_exploration_clean_1000;
+    Alcotest.test_case "delay bounding prunes commuting ties" `Quick test_delay_bounded_prunes;
+    Alcotest.test_case "seeded mutation caught, shrunk, replayed" `Slow
+      test_mutation_caught_and_shrunk;
+    Alcotest.test_case "dropped inval ack caught" `Quick test_drop_inval_ack_caught;
+    Alcotest.test_case "legal history is clean" `Quick test_legal_history_is_clean;
+    Alcotest.test_case "checker catches stale read" `Quick test_checker_catches_stale_read;
+    Alcotest.test_case "checker catches double-completed write" `Quick
+      test_checker_catches_double_completed_write;
+    Alcotest.test_case "checker catches lost inval ack" `Quick
+      test_checker_catches_lost_inval_ack;
+    Alcotest.test_case "fresh_value allocator" `Quick test_fresh_value_allocator;
+    Alcotest.test_case "golden artifact replay" `Quick test_golden_replay;
+  ]
