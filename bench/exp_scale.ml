@@ -1,0 +1,162 @@
+(** Scale trajectory: SOR across host counts with the mpprof profiler
+    attached.  For each host count the sweep records profiler throughput
+    (events/sec of wall-clock), simulated completion time, and the per-host
+    protocol-cost account, then writes the whole trajectory to
+    [BENCH_scale.json] (set MP_BENCH_DIR to relocate it) so CI can diff the
+    cost curve PR-over-PR. *)
+
+open Mp_sim
+open Mp_millipage
+module M = Mp_dsm.Millipage_impl
+module Sor_m = Mp_apps.Sor.Make (M)
+module Tab = Mp_util.Tab
+module Profile = Mp_obs.Profile
+
+(* Same scaled-down SOR as the soak: boundary traffic per iteration is
+   independent of [rows], so the sharing-pattern mix matches the full input
+   while even the 64-host cell stays tractable. *)
+let sor_params = { Mp_apps.Sor.default_params with rows = 128; iterations = 5 }
+let host_counts = [ 8; 16; 32; 64 ]
+let net_seed = 42
+
+type run_result = {
+  r_hosts : int;
+  r_end_us : float;
+  r_wall_s : float;
+  r_events : int;
+  r_verified : bool;
+  r_summary : (string * int) list;
+  r_hosts_cost : (int * Profile.host_cost) list;
+}
+
+let run_one ~hosts =
+  let e = Engine.create () in
+  let config =
+    { Dsm.Config.default with net = { Dsm.Config.Net.default with seed = net_seed } }
+  in
+  let dsm = Dsm.create e ~hosts ~config () in
+  let obs = Dsm.obs dsm in
+  (* The profiler is a tap on [record]: it sees the full stream even after
+     the ring wraps, so the default capacity keeps memory flat at 64 hosts. *)
+  Mp_obs.Recorder.set_enabled obs true;
+  let prof = Profile.attach obs in
+  let t0 = Sys.time () in
+  let h = Sor_m.setup dsm sor_params in
+  Dsm.run dsm;
+  let wall = Sys.time () -. t0 in
+  let verified = Sor_m.verify h in
+  Profile.detach obs;
+  {
+    r_hosts = hosts;
+    r_end_us = Engine.now e;
+    r_wall_s = wall;
+    r_events = Profile.event_count prof;
+    r_verified = verified;
+    r_summary = Profile.summary prof;
+    r_hosts_cost = Profile.hosts prof;
+  }
+
+let ev_per_sec r =
+  if r.r_wall_s <= 0.0 then 0.0 else float_of_int r.r_events /. r.r_wall_s
+
+let totals r =
+  List.fold_left
+    (fun (m, b) (_, c) -> (m + Profile.host_msgs c, b + Profile.host_bytes c))
+    (0, 0) r.r_hosts_cost
+
+let max_host_msgs r =
+  List.fold_left (fun acc (_, c) -> max acc (Profile.host_msgs c)) 0 r.r_hosts_cost
+
+let json_of_run b r =
+  let msgs, bytes = totals r in
+  Buffer.add_string b
+    (Printf.sprintf
+       "    { \"hosts\": %d, \"end_us\": %.1f, \"wall_s\": %.3f, \"events\": %d,\n\
+       \      \"events_per_sec\": %.0f, \"verified\": %b, \"msgs\": %d, \"bytes\": %d,\n"
+       r.r_hosts r.r_end_us r.r_wall_s r.r_events (ev_per_sec r) r.r_verified
+       msgs bytes);
+  Buffer.add_string b "      \"patterns\": { ";
+  List.iteri
+    (fun i (name, n) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (Printf.sprintf "%S: %d" name n))
+    r.r_summary;
+  Buffer.add_string b " },\n      \"per_host\": [\n";
+  let n = List.length r.r_hosts_cost in
+  List.iteri
+    (fun i (h, (c : Profile.host_cost)) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "        { \"host\": %d, \"msgs\": %d, \"bytes\": %d, \"data_msgs\": %d, \
+            \"data_bytes\": %d, \"heartbeat_msgs\": %d, \"recovery_msgs\": %d, \
+            \"control_msgs\": %d, \"retransmits\": %d, \"redirects\": %d }%s\n"
+           h c.Profile.msgs c.Profile.bytes c.Profile.data_msgs c.Profile.data_bytes
+           c.Profile.heartbeat_msgs c.Profile.recovery_msgs c.Profile.control_msgs
+           c.Profile.retransmits c.Profile.redirects
+           (if i = n - 1 then "" else ",")))
+    r.r_hosts_cost;
+  Buffer.add_string b "      ] }"
+
+let write_json results =
+  let file =
+    match Sys.getenv_opt "MP_BENCH_DIR" with
+    | None -> "BENCH_scale.json"
+    | Some dir -> Filename.concat dir "BENCH_scale.json"
+  in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"bench\": \"scale\",\n  \"app\": \"sor\",\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"params\": { \"rows\": %d, \"cols\": %d, \"iterations\": %d },\n\
+       \  \"net_seed\": %d,\n  \"runs\": [\n"
+       sor_params.rows sor_params.cols sor_params.iterations net_seed);
+  let n = List.length results in
+  List.iteri
+    (fun i r ->
+      json_of_run b r;
+      Buffer.add_string b (if i = n - 1 then "\n" else ",\n"))
+    results;
+  Buffer.add_string b "  ]\n}\n";
+  let oc = open_out file in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Harness.note "wrote %s" file
+
+let run ?(max_hosts = 64) () =
+  let host_counts = List.filter (fun h -> h <= max_hosts) host_counts in
+  Harness.section
+    (Printf.sprintf
+       "Scale trajectory: SOR %dx%d, %d iterations, profiler attached, hosts up to %d"
+       sor_params.rows sor_params.cols sor_params.iterations max_hosts);
+  let results = List.map (fun hosts -> run_one ~hosts) host_counts in
+  let rows =
+    List.map
+      (fun r ->
+        let msgs, bytes = totals r in
+        [
+          string_of_int r.r_hosts;
+          Tab.fu r.r_end_us;
+          Printf.sprintf "%.3f" r.r_wall_s;
+          string_of_int r.r_events;
+          Printf.sprintf "%.0f" (ev_per_sec r);
+          string_of_int msgs;
+          string_of_int bytes;
+          string_of_int (max_host_msgs r);
+          (if r.r_verified then "ok" else "FAIL");
+        ])
+      results
+  in
+  Tab.print
+    ~header:
+      [
+        "hosts"; "sim time us"; "wall s"; "events"; "ev/s"; "msgs"; "bytes";
+        "max host msgs"; "verified";
+      ]
+    rows;
+  Harness.note
+    "'ev/s' is profiler streaming throughput (typed events per wall-clock \
+     second); 'max host msgs' the hottest host's message count — the gap to \
+     msgs/hosts measures protocol skew.";
+  write_json results;
+  if List.exists (fun r -> not r.r_verified) results then
+    failwith "exp_scale: a run failed verification"

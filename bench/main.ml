@@ -17,6 +17,7 @@ let all_experiments ~full ~fast () =
   Exp_crash.run ();
   Exp_shard.run ();
   Exp_mc.run ();
+  Exp_scale.run ~max_hosts:16 ();
   Bechamel_bench.run ()
 
 let full_flag =
@@ -68,6 +69,16 @@ let mc =
   cmd "mc" "mpcheck sweep: schedule-exploration throughput and coverage"
     Term.(const Exp_mc.run $ const ())
 
+let max_hosts_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "max-hosts" ] ~docv:"N"
+        ~doc:"Cap the scale sweep's host counts at $(docv) (of 8/16/32/64).")
+
+let scale =
+  cmd "scale" "Scale trajectory: profiler throughput and per-host cost vs hosts"
+    Term.(const (fun max_hosts -> Exp_scale.run ~max_hosts ()) $ max_hosts_arg)
+
 let bechamel =
   cmd "bechamel" "Wall-clock microbenchmarks of simulator primitives"
     Term.(const Bechamel_bench.run $ const ())
@@ -87,4 +98,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ table1; costs; fig5; table2; fig6; fig7; ablation; gms; soak; crash;
-            shard; mc; bechamel; all_cmd ]))
+            shard; mc; scale; bechamel; all_cmd ]))

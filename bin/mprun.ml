@@ -15,9 +15,17 @@ open Mp_apps
 
 (** Observability options shared by every system branch. *)
 module Obs_opts = struct
-  type t = { trace_out : string option; perfetto : string option; metrics : bool }
+  type t = {
+    trace_out : string option;
+    perfetto : string option;
+    metrics : bool;
+    profile : bool;
+    profile_out : string option;
+    meta : (string * string) list;  (* run metadata for JSON exports *)
+  }
 
-  let active o = o.metrics || o.trace_out <> None || o.perfetto <> None
+  let profiling o = o.profile || o.profile_out <> None
+  let active o = o.metrics || o.trace_out <> None || o.perfetto <> None || profiling o
   let tracing o = o.trace_out <> None || o.perfetto <> None
 end
 
@@ -94,6 +102,7 @@ module Runner (D : Mp_dsm.Dsm_intf.S) = struct
   let report_obs (t : D.t) (o : Obs_opts.t) =
     let obs = D.obs t in
     let events = Mp_obs.Recorder.events obs in
+    let prof = D.profile t in
     Option.iter
       (fun file ->
         try_write "trace" Mp_obs.Export.write_jsonl file events;
@@ -102,9 +111,35 @@ module Runner (D : Mp_dsm.Dsm_intf.S) = struct
       o.Obs_opts.trace_out;
     Option.iter
       (fun file ->
-        try_write "perfetto trace" Mp_obs.Export.write_perfetto file events;
+        let extra =
+          match prof with
+          | Some p -> Mp_obs.Profile.perfetto_counters p
+          | None -> []
+        in
+        try_write "perfetto trace"
+          (Mp_obs.Export.write_perfetto ~extra)
+          file events;
         Printf.printf "perfetto:     %s (open at https://ui.perfetto.dev)\n" file)
       o.Obs_opts.perfetto;
+    Option.iter
+      (fun p ->
+        Printf.printf "\nprofile (%d events streamed):\n%s\n"
+          (Mp_obs.Profile.event_count p)
+          (Mp_obs.Profile.report p);
+        Option.iter
+          (fun file ->
+            try_write "profile"
+              (fun file () ->
+                let oc = open_out file in
+                Fun.protect
+                  ~finally:(fun () -> close_out oc)
+                  (fun () ->
+                    output_string oc
+                      (Mp_obs.Profile.to_json ~meta:o.Obs_opts.meta p)))
+              file ();
+            Printf.printf "profile json: %s\n" file)
+          o.Obs_opts.profile_out)
+      prof;
     if o.Obs_opts.metrics then begin
       let r = Mp_obs.Metrics.report (Mp_obs.Recorder.metrics obs) in
       if r <> "" then Printf.printf "\n%s" r
@@ -128,7 +163,8 @@ module Runner (D : Mp_dsm.Dsm_intf.S) = struct
     if Obs_opts.active o then begin
       let obs = D.obs t in
       if Obs_opts.tracing o then Mp_obs.Recorder.set_capacity obs (1 lsl 20);
-      Mp_obs.Recorder.set_enabled obs true
+      Mp_obs.Recorder.set_enabled obs true;
+      if Obs_opts.profiling o then ignore (Mp_obs.Profile.attach obs)
     end;
     let ok = run t app paper in
     report t engine ok ~degraded:(degraded ());
@@ -197,9 +233,24 @@ let report_ft (t : Mp_millipage.Dsm.t) =
       (List.length (D.lost_minipages t))
       (D.leases_revoked t) (c "ft.barrier_reconfigs")
 
-let execute app system hosts chunking polling paper trace_out perfetto metrics loss
-    dup reorder net_seed ft crash stall crash_seed crash_horizon homes home_block =
-  let obs_opts = { Obs_opts.trace_out; perfetto; metrics } in
+let execute app system hosts chunking polling paper trace_out perfetto metrics
+    profile profile_out loss dup reorder net_seed ft crash stall crash_seed
+    crash_horizon homes home_block =
+  let meta =
+    [
+      ("app", app);
+      ("system", system);
+      ("hosts", string_of_int hosts);
+      ("homes", homes);
+      ("chunking", chunking);
+      ("polling", polling);
+      ("net_seed", string_of_int net_seed);
+      ("crash_seed", string_of_int crash_seed);
+    ]
+  in
+  let obs_opts =
+    { Obs_opts.trace_out; perfetto; metrics; profile; profile_out; meta }
+  in
   let homes_config =
     let module H = Mp_millipage.Dsm.Config.Homes in
     match H.policy_of_string homes with
@@ -395,6 +446,26 @@ let metrics_arg =
           "Print the metrics registry after the run: per-phase fault-service \
            latency percentiles, protocol counters and gauges.")
 
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Stream the event trace through the sharing-pattern profiler and \
+           print per-minipage classifications (read-mostly, migratory, \
+           producer-consumer, write-shared, falsely-shared), false-sharing \
+           attribution, the access heatmap and per-host/per-home protocol \
+           cost.")
+
+let profile_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the profiler's deterministic JSON report (with run \
+           metadata) to $(docv); implies --profile.")
+
 let loss_arg =
   Arg.(
     value & opt float 0.0
@@ -478,9 +549,10 @@ let home_block_arg =
 let () =
   let term =
     Term.(const execute $ app_arg $ system_arg $ hosts_arg $ chunking_arg $ polling_arg
-          $ paper_arg $ trace_out_arg $ perfetto_arg $ metrics_arg $ loss_arg
-          $ dup_arg $ reorder_arg $ net_seed_arg $ ft_arg $ crash_arg $ stall_arg
-          $ crash_seed_arg $ crash_horizon_arg $ homes_arg $ home_block_arg)
+          $ paper_arg $ trace_out_arg $ perfetto_arg $ metrics_arg $ profile_arg
+          $ profile_out_arg $ loss_arg $ dup_arg $ reorder_arg $ net_seed_arg
+          $ ft_arg $ crash_arg $ stall_arg $ crash_seed_arg $ crash_horizon_arg
+          $ homes_arg $ home_block_arg)
   in
   let info =
     Cmd.info "mprun" ~doc:"Run a Millipage benchmark application on a simulated cluster"

@@ -627,6 +627,7 @@ let breakdown t =
        t.host_states)
 
 let obs t = t.obs
+let profile t = Mp_obs.Profile.attached t.obs
 let diffs_created t = Stats.Counters.get t.counters "diffs"
 let diff_bytes t = Stats.Counters.get t.counters "diff.bytes"
 let twins_created t = Stats.Counters.get t.counters "twins"

@@ -84,4 +84,9 @@ module type S = sig
   (** The system's observability recorder: typed protocol events, fault-span
       latency metrics, Perfetto export.  Disabled by default; enable it (and
       widen its ring) before {!run} to capture a trace. *)
+
+  val profile : t -> Mp_obs.Profile.t option
+  (** The sharing-pattern profiler attached to this system's recorder with
+      {!Mp_obs.Profile.attach}, if any.  [None] until a caller attaches
+      one. *)
 end

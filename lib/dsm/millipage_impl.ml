@@ -46,3 +46,4 @@ let read_faults = Dsm.read_faults
 let write_faults = Dsm.write_faults
 let breakdown t = Breakdown.to_list (Dsm.breakdown_total t)
 let obs = Dsm.obs
+let profile t = Mp_obs.Profile.attached (Dsm.obs t)

@@ -279,6 +279,7 @@ type outcome = {
   obs_events : int;
   mutation_fired : bool;
   crashed : int list;
+  profile : Mp_obs.Profile.t option;
 }
 
 (* splitmix64-style finalizer, truncated to OCaml's native int. *)
@@ -300,13 +301,16 @@ let config t =
         Some (Dsm.Config.Ft.with_crashes Dsm.Config.Ft.default t.crashes);
     }
 
-let run t ~sched =
+let run ?(profile = false) t ~sched =
   let e = Engine.create () in
   let dsm = Dsm.create e ~hosts:t.hosts ~config:(config t) () in
   Dsm.Testonly.set_mutation dsm t.mutation;
   let obs = Dsm.obs dsm in
   Mp_obs.Recorder.set_capacity obs (1 lsl 18);
   Mp_obs.Recorder.set_enabled obs true;
+  (* the profiler is a passive tap: attaching it must not perturb schedules,
+     choice points, or timing — exploration results stay bit-identical *)
+  let prof = if profile then Some (Mp_obs.Profile.attach obs) else None in
   let log = Coherence.create () in
   let verify =
     match t.workload with
@@ -380,6 +384,9 @@ let run t ~sched =
       steps;
     !h
   in
+  (* unregister so exploration loops don't accumulate registry entries; the
+     returned profile stays readable after detach *)
+  if prof <> None then Mp_obs.Profile.detach obs;
   {
     violations;
     end_us;
@@ -392,18 +399,19 @@ let run t ~sched =
     obs_events = List.length (Mp_obs.Recorder.events obs);
     mutation_fired = Dsm.Testonly.mutation_fired dsm;
     crashed;
+    profile = prof;
   }
 
-let run_plan t plan =
+let run_plan ?profile t plan =
   let sched =
     Sched.create ~quantum_us:t.quantum_us ~max_delay_steps:t.max_delay_steps
       ~mode:Sched.Follow ~plan ()
   in
-  run t ~sched
+  run ?profile t ~sched
 
-let run_random t ~seed ~prob =
+let run_random ?profile t ~seed ~prob =
   let sched =
     Sched.create ~quantum_us:t.quantum_us ~max_delay_steps:t.max_delay_steps
       ~mode:(Sched.Random { seed; prob }) ~plan:Plan.empty ()
   in
-  run t ~sched
+  run ?profile t ~sched

@@ -65,13 +65,18 @@ type outcome = {
   obs_events : int;  (** typed events captured by the recorder *)
   mutation_fired : bool;
   crashed : int list;  (** hosts declared dead *)
+  profile : Mp_obs.Profile.t option;
+      (** sharing-pattern profile of the run, when [run ~profile:true] *)
 }
 
-val run : t -> sched:Sched.t -> outcome
+val run : ?profile:bool -> t -> sched:Sched.t -> outcome
+(** [profile] (default [false]) attaches an {!Mp_obs.Profile} to the run's
+    recorder.  The profiler is a passive tap: timing, choice points and both
+    fingerprints are bit-identical with and without it. *)
 
-val run_plan : t -> Plan.t -> outcome
+val run_plan : ?profile:bool -> t -> Plan.t -> outcome
 (** {!run} under a [Follow]-mode scheduler: deterministic replay of the
     plan (the empty plan is the engine's default schedule). *)
 
-val run_random : t -> seed:int -> prob:float -> outcome
+val run_random : ?profile:bool -> t -> seed:int -> prob:float -> outcome
 (** {!run} under a fresh [Random]-mode scheduler. *)

@@ -292,7 +292,7 @@ type t = {
   groups : (int, int list) Hashtbl.t;  (* composed views: group -> minipage ids *)
   mutable next_group : int;
   counters : Stats.Counters.t;
-  trace : Trace.t;
+  recorder : Mp_obs.Recorder.t;
   mutable started : bool;
   (* crash-fault state.  [crashed] is ground truth (injection or fencing);
      [declared] is the manager's view, which is what the protocol acts on. *)
@@ -353,9 +353,7 @@ let set_prot_cost t info = t.config.cost.set_prot_us *. float_of_int (n_vpages t
 
 module Obs = Mp_obs.Recorder
 
-(* [Trace.t] is the observability recorder, so the string-trace shim and the
-   typed hooks below feed one ring. *)
-let obs t = t.trace
+let obs t = t.recorder
 let rnow t = Engine.now t.engine
 
 let obs_access = function
@@ -529,7 +527,7 @@ let manager_start ?(charge_lookup = true) t ~home (e : Directory.entry)
           (fun target ->
             Stats.Counters.incr t.counters "invalidations";
             Obs.inval_send (obs t) ~time:(rnow t) ~host:home ~span:req_id
-              ~mp_id:info.mp_id ~target;
+              ~mp_id:info.mp_id ~target ~writer:from;
             send t ~src:home ~dst:target ~bytes:(header t)
               (Proto.Invalidate { req_id; info }))
           targets
@@ -1061,8 +1059,8 @@ let host_reply t (h : host_state) ~req_id ~access (info : Proto.info) data =
   Engine.delay (set_prot_cost t info);
   protect_info t h info
     (match access with Proto.Read -> Prot.Read_only | Proto.Write -> Prot.Read_write);
-  Obs.reply (obs t) ~time:(rnow t) ~host:h.id ~span:req_id ~mp_id:info.mp_id
-    ~bytes:info.length;
+  Obs.reply (obs t) ~time:(rnow t) ~host:h.id ~span:req_id
+    ~access:(obs_access access) ~mp_id:info.mp_id ~bytes:info.length;
   let first, last = vpages_of t info in
   let matched = ref false in
   for vp = first to last do
@@ -2208,7 +2206,7 @@ let create engine ~hosts:nhosts ?(config = Config.default) () =
       groups = Hashtbl.create 8;
       next_group = 0;
       counters = Stats.Counters.create ();
-      trace = Trace.create ();
+      recorder = Mp_obs.Recorder.create ~capacity:4096 ();
       started = false;
       crashed = Array.make nhosts false;
       declared = Array.make nhosts false;
@@ -2227,7 +2225,7 @@ let create engine ~hosts:nhosts ?(config = Config.default) () =
       mutation_fired = false;
     }
   in
-  Fabric.attach_obs fabric ~obs:t.trace ~describe:Proto.describe_packet;
+  Fabric.attach_obs fabric ~obs:t.recorder ~describe:Proto.describe_packet;
   Array.iter
     (fun h ->
       Vm.set_fault_handler h.vm (fun f -> on_fault t h f);
@@ -2256,6 +2254,16 @@ let malloc t size =
   (* host 0 owns fresh memory read-write; re-protect the whole (possibly
      chunk-grown) minipage *)
   protect_info t t.host_states.(manager) (info_of mp) Prot.Read_write;
+  (* minipage layout for stream consumers (Profile); re-emitted on every
+     allocation so chunk growth updates the mapping *)
+  let info = info_of mp in
+  let first, last = vpages_of t info in
+  Obs.mp_map (obs t) ~time:(rnow t) ~host:manager ~mp_id
+    ~view:mp.Minipage.view
+    ~base_addr:
+      (Vm.address t.host_states.(manager).vm ~view:mp.Minipage.view
+         mp.Minipage.offset)
+    ~length:mp.Minipage.length ~first_vpage:first ~last_vpage:last;
   Vm.address t.host_states.(manager).vm ~view:mp.Minipage.view off
 
 let malloc_array t ~count ~size = Array.init count (fun _ -> malloc t size)
@@ -2516,7 +2524,6 @@ let bytes_sent t = Stats.Counters.get (Fabric.counters t.fabric) "send.bytes"
 let mpt t = Allocator.mpt t.allocator
 let views_used t = Allocator.views_used t.allocator
 let counters t = t.counters
-let trace t = t.trace
 let max_queue_depth t =
   Array.fold_left (fun acc dir -> max acc (Directory.max_queue_depth dir)) 0 t.dirs
 

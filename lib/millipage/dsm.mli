@@ -288,13 +288,10 @@ val counters : t -> Mp_util.Stats.Counters.t
     ["replies.data"], ["grant.upgrades"], and under sharded policies
     ["homes.redirects"], ["homes.migrations"], ["homes.rehomes"], ... *)
 
-val trace : t -> Trace.t
-(** Protocol event trace (disabled by default; [Trace.set_enabled] it before
-    {!run} to capture faults and message receptions). *)
-
 val obs : t -> Mp_obs.Recorder.t
-(** The typed observability recorder behind {!trace} (they are the same
-    object): per-fault spans, phase latency metrics, Perfetto export. *)
+(** The typed observability recorder (disabled by default;
+    [Mp_obs.Recorder.set_enabled] it before {!run} to capture the protocol
+    event stream): per-fault spans, phase latency metrics, Perfetto export. *)
 
 val max_queue_depth : t -> int
 (** High-water mark of requests queued behind in-flight operations, taken

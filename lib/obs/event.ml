@@ -17,8 +17,8 @@ type kind =
   | Queued of { mp_id : int; depth : int }
   | Dequeued of { mp_id : int; waited_us : float }
   | Forward of { access : access; mp_id : int; supplier : int }
-  | Reply of { mp_id : int; bytes : int }
-  | Inval of { mp_id : int; target : int }
+  | Reply of { access : access; mp_id : int; bytes : int }
+  | Inval of { mp_id : int; target : int; writer : int }
   | Inval_ack of { mp_id : int; from : int }
   | Ack of { mp_id : int; from : int }
   | Barrier_enter of { bphase : int }
@@ -51,6 +51,14 @@ type kind =
   | Home_assign of { mp_id : int; home : int }
   | Home_redirect of { mp_id : int; old_home : int; new_home : int }
   | Rehome of { mp_id : int; from_home : int; to_home : int }
+  | Mp_map of {
+      mp_id : int;
+      view : int;
+      base_addr : int;
+      length : int;
+      first_vpage : int;
+      last_vpage : int;
+    }
   | Mark of { kind : string; detail : string }
 
 type t = { time : float; host : int; span : int; kind : kind }
@@ -98,6 +106,7 @@ let kind_name = function
   | Home_assign _ -> "HOME_ASSIGN"
   | Home_redirect _ -> "HOME_REDIRECT"
   | Rehome _ -> "REHOME"
+  | Mp_map _ -> "MP_MAP"
   | Mark m -> m.kind
 
 let detail = function
@@ -112,8 +121,11 @@ let detail = function
   | Forward { access; mp_id; supplier } ->
     if supplier < 0 then Printf.sprintf "%s mp%d (upgrade)" (access_to_string access) mp_id
     else Printf.sprintf "%s mp%d via h%d" (access_to_string access) mp_id supplier
-  | Reply { mp_id; bytes } -> Printf.sprintf "mp%d (%d bytes)" mp_id bytes
-  | Inval { mp_id; target } -> Printf.sprintf "mp%d -> h%d" mp_id target
+  | Reply { access; mp_id; bytes } ->
+    Printf.sprintf "%s mp%d (%d bytes)" (access_to_string access) mp_id bytes
+  | Inval { mp_id; target; writer } ->
+    if writer < 0 then Printf.sprintf "mp%d -> h%d" mp_id target
+    else Printf.sprintf "mp%d -> h%d (writer h%d)" mp_id target writer
   | Inval_ack { mp_id; from } -> Printf.sprintf "mp%d from h%d" mp_id from
   | Ack { mp_id; from } -> Printf.sprintf "mp%d from h%d" mp_id from
   | Barrier_enter { bphase } -> Printf.sprintf "phase %d" bphase
@@ -157,6 +169,9 @@ let detail = function
     Printf.sprintf "mp%d h%d -> h%d" mp_id old_home new_home
   | Rehome { mp_id; from_home; to_home } ->
     Printf.sprintf "mp%d h%d -> h%d" mp_id from_home to_home
+  | Mp_map { mp_id; view; base_addr; length; first_vpage; last_vpage } ->
+    Printf.sprintf "mp%d view %d @%d len %d vpages %d-%d" mp_id view base_addr
+      length first_vpage last_vpage
   | Mark m -> m.detail
 
 let pp fmt e =

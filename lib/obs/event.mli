@@ -26,8 +26,12 @@ type kind =
   | Dequeued of { mp_id : int; waited_us : float }
   | Forward of { access : access; mp_id : int; supplier : int }
       (** [supplier < 0] means an ownership upgrade (no data supplier). *)
-  | Reply of { mp_id : int; bytes : int }
-  | Inval of { mp_id : int; target : int }
+  | Reply of { access : access; mp_id : int; bytes : int }
+      (** Data (or grant) landed at the faulting host, tagged with the
+          access kind it satisfies. *)
+  | Inval of { mp_id : int; target : int; writer : int }
+      (** Invalidate [target]'s copy on behalf of [writer]'s write upgrade
+          ([writer < 0] when unknown). *)
   | Inval_ack of { mp_id : int; from : int }
   | Ack of { mp_id : int; from : int }
   | Barrier_enter of { bphase : int }
@@ -82,8 +86,20 @@ type kind =
   | Rehome of { mp_id : int; from_home : int; to_home : int }
       (** Crash recovery moved this minipage's directory entry from a dead
           home host to a surviving one. *)
+  | Mp_map of {
+      mp_id : int;
+      view : int;
+      base_addr : int;
+      length : int;
+      first_vpage : int;
+      last_vpage : int;
+    }
+      (** Minipage layout, emitted at allocation: virtual base address and
+          the vpage range the minipage covers in its view.  Lets stream
+          consumers resolve fault addresses to minipages and detect
+          co-location (false-sharing attribution in {!Profile}). *)
   | Mark of { kind : string; detail : string }
-      (** Escape hatch for untyped events (the {!Mp_millipage.Trace} shim). *)
+      (** Escape hatch for untyped events. *)
 
 type t = { time : float; host : int; span : int; kind : kind }
 

@@ -37,7 +37,7 @@ let metadata ~name ~pid ~label =
     "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":%d,\"args\":{\"name\":\"%s\"}}" name pid
     (esc label)
 
-let perfetto_json (events : Event.t list) =
+let perfetto_json ?(extra = []) (events : Event.t list) =
   let buf = Buffer.create 4096 in
   let first = ref true in
   Buffer.add_string buf "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
@@ -89,7 +89,7 @@ let perfetto_json (events : Event.t list) =
                ~pid ~tid:1
                ~args:(Printf.sprintf "\"span\":%d,\"mp\":%d" e.span mp_id))
         | None -> ())
-      | Event.Inval { mp_id; target = _ } ->
+      | Event.Inval { mp_id; _ } ->
         if not (Hashtbl.mem inval_open e.span) then
           Hashtbl.add inval_open e.span (e.time, e.host, mp_id)
       | Event.Inval_ack { mp_id = _; from = _ } -> ()
@@ -149,11 +149,12 @@ let perfetto_json (events : Event.t list) =
       | Event.Shadow_refresh _ | Event.Shadow_sync _ | Event.Recover_minipage _
       | Event.Lease_revoke _ | Event.Barrier_reconfig _ | Event.Rehome _ ->
         add (instant ~name ~cat:"crash" ~ts:e.time ~pid ~tid:0 ~args)
-      | Event.Home_assign _ | Event.Home_redirect _ ->
+      | Event.Home_assign _ | Event.Home_redirect _ | Event.Mp_map _ ->
         add (instant ~name ~cat:"proto" ~ts:e.time ~pid ~tid:1 ~args)
       | Event.Mark _ -> add (instant ~name ~cat:"mark" ~ts:e.time ~pid ~tid:0 ~args)
       | Event.Fault _ | Event.Fault_done _ | Event.Queued _ | Event.Dequeued _ -> ())
     events;
+  List.iter add extra;
   Buffer.add_string buf "\n]}\n";
   Buffer.contents buf
 
@@ -170,5 +171,6 @@ let write_file path contents =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
 
-let write_perfetto path events = write_file path (perfetto_json events)
+let write_perfetto ?extra path events =
+  write_file path (perfetto_json ?extra events)
 let write_jsonl path events = write_file path (jsonl events)

@@ -10,8 +10,16 @@
     {!jsonl} is one JSON object per event, one per line — easy to post-process
     with jq or load into a dataframe. *)
 
-val perfetto_json : Event.t list -> string
+val counter : name:string -> ts:float -> pid:int -> value:int -> string
+(** Render one pre-formatted "C" (counter) trace event, for use with
+    [?extra] below. *)
+
+val perfetto_json : ?extra:string list -> Event.t list -> string
+(** [extra] is a list of pre-rendered trace-event JSON objects appended to
+    [traceEvents] — {!Profile.perfetto_counters} uses it to add counter
+    series computed outside the event ring. *)
+
 val jsonl : Event.t list -> string
 
-val write_perfetto : string -> Event.t list -> unit
+val write_perfetto : ?extra:string list -> string -> Event.t list -> unit
 val write_jsonl : string -> Event.t list -> unit

@@ -119,9 +119,21 @@ let report t =
   String.concat "\n"
     (List.filter (fun s -> s <> "") [ latency_table t; gauges_table t; counters_table t ])
 
-let to_json t =
+let to_json ?(meta = []) t =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\"counters\":{";
+  Buffer.add_char buf '{';
+  if meta <> [] then begin
+    Buffer.add_string buf "\"meta\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf "\"%s\":\"%s\"" (Event.json_escape k)
+             (Event.json_escape v)))
+      meta;
+    Buffer.add_string buf "},"
+  end;
+  Buffer.add_string buf "\"counters\":{";
   List.iteri
     (fun i (k, v) ->
       if i > 0 then Buffer.add_char buf ',';

@@ -44,7 +44,11 @@ val gauges_table : t -> string
 val report : t -> string
 (** All non-empty sections concatenated. *)
 
-val to_json : t -> string
+val to_json : ?meta:(string * string) list -> t -> string
+(** Deterministic JSON: counters, gauges and latency series are emitted in
+    sorted key order so reports from fixed-seed runs diff cleanly.  [meta]
+    (run metadata: app, hosts, homes policy, seeds …) is emitted first, in
+    caller order, under a ["meta"] object. *)
 
 val merge_into : dst:t -> t -> unit
 (** Adds counters and overwrites gauges; latency series are not merged. *)

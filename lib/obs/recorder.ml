@@ -18,6 +18,7 @@ type t = {
   mutable on : bool;
   metrics : Metrics.t;
   faults : (int, fault_state) Hashtbl.t;
+  mutable tap : (Event.t -> unit) option;
 }
 
 let create ?(capacity = 65536) () =
@@ -29,11 +30,13 @@ let create ?(capacity = 65536) () =
     on = false;
     metrics = Metrics.create ();
     faults = Hashtbl.create 64;
+    tap = None;
   }
 
 let enabled t = t.on
 let set_enabled t on = t.on <- on
 let metrics t = t.metrics
+let set_tap t tap = t.tap <- tap
 
 let set_capacity t capacity =
   if capacity <= 0 then invalid_arg "Recorder.set_capacity";
@@ -43,8 +46,10 @@ let set_capacity t capacity =
 
 let record t ~time ~host ?(span = Event.no_span) kind =
   if t.on then begin
-    t.buf.(t.next mod t.capacity) <- Some { Event.time; host; span; kind };
-    t.next <- t.next + 1
+    let e = { Event.time; host; span; kind } in
+    t.buf.(t.next mod t.capacity) <- Some e;
+    t.next <- t.next + 1;
+    match t.tap with None -> () | Some f -> f e
   end
 
 let events t =
@@ -146,9 +151,9 @@ let queue_exit t ~time ~host ~span ~mp_id ~depth =
 let forward t ~time ~host ~span ~access ~mp_id ~supplier =
   if t.on then record t ~time ~host ~span (Event.Forward { access; mp_id; supplier })
 
-let inval_send t ~time ~host ~span ~mp_id ~target =
+let inval_send t ~time ~host ~span ~mp_id ~target ~writer =
   if t.on then begin
-    record t ~time ~host ~span (Event.Inval { mp_id; target });
+    record t ~time ~host ~span (Event.Inval { mp_id; target; writer });
     incr t "inval.sent";
     let s = state t span in
     if Float.is_nan s.f_inval_enter then s.f_inval_enter <- time
@@ -166,9 +171,9 @@ let inval_ack t ~time ~host ~span ~mp_id ~from ~last =
     end
   end
 
-let reply t ~time ~host ~span ~mp_id ~bytes =
+let reply t ~time ~host ~span ~access ~mp_id ~bytes =
   if t.on then begin
-    record t ~time ~host ~span (Event.Reply { mp_id; bytes });
+    record t ~time ~host ~span (Event.Reply { access; mp_id; bytes });
     match Hashtbl.find_opt t.faults span with
     | Some s ->
       s.f_reply <- time;
@@ -380,6 +385,11 @@ let rehome t ~time ~host ~mp_id ~from_home ~to_home =
     record t ~time ~host (Event.Rehome { mp_id; from_home; to_home });
     incr t "homes.rehomes"
   end
+
+let mp_map t ~time ~host ~mp_id ~view ~base_addr ~length ~first_vpage ~last_vpage =
+  if t.on then
+    record t ~time ~host
+      (Event.Mp_map { mp_id; view; base_addr; length; first_vpage; last_vpage })
 
 let home_queue_depth t ~home ~depth =
   gauge_set t (Printf.sprintf "home.h%d.queue_depth" home) (float_of_int depth)

@@ -16,6 +16,13 @@ val create : ?capacity:int -> unit -> t
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit
 
+val set_tap : t -> (Event.t -> unit) option -> unit
+(** A passive observer invoked synchronously from {!record} for every event
+    appended while the recorder is enabled.  Unlike the ring it never drops:
+    the tap sees the full stream regardless of capacity.  The tap must not
+    raise and must not touch the simulation — it exists so consumers like
+    {!Profile} can stream-process events without growing the ring. *)
+
 val set_capacity : t -> int -> unit
 (** Replace the ring (clearing it) — call before a run that needs the full
     event stream, e.g. for export or invariant checking. *)
@@ -61,12 +68,18 @@ val forward :
   t -> time:float -> host:int -> span:int -> access:Event.access -> mp_id:int ->
   supplier:int -> unit
 
-val inval_send : t -> time:float -> host:int -> span:int -> mp_id:int -> target:int -> unit
+val inval_send :
+  t -> time:float -> host:int -> span:int -> mp_id:int -> target:int ->
+  writer:int -> unit
+(** [writer] is the host whose write triggered the invalidation round
+    ([-1] when unknown). *)
 
 val inval_ack :
   t -> time:float -> host:int -> span:int -> mp_id:int -> from:int -> last:bool -> unit
 
-val reply : t -> time:float -> host:int -> span:int -> mp_id:int -> bytes:int -> unit
+val reply :
+  t -> time:float -> host:int -> span:int -> access:Event.access -> mp_id:int ->
+  bytes:int -> unit
 val ack : t -> time:float -> host:int -> span:int -> mp_id:int -> from:int -> unit
 val fault_end : t -> time:float -> host:int -> span:int -> unit
 
@@ -145,5 +158,13 @@ val rehome :
 val home_queue_depth : t -> home:int -> depth:int -> unit
 (** Per-home queue-depth gauge ["home.h<i>.queue_depth"]; emitted by the DSM
     only under non-[Central] policies. *)
+
+val mp_map :
+  t -> time:float -> host:int -> mp_id:int -> view:int -> base_addr:int ->
+  length:int -> first_vpage:int -> last_vpage:int -> unit
+(** Minipage layout: maps a minipage id to its view, virtual base address and
+    the vpage range it occupies.  Emitted at allocation time so stream
+    consumers can resolve fault addresses to minipages and detect co-location
+    (the false-sharing attribution in {!Profile}). *)
 
 val pp_dump : t -> Format.formatter -> unit

@@ -146,27 +146,38 @@ let test_compose_dedupes_chunked_members () =
   Alcotest.(check bool) "handful of messages" true (Dsm.messages_sent dsm <= 6)
 
 let test_trace_records_protocol () =
+  let module Obs = Mp_obs.Recorder in
+  let module Event = Mp_obs.Event in
   let e = Engine.create () in
   let dsm = Dsm.create e ~hosts:2 ~config:fast_config () in
-  Trace.set_enabled (Dsm.trace dsm) true;
+  Obs.set_enabled (Dsm.obs dsm) true;
   let x = Dsm.malloc dsm 64 in
   Dsm.spawn dsm ~host:1 (fun ctx -> ignore (Dsm.read_f64 ctx x));
   Dsm.run dsm;
-  let tr = Dsm.trace dsm in
-  Alcotest.(check bool) "fault recorded" true (List.length (Trace.find tr ~kind:"FAULT") = 1);
-  Alcotest.(check bool) "messages recorded" true (List.length (Trace.find tr ~kind:"RECV") >= 4);
-  Alcotest.(check int) "nothing dropped" 0 (Trace.dropped tr)
+  let tr = Dsm.obs dsm in
+  let find kind =
+    List.filter
+      (fun (e : Event.t) -> Event.kind_name e.kind = kind)
+      (Obs.events tr)
+  in
+  Alcotest.(check bool) "fault recorded" true (List.length (find "FAULT") = 1);
+  Alcotest.(check bool) "messages recorded" true (List.length (find "RECV") >= 4);
+  Alcotest.(check int) "nothing dropped" 0 (Obs.dropped tr)
 
 let test_trace_ring_buffer () =
-  let tr = Trace.create ~capacity:4 () in
-  Trace.set_enabled tr true;
+  let module Obs = Mp_obs.Recorder in
+  let module Event = Mp_obs.Event in
+  let tr = Obs.create ~capacity:4 () in
+  Obs.set_enabled tr true;
   for i = 1 to 10 do
-    Trace.record tr ~time:(float_of_int i) ~host:0 ~kind:"K" ~detail:(string_of_int i)
+    Obs.record tr ~time:(float_of_int i) ~host:0
+      (Mp_obs.Event.Mark { kind = "K"; detail = string_of_int i })
   done;
-  let evs = Trace.events tr in
+  let evs = Obs.events tr in
   Alcotest.(check int) "capacity bound" 4 (List.length evs);
-  Alcotest.(check int) "dropped count" 6 (Trace.dropped tr);
-  Alcotest.(check string) "oldest kept" "7" (List.hd evs).Trace.detail
+  Alcotest.(check int) "dropped count" 6 (Obs.dropped tr);
+  Alcotest.(check string) "oldest kept" "7"
+    (Event.detail (List.hd evs).Event.kind)
 
 let suite =
   [

@@ -23,4 +23,5 @@ let () =
       ("crash", Test_crash.suite);
       ("shard", Test_shard.suite);
       ("mc", Test_mc.suite);
+      ("profile", Test_profile.suite);
     ]

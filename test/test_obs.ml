@@ -141,7 +141,9 @@ let test_checker_flags_unfinished_fault () =
   Alcotest.(check bool) "unfinished fault flagged" false (Invariants.ok trace)
 
 let test_checker_flags_orphan_reply () =
-  let trace = [ ev 1.0 1 7 (Event.Reply { mp_id = 0; bytes = 64 }) ] in
+  let trace =
+    [ ev 1.0 1 7 (Event.Reply { access = Event.Read; mp_id = 0; bytes = 64 }) ]
+  in
   Alcotest.(check bool) "reply without request flagged" false (Invariants.ok trace)
 
 let test_checker_flags_unbalanced_queue () =
@@ -171,14 +173,14 @@ let service ~t0 ~span ~host ~mp ~write ~readers =
          List.concat_map
            (fun r ->
              [
-               step (Event.Inval { mp_id = mp; target = r }) 0;
+               step (Event.Inval { mp_id = mp; target = r; writer = host }) 0;
                step (Event.Inval_ack { mp_id = mp; from = r }) r;
              ])
            readers
        else []);
       [
         step (Event.Forward { access; mp_id = mp; supplier = -1 }) 0;
-        step (Event.Reply { mp_id = mp; bytes = 64 }) host;
+        step (Event.Reply { access; mp_id = mp; bytes = 64 }) host;
         step (Event.Fault_done { access }) host;
         step (Event.Ack { mp_id = mp; from = host }) 0;
       ];

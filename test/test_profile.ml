@@ -1,0 +1,289 @@
+(* mpprof: synthetic event scripts for every sharing pattern in the
+   taxonomy (including both false-sharing attribution paths), recorder
+   attachment, qcheck determinism, and the bit-identical guarantee: a
+   profiler-on run must leave timing and mpcheck choice points untouched. *)
+
+open Mp_mc
+module Event = Mp_obs.Event
+module Obs = Mp_obs.Recorder
+module Profile = Mp_obs.Profile
+module Sharing = Mp_obs.Sharing
+
+(* ---------------- script-building helpers ---------------- *)
+
+let ev ?(time = 0.0) ?(span = 0) ~host kind = { Event.time; host; span; kind }
+
+let mp_map ~mp ~view ~base ~len ~vpages =
+  let lo, hi = vpages in
+  ev ~host:0
+    (Event.Mp_map
+       { mp_id = mp; view; base_addr = base; length = len; first_vpage = lo; last_vpage = hi })
+
+let fault ~host ~access ~addr =
+  ev ~host (Event.Fault { access; addr; view = 1; vpage = addr / 4096 })
+
+let rd ~host ~addr = fault ~host ~access:Event.Read ~addr
+let wr ~host ~addr = fault ~host ~access:Event.Write ~addr
+
+let inval ~span ~mp ~target ~writer =
+  ev ~span ~host:writer (Event.Inval { mp_id = mp; target; writer })
+
+let profile_of script =
+  let p = Profile.create () in
+  Profile.feed_all p script;
+  p
+
+let pattern_of p uid =
+  match List.find_opt (fun s -> s.Profile.s_uid = uid) (Profile.units p) with
+  | Some s -> s.Profile.s_pattern
+  | None -> Alcotest.failf "unit %d not found" uid
+
+let check_pattern what script uid expected =
+  let p = profile_of script in
+  Alcotest.(check string) what
+    (Sharing.pattern_name expected)
+    (Sharing.pattern_name (pattern_of p uid))
+
+let one_page = mp_map ~mp:1 ~view:1 ~base:0 ~len:1024 ~vpages:(0, 0)
+
+let concat_map f l = List.concat (List.map f l)
+
+(* ---------------- the five pattern scripts ---------------- *)
+
+let test_read_mostly () =
+  let script =
+    one_page
+    :: wr ~host:0 ~addr:0
+    :: concat_map
+         (fun host -> List.init 7 (fun _ -> rd ~host ~addr:0))
+         [ 1; 2; 3 ]
+  in
+  check_pattern "1 init write, 21 reads from 3 hosts" script 1 Sharing.Read_mostly
+
+let test_migratory () =
+  (* ownership hops 0 -> 1 -> 0 -> 1; every writer reads first, every write
+     upgrade invalidates exactly the previous owner *)
+  let round span owner prev =
+    [
+      inval ~span ~mp:1 ~target:prev ~writer:owner;
+      rd ~host:owner ~addr:0;
+      wr ~host:owner ~addr:0;
+    ]
+  in
+  let script =
+    (one_page :: [ rd ~host:0 ~addr:0; wr ~host:0 ~addr:0 ])
+    @ round 1 1 0 @ round 2 0 1 @ round 3 1 0
+  in
+  check_pattern "ownership alternates, fan-out 1" script 1 Sharing.Migratory
+
+let test_producer_consumer () =
+  let round span =
+    [
+      wr ~host:0 ~addr:0;
+      inval ~span ~mp:1 ~target:1 ~writer:0;
+      inval ~span ~mp:1 ~target:2 ~writer:0;
+      rd ~host:1 ~addr:0;
+      rd ~host:2 ~addr:0;
+    ]
+  in
+  let script = one_page :: concat_map round [ 1; 2; 3; 4 ] in
+  check_pattern "single stable writer, 2 readers" script 1
+    Sharing.Producer_consumer
+
+let test_write_shared () =
+  (* three hosts read and write the same word; every upgrade sprays
+     invalidations at both other copies (fan-out 2 > migratory bound) *)
+  let round span owner =
+    let others = List.filter (fun h -> h <> owner) [ 0; 1; 2 ] in
+    List.map (fun target -> inval ~span ~mp:1 ~target ~writer:owner) others
+    @ [ rd ~host:owner ~addr:0; wr ~host:owner ~addr:0 ]
+  in
+  let script =
+    one_page :: (round 1 0 @ round 2 1 @ round 3 2 @ round 4 0 @ round 5 1)
+  in
+  check_pattern "3 writers, fan-out 2" script 1 Sharing.Write_shared
+
+let test_falsely_shared_intra () =
+  (* one minipage, two hosts on disjoint byte ranges: every invalidation
+     between them is a co-location artifact, not a data dependency *)
+  let script =
+    one_page
+    :: [
+         wr ~host:0 ~addr:0;
+         wr ~host:1 ~addr:512;
+         rd ~host:1 ~addr:512;
+         inval ~span:1 ~mp:1 ~target:1 ~writer:0;
+         wr ~host:0 ~addr:8;
+         inval ~span:2 ~mp:1 ~target:1 ~writer:0;
+         rd ~host:1 ~addr:520;
+       ]
+  in
+  check_pattern "disjoint footprints in one unit" script 1
+    Sharing.Falsely_shared
+
+let test_falsely_shared_cross () =
+  (* the Figure-5 case: two unrelated minipages co-located on one vpage of
+     the same view.  Host 0 writes mp 1 only; host 1 works on mp 2 only —
+     yet mp 1's upgrades invalidate host 1.  The profiler must attribute
+     those invalidations to mp 2 (the victim) and blame mp 1 (the culprit). *)
+  let script =
+    [
+      mp_map ~mp:1 ~view:1 ~base:0 ~len:512 ~vpages:(0, 0);
+      mp_map ~mp:2 ~view:1 ~base:512 ~len:512 ~vpages:(0, 0);
+      wr ~host:1 ~addr:600;
+      rd ~host:1 ~addr:600;
+      rd ~host:1 ~addr:608;
+      rd ~host:1 ~addr:616;
+      wr ~host:0 ~addr:0;
+      inval ~span:1 ~mp:1 ~target:1 ~writer:0;
+      wr ~host:0 ~addr:8;
+      inval ~span:2 ~mp:1 ~target:1 ~writer:0;
+    ]
+  in
+  let p = profile_of script in
+  Alcotest.(check string) "victim classified falsely-shared" "falsely-shared"
+    (Sharing.pattern_name (pattern_of p 2));
+  let victim =
+    List.find (fun s -> s.Profile.s_uid = 2) (Profile.units p)
+  in
+  Alcotest.(check (list (pair int int))) "culprit attribution" [ (1, 2) ]
+    victim.Profile.s_culprits;
+  let culprit =
+    List.find (fun s -> s.Profile.s_uid = 1) (Profile.units p)
+  in
+  Alcotest.(check int) "culprit records the pressure it caused" 2
+    culprit.Profile.s_sg.Sharing.false_caused
+
+let test_private_and_low_traffic () =
+  let script =
+    one_page
+    :: [ rd ~host:0 ~addr:0; wr ~host:0 ~addr:0; rd ~host:0 ~addr:8;
+         wr ~host:0 ~addr:8 ]
+  in
+  check_pattern "one host only" script 1 Sharing.Private;
+  check_pattern "3 accesses is below the evidence bar"
+    (one_page :: [ rd ~host:0 ~addr:0; rd ~host:1 ~addr:0; wr ~host:2 ~addr:0 ])
+    1 Sharing.Low_traffic
+
+(* ---------------- unmapped accesses get pseudo-units ---------------- *)
+
+let test_pseudo_units () =
+  let script = [ rd ~host:0 ~addr:0; rd ~host:1 ~addr:0; rd ~host:0 ~addr:5000 ] in
+  let p = profile_of script in
+  let uids = List.map (fun s -> s.Profile.s_uid) (Profile.units p) in
+  Alcotest.(check (list int)) "one pseudo-unit per (view, vpage)"
+    [ 1_000_000; 1_000_001 ] uids
+
+(* ---------------- recorder attachment ---------------- *)
+
+let test_attach_detach () =
+  let r = Obs.create () in
+  Obs.set_enabled r true;
+  let p = Profile.attach r in
+  let same q = match Profile.attached r with Some x -> x == q | None -> false in
+  Alcotest.(check bool) "attached finds the profiler" true (same p);
+  Obs.msg_send r ~time:1.0 ~host:0 ~dst:1 ~bytes:32 ~label:"X";
+  Alcotest.(check int) "tap streams recorded events" 1 (Profile.event_count p);
+  Profile.detach r;
+  Obs.msg_send r ~time:2.0 ~host:0 ~dst:1 ~bytes:32 ~label:"X";
+  Alcotest.(check int) "detached profiler stops streaming" 1
+    (Profile.event_count p);
+  Alcotest.(check bool) "registry entry removed" true (Profile.attached r = None);
+  let p2 = Profile.attach r in
+  Alcotest.(check bool) "re-attach replaces" true (same p2)
+
+(* ---------------- qcheck: determinism ---------------- *)
+
+(* Build an arbitrary (but reproducible) event stream from a list of ints
+   and check that two independent profilers produce byte-identical JSON —
+   classification and export must be pure functions of the stream. *)
+let stream_of_ints ints =
+  let base =
+    [
+      mp_map ~mp:1 ~view:1 ~base:0 ~len:512 ~vpages:(0, 0);
+      mp_map ~mp:2 ~view:1 ~base:512 ~len:512 ~vpages:(0, 0);
+    ]
+  in
+  base
+  @ List.mapi
+      (fun i n ->
+        let host = abs n mod 4 and k = abs (n / 4) mod 5 in
+        let time = float_of_int i in
+        match k with
+        | 0 -> { (rd ~host ~addr:(abs n mod 1024)) with Event.time }
+        | 1 -> { (wr ~host ~addr:(abs n mod 1024)) with Event.time }
+        | 2 ->
+          {
+            (inval ~span:(abs n mod 7) ~mp:((abs n mod 2) + 1)
+               ~target:((host + 1) mod 4) ~writer:host)
+            with Event.time;
+          }
+        | 3 ->
+          ev ~time ~host
+            (Event.Reply
+               { access = Event.Read; mp_id = (abs n mod 2) + 1; bytes = 64 })
+        | _ ->
+          ev ~time ~host
+            (Event.Msg_send { dst = (host + 1) mod 4; bytes = abs n mod 256;
+                              label = "REQ_READ" }))
+      ints
+
+let qcheck_deterministic =
+  QCheck.Test.make ~name:"profile: classification is deterministic" ~count:100
+    QCheck.(list_of_size (Gen.int_range 0 200) int)
+    (fun ints ->
+      let stream = stream_of_ints ints in
+      let p1 = profile_of stream and p2 = profile_of stream in
+      Profile.to_json p1 = Profile.to_json p2
+      && Profile.summary p1 = Profile.summary p2
+      && Profile.perfetto_counters p1 = Profile.perfetto_counters p2)
+
+(* ---------------- the bit-identical guarantee ---------------- *)
+
+let test_profiler_is_passive () =
+  let scenarios =
+    [
+      Scenario.default;
+      { Scenario.default with workload = Scenario.App "sor"; hosts = 2 };
+    ]
+  in
+  List.iter
+    (fun sc ->
+      let off = Scenario.run_plan sc Plan.empty in
+      let on_ = Scenario.run_plan ~profile:true sc Plan.empty in
+      let name = Scenario.name sc in
+      Alcotest.(check bool) (name ^ ": profile captured") true
+        (on_.Scenario.profile <> None);
+      Alcotest.(check (float 0.0)) (name ^ ": end time identical")
+        off.Scenario.end_us on_.Scenario.end_us;
+      Alcotest.(check int) (name ^ ": choice points identical")
+        off.Scenario.choice_points on_.Scenario.choice_points;
+      Alcotest.(check bool) (name ^ ": trace fingerprint identical") true
+        (off.Scenario.trace_sig = on_.Scenario.trace_sig);
+      Alcotest.(check bool) (name ^ ": state fingerprint identical") true
+        (off.Scenario.state_sig = on_.Scenario.state_sig);
+      match on_.Scenario.profile with
+      | Some p -> Alcotest.(check bool) (name ^ ": events streamed") true
+          (Profile.event_count p > 0)
+      | None -> ())
+    scenarios
+
+let suite =
+  [
+    Alcotest.test_case "pattern: read-mostly" `Quick test_read_mostly;
+    Alcotest.test_case "pattern: migratory" `Quick test_migratory;
+    Alcotest.test_case "pattern: producer-consumer" `Quick test_producer_consumer;
+    Alcotest.test_case "pattern: write-shared" `Quick test_write_shared;
+    Alcotest.test_case "pattern: falsely-shared (intra-unit)" `Quick
+      test_falsely_shared_intra;
+    Alcotest.test_case "pattern: falsely-shared (cross-unit blame)" `Quick
+      test_falsely_shared_cross;
+    Alcotest.test_case "pattern: private / low-traffic" `Quick
+      test_private_and_low_traffic;
+    Alcotest.test_case "pseudo-units for unmapped accesses" `Quick
+      test_pseudo_units;
+    Alcotest.test_case "recorder attach / detach" `Quick test_attach_detach;
+    QCheck_alcotest.to_alcotest qcheck_deterministic;
+    Alcotest.test_case "profiler leaves runs bit-identical" `Quick
+      test_profiler_is_passive;
+  ]
