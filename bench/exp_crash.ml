@@ -10,7 +10,12 @@
 
     A crash that lands while the victim holds freshly written, never
     transferred data is unrecoverable by design; those cells report the
-    fail-fast instead of a completion time. *)
+    fail-fast instead of a completion time.
+
+    The replicated rows re-run the crash with round-robin home shards
+    streaming their directory log to a backup: the fault-free row prices the
+    steady-state log overhead, and the crash row reports promotion latency
+    (DECLARE_DEAD to BACKUP_PROMOTE) in place of the host-0 re-homing. *)
 
 open Mp_sim
 open Mp_millipage
@@ -31,13 +36,16 @@ type outcome = {
   lost : int;
   heartbeats : int;
   messages : int;
+  rehomed : int;
+  promotions : int;
+  log_sent : int;
   violations : string list;
   failure : string option; (* Crash_unrecoverable message *)
 }
 
-let run_one ~ft =
+let run_one ?(homes = Dsm.Config.Homes.default) ~ft () =
   let e = Engine.create () in
-  let config = { Dsm.Config.default with ft } in
+  let config = { Dsm.Config.default with ft; homes } in
   let dsm = Dsm.create e ~hosts ~config () in
   let obs = Dsm.obs dsm in
   Mp_obs.Recorder.set_capacity obs (1 lsl 21);
@@ -60,6 +68,9 @@ let run_one ~ft =
     lost = List.length (Dsm.lost_minipages dsm);
     heartbeats = Dsm.heartbeats_sent dsm;
     messages = Dsm.messages_sent dsm;
+    rehomed = Dsm.rehomed_minipages dsm;
+    promotions = Dsm.backup_promotions dsm;
+    log_sent = Dsm.log_records_sent dsm;
     violations =
       (* a fail-fast abort legitimately strands in-flight survivor faults;
          completion obligations only bind runs that ran to completion *)
@@ -80,6 +91,19 @@ let recovery_latency o =
           match ev.Event.kind with
           | Event.Forward _ when ev.Event.time > d.Event.time ->
             Some (ev.Event.time -. d.Event.time)
+          | _ -> None)
+        o.events)
+
+(* DECLARE_DEAD to the backup finishing its take-over of the dead shard. *)
+let promotion_latency o =
+  let declare =
+    List.find_opt (fun ev -> ev.Event.kind = Event.Declare_dead) o.events
+  in
+  Option.bind declare (fun d ->
+      List.find_map
+        (fun ev ->
+          match ev.Event.kind with
+          | Event.Backup_promote _ -> Some (ev.Event.time -. d.Event.time)
           | _ -> None)
         o.events)
 
@@ -112,31 +136,39 @@ let parked_crash_time o =
 let ft_with_crash at =
   Some { Dsm.Config.default_ft with crashes = [ (victim, at) ] }
 
+let rr = Dsm.Config.Homes.round_robin
+let rr_repl = Dsm.Config.Homes.with_replicate rr true
+
 let run () =
   Harness.section
     (Printf.sprintf "Crash-fault sweep: SOR %dx%d, %d iterations, %d hosts"
        sor_params.rows sor_params.cols sor_params.iterations hosts);
-  let base = run_one ~ft:None in
-  let armed = run_one ~ft:(Some Dsm.Config.default_ft) in
+  let base = run_one ~ft:None () in
+  let armed = run_one ~ft:(Some Dsm.Config.default_ft) () in
   let parked_at = parked_crash_time armed in
   let scenarios =
     [
-      ("ft off", None);
-      ("ft on, fault-free", Some Dsm.Config.default_ft);
-      ("crash @25%", ft_with_crash (0.25 *. base.time));
-      ("crash @50%", ft_with_crash (0.5 *. base.time));
-      ("crash @barrier park", ft_with_crash parked_at);
+      ("ft off", None, Dsm.Config.Homes.default);
+      ("ft on, fault-free", Some Dsm.Config.default_ft, Dsm.Config.Homes.default);
+      ("crash @25%", ft_with_crash (0.25 *. base.time), Dsm.Config.Homes.default);
+      ("crash @50%", ft_with_crash (0.5 *. base.time), Dsm.Config.Homes.default);
+      ("crash @barrier park", ft_with_crash parked_at, Dsm.Config.Homes.default);
+      (* replicated home shards: steady-state log cost, then the same mid-run
+         crash recovered by backup promotion instead of host-0 re-homing *)
+      ("rr+repl, fault-free", Some Dsm.Config.default_ft, rr_repl);
+      ("crash @50%, rr homes", ft_with_crash (0.5 *. base.time), rr);
+      ("crash @50%, rr+repl", ft_with_crash (0.5 *. base.time), rr_repl);
     ]
   in
   let all_clean = ref true in
   let rows =
     List.map
-      (fun (label, ft) ->
+      (fun (label, ft, homes) ->
         let o =
           match label with
           | "ft off" -> base
           | "ft on, fault-free" -> armed
-          | _ -> run_one ~ft
+          | _ -> run_one ~homes ~ft ()
         in
         List.iter
           (fun v ->
@@ -148,9 +180,25 @@ let run () =
           all_clean := false;
           Harness.note "  FAIL (%s): %s" label msg
         | _ -> ());
+        let replicated = homes.Dsm.Config.Homes.replicate in
+        (* with the shard replicated, neither the designed fail-fast nor a
+           host-0 adoption is acceptable: every crash must end in promotion *)
+        if replicated then begin
+          (match o.failure with
+          | Some msg ->
+            all_clean := false;
+            Harness.note "  FAIL (%s): unrecoverable despite replication: %s" label msg
+          | None -> ());
+          if o.rehomed > 0 then begin
+            all_clean := false;
+            Harness.note "  FAIL (%s): %d minipage(s) re-homed onto host 0 \
+                          despite replication" label o.rehomed
+          end
+        end;
         let outcome =
           match o.failure with
           | Some _ -> "unrecoverable"
+          | None when o.promotions > 0 -> "promoted ok"
           | None when o.declared <> [] -> "degraded ok"
           | None -> "ok"
         in
@@ -164,9 +212,14 @@ let run () =
           | [] -> "-"
           | l -> String.concat "," (List.map string_of_int l));
           Printf.sprintf "%d/%d" o.recovered o.lost;
+          Printf.sprintf "%d/%d" o.rehomed o.promotions;
+          string_of_int o.log_sent;
           (match recovery_latency o with
           | Some us when o.declared <> [] -> Tab.fu us
           | _ -> "-");
+          (match promotion_latency o with
+          | Some us -> Tab.fu us
+          | None -> "-");
           outcome;
           (if o.failure <> None then "aborted"
            else if o.violations = [] then "clean"
@@ -178,12 +231,15 @@ let run () =
     ~header:
       [
         "scenario"; "time us"; "vs base"; "msgs"; "hbeats"; "dead";
-        "recov/lost"; "recov lat us"; "outcome"; "trace";
+        "recov/lost"; "reh/promo"; "log recs"; "recov lat us"; "promo lat us";
+        "outcome"; "trace";
       ]
     rows;
   Harness.note
-    "'recov lat us' is DECLARE_DEAD to the first post-recovery grant; the \
-     barrier-park crash must complete degraded with zero lost minipages, and \
-     the armed fault-free run must match 'ft off' except for heartbeat \
-     traffic.";
+    "'recov lat us' is DECLARE_DEAD to the first post-recovery grant and \
+     'promo lat us' DECLARE_DEAD to BACKUP_PROMOTE; the barrier-park crash \
+     must complete degraded with zero lost minipages, the armed fault-free \
+     run must match 'ft off' except for heartbeat traffic, and the \
+     replicated crash must promote (reh/promo = 0/1) instead of failing \
+     fast or collapsing onto host 0.";
   if not !all_clean then failwith "exp_crash: a run failed outside the designed fail-fast"

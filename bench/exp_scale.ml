@@ -67,14 +67,18 @@ let totals r =
 let max_host_msgs r =
   List.fold_left (fun acc (_, c) -> max acc (Profile.host_msgs c)) 0 r.r_hosts_cost
 
+(* Volatile (machine-speed) fields sit on their own lines so the --check
+   drift diff can drop exactly those lines and compare the rest verbatim. *)
 let json_of_run b r =
   let msgs, bytes = totals r in
   Buffer.add_string b
     (Printf.sprintf
-       "    { \"hosts\": %d, \"end_us\": %.1f, \"wall_s\": %.3f, \"events\": %d,\n\
-       \      \"events_per_sec\": %.0f, \"verified\": %b, \"msgs\": %d, \"bytes\": %d,\n"
-       r.r_hosts r.r_end_us r.r_wall_s r.r_events (ev_per_sec r) r.r_verified
-       msgs bytes);
+       "    { \"hosts\": %d, \"end_us\": %.1f, \"events\": %d,\n\
+       \      \"verified\": %b, \"msgs\": %d, \"bytes\": %d,\n\
+       \      \"wall_s\": %.3f,\n\
+       \      \"events_per_sec\": %.0f,\n"
+       r.r_hosts r.r_end_us r.r_events r.r_verified msgs bytes r.r_wall_s
+       (ev_per_sec r));
   Buffer.add_string b "      \"patterns\": { ";
   List.iteri
     (fun i (name, n) ->
@@ -97,12 +101,7 @@ let json_of_run b r =
     r.r_hosts_cost;
   Buffer.add_string b "      ] }"
 
-let write_json results =
-  let file =
-    match Sys.getenv_opt "MP_BENCH_DIR" with
-    | None -> "BENCH_scale.json"
-    | Some dir -> Filename.concat dir "BENCH_scale.json"
-  in
+let render_json results =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n  \"bench\": \"scale\",\n  \"app\": \"sor\",\n";
   Buffer.add_string b
@@ -117,12 +116,103 @@ let write_json results =
       Buffer.add_string b (if i = n - 1 then "\n" else ",\n"))
     results;
   Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let json_file () =
+  match Sys.getenv_opt "MP_BENCH_DIR" with
+  | None -> "BENCH_scale.json"
+  | Some dir -> Filename.concat dir "BENCH_scale.json"
+
+let write_json results =
+  let file = json_file () in
   let oc = open_out file in
-  output_string oc (Buffer.contents b);
+  output_string oc (render_json results);
   close_out oc;
   Harness.note "wrote %s" file
 
-let run ?(max_hosts = 64) () =
+(* ---------------- drift check against the committed baseline ----------- *)
+
+let contains line sub =
+  let n = String.length line and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub line i m = sub || go (i + 1)) in
+  m > 0 && go 0
+
+let volatile line = contains line "\"wall_s\"" || contains line "\"events_per_sec\""
+
+let run_hosts_of line =
+  (* a run-opening line looks like: `    { "hosts": 16, "end_us": ...` *)
+  if contains line "{ \"hosts\": " then
+    Scanf.sscanf (String.trim line) "{ \"hosts\": %d," (fun h -> Some h)
+  else None
+
+(* The deterministic signature of a trajectory JSON: every line except the
+   machine-speed ones, keeping only runs for host counts <= [max_hosts] (so a
+   capped CI sweep can still be diffed against the committed full baseline),
+   with trailing commas normalized away (the last retained run loses its
+   separator when later runs are dropped). *)
+let signature ~max_hosts text =
+  let strip_comma l =
+    let l = ref l in
+    while String.length !l > 0 && !l.[String.length !l - 1] = ',' do
+      l := String.sub !l 0 (String.length !l - 1)
+    done;
+    !l
+  in
+  let lines = String.split_on_char '\n' text in
+  let in_run line = String.length line >= 4 && String.sub line 0 4 = "    " in
+  let keep = ref true in
+  List.filter_map
+    (fun line ->
+      (match run_hosts_of line with
+      | Some h -> keep := h <= max_hosts
+      | None -> ());
+      (* the host filter only governs run bodies (4-space indent); header and
+         footer lines always participate so a capped sweep still closes *)
+      if (!keep || not (in_run line)) && not (volatile line) then
+        Some (strip_comma line)
+      else None)
+    lines
+
+let check_json results =
+  let file = json_file () in
+  let baseline =
+    try
+      let ic = open_in file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with Sys_error msg ->
+      failwith
+        (Printf.sprintf
+           "exp_scale --check: cannot read baseline %s (%s); run 'bench scale' \
+            once and commit the file"
+           file msg)
+  in
+  let max_hosts = List.fold_left (fun acc r -> max acc r.r_hosts) 0 results in
+  let want = signature ~max_hosts baseline in
+  let got = signature ~max_hosts (render_json results) in
+  if want = got then
+    Harness.note "scale trajectory matches %s (%d deterministic lines, hosts <= %d)"
+      file (List.length got) max_hosts
+  else begin
+    let rec diff i = function
+      | w :: ws, g :: gs ->
+        if w = g then diff (i + 1) (ws, gs)
+        else Harness.note "  line %d drifted:\n    baseline: %s\n    current:  %s" i w g
+      | w :: _, [] -> Harness.note "  line %d missing from current run: %s" i w
+      | [], g :: _ -> Harness.note "  line %d not in baseline: %s" i g
+      | [], [] -> ()
+    in
+    diff 1 (want, got);
+    failwith
+      (Printf.sprintf
+         "exp_scale: trajectory drifted from %s — if the protocol change is \
+          intentional, regenerate with 'bench scale' and commit the new baseline"
+         file)
+  end
+
+let run ?(max_hosts = 64) ?(check = false) () =
   let host_counts = List.filter (fun h -> h <= max_hosts) host_counts in
   Harness.section
     (Printf.sprintf
@@ -157,6 +247,6 @@ let run ?(max_hosts = 64) () =
     "'ev/s' is profiler streaming throughput (typed events per wall-clock \
      second); 'max host msgs' the hottest host's message count — the gap to \
      msgs/hosts measures protocol skew.";
-  write_json results;
+  if check then check_json results else write_json results;
   if List.exists (fun r -> not r.r_verified) results then
     failwith "exp_scale: a run failed verification"

@@ -75,9 +75,20 @@ let max_hosts_arg =
     & info [ "max-hosts" ] ~docv:"N"
         ~doc:"Cap the scale sweep's host counts at $(docv) (of 8/16/32/64).")
 
+let check_arg =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Compare the deterministic lines of the trajectory (everything but \
+           wall-clock throughput) against the committed BENCH_scale.json \
+           instead of rewriting it; exit non-zero on drift.")
+
 let scale =
   cmd "scale" "Scale trajectory: profiler throughput and per-host cost vs hosts"
-    Term.(const (fun max_hosts -> Exp_scale.run ~max_hosts ()) $ max_hosts_arg)
+    Term.(
+      const (fun max_hosts check -> Exp_scale.run ~max_hosts ~check ())
+      $ max_hosts_arg $ check_arg)
 
 let bechamel =
   cmd "bechamel" "Wall-clock microbenchmarks of simulator primitives"

@@ -67,9 +67,13 @@ let policies =
     Mp_millipage.Dsm.Config.Homes.block 2;
     Mp_millipage.Dsm.Config.Homes.first_toucher ]
 
-(* One matrix cell per {hosts × homes × faults × crash}.  Crash cells pick
-   the crash instant from the cell's own fault-free baseline schedule so it
-   lands mid-run at every host count, and need a surviving majority. *)
+(* One matrix cell per {hosts × homes × faults × crash × replication}.
+   Crash cells pick the crash instant from the cell's own fault-free
+   baseline schedule so it lands mid-run at every host count, and need a
+   surviving majority.  Each crash cell also runs with the home shards
+   replicated — there the checker treats the legacy fail-fast
+   (Crash_unrecoverable) as a violation, pinning the no-lost-writes claim
+   across every explored schedule. *)
 let matrix_cells hosts_list =
   List.concat_map
     (fun hosts ->
@@ -83,7 +87,10 @@ let matrix_cells hosts_list =
                 else
                   let baseline = Scenario.run_plan { base with faults = Mp_net.Fabric.no_faults } Plan.empty in
                   let at = Float.max 50.0 (baseline.Scenario.end_us *. 0.4) in
-                  [ { base with crashes = [ (hosts - 1, at) ] } ]
+                  let crash = { base with crashes = [ (hosts - 1, at) ] } in
+                  [ crash;
+                    { crash with
+                      homes = Mp_millipage.Dsm.Config.Homes.with_replicate homes true } ]
               in
               base :: crash_cells)
             [ Mp_net.Fabric.no_faults; loss_faults ])

@@ -231,17 +231,33 @@ let report_ft (t : Mp_millipage.Dsm.t) =
        revoked, %d barrier reconfig(s)\n"
       (D.recovered_minipages t)
       (List.length (D.lost_minipages t))
-      (D.leases_revoked t) (c "ft.barrier_reconfigs")
+      (D.leases_revoked t) (c "ft.barrier_reconfigs");
+  if D.replication_on t then begin
+    Printf.printf
+      "replication:  %d log record(s) sent, %d applied; %d promotion(s)%s\n"
+      (D.log_records_sent t)
+      (D.log_records_applied t)
+      (D.backup_promotions t)
+      (match D.promoted_homes t with
+      | [] -> ""
+      | l ->
+        Printf.sprintf " (home %s)" (String.concat "," (List.map string_of_int l)));
+    if D.backup_promotions t > 0 then
+      Printf.printf "promotion:    %d tail repair(s), %d minipage(s) rolled back\n"
+        (D.tail_repairs t)
+        (D.rolled_back_minipages t)
+  end
 
 let execute app system hosts chunking polling paper trace_out perfetto metrics
     profile profile_out loss dup reorder net_seed ft crash stall crash_seed
-    crash_horizon homes home_block =
+    crash_horizon homes home_block replicate =
   let meta =
     [
       ("app", app);
       ("system", system);
       ("hosts", string_of_int hosts);
       ("homes", homes);
+      ("replicate", (if replicate then "1" else "0"));
       ("chunking", chunking);
       ("polling", polling);
       ("net_seed", string_of_int net_seed);
@@ -259,6 +275,13 @@ let execute app system hosts chunking polling paper trace_out perfetto metrics
     | None ->
       invalid_arg (Printf.sprintf "unknown homes policy %S (central|rr|block|ft)" homes)
   in
+  let homes_config = Mp_millipage.Dsm.Config.Homes.with_replicate homes_config replicate in
+  if replicate && system <> "millipage" then
+    invalid_arg
+      (Printf.sprintf
+         "home-shard replication (--replicate) requires --system millipage; %s \
+          has no directory log"
+         system);
   if homes_config.Mp_millipage.Dsm.Config.Homes.policy <> Mp_millipage.Dsm.Config.Homes.Central
      && system <> "millipage"
   then
@@ -280,7 +303,9 @@ let execute app system hosts chunking polling paper trace_out perfetto metrics
   in
   let stalls = parse_stall_specs stall in
   let ft_config =
-    if ft || crashes <> [] || stalls <> [] then
+    (* --replicate implies the failure detector: the log is useless if
+       nobody ever declares a home dead and promotes its backup *)
+    if ft || replicate || crashes <> [] || stalls <> [] then
       Some { Mp_millipage.Dsm.Config.default_ft with crashes; stalls }
     else None
   in
@@ -546,13 +571,24 @@ let home_block_arg =
     & info [ "home-block" ] ~docv:"N"
         ~doc:"Run length of consecutive minipage ids per home under --homes block.")
 
+let replicate_arg =
+  Arg.(
+    value & flag
+    & info [ "replicate" ]
+        ~doc:
+          "Stream each home shard's directory log to a backup host \
+           ((home+1) mod hosts) that is promoted under the same home id when \
+           the home is declared dead — no minipage collapses onto host 0 and \
+           no release-consistent write is lost.  Implies --ft.  Millipage \
+           only.")
+
 let () =
   let term =
     Term.(const execute $ app_arg $ system_arg $ hosts_arg $ chunking_arg $ polling_arg
           $ paper_arg $ trace_out_arg $ perfetto_arg $ metrics_arg $ profile_arg
           $ profile_out_arg $ loss_arg $ dup_arg $ reorder_arg $ net_seed_arg
           $ ft_arg $ crash_arg $ stall_arg $ crash_seed_arg $ crash_horizon_arg
-          $ homes_arg $ home_block_arg)
+          $ homes_arg $ home_block_arg $ replicate_arg)
   in
   let info =
     Cmd.info "mprun" ~doc:"Run a Millipage benchmark application on a simulated cluster"

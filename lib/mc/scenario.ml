@@ -38,8 +38,9 @@ let name t =
   let workload =
     match t.workload with Racer _ -> "racer" | App a -> a
   in
-  Printf.sprintf "%s h%d %s%s%s%s" workload t.hosts
+  Printf.sprintf "%s h%d %s%s%s%s%s" workload t.hosts
     (Homes.policy_name t.homes.Homes.policy)
+    (if t.homes.Homes.replicate then " repl" else "")
     (if Mp_net.Fabric.faults_active t.faults then " faulty" else "")
     (if t.crashes <> [] then " crash" else "")
     (match t.mutation with
@@ -58,6 +59,8 @@ let to_string t =
   | App a -> kv "app=%s" a);
   kv " hosts=%d homes=%s" t.hosts (Homes.policy_name t.homes.Homes.policy);
   if t.homes.Homes.policy = Homes.Block then kv " block=%d" t.homes.Homes.block;
+  (* omitted when off so pre-replication fingerprints stay stable *)
+  if t.homes.Homes.replicate then kv " replicate=1";
   let f = t.faults in
   if Mp_net.Fabric.faults_active f then
     kv " drop=%g dup=%g reorder=%g jitter=%g" f.Mp_net.Fabric.drop
@@ -113,9 +116,9 @@ let of_string s =
       if
         not
           (List.mem k
-             [ "app"; "locs"; "ops"; "wseed"; "hosts"; "homes"; "block"; "drop";
-               "dup"; "reorder"; "jitter"; "crash"; "mutation"; "seed";
-               "netseed"; "quantum"; "maxdelay" ])
+             [ "app"; "locs"; "ops"; "wseed"; "hosts"; "homes"; "block";
+               "replicate"; "drop"; "dup"; "reorder"; "jitter"; "crash";
+               "mutation"; "seed"; "netseed"; "quantum"; "maxdelay" ])
       then fail "Scenario.of_string: unknown key %S" k)
     assoc;
   let workload =
@@ -125,12 +128,14 @@ let of_string s =
     | Some a when List.mem a apps -> App a
     | Some a -> fail "Scenario.of_string: unknown app %S" a
   in
+  let replicate = int "replicate" 0 <> 0 in
   let homes =
     match get "homes" with
-    | None -> default.homes
+    | None -> { default.homes with Homes.replicate }
     | Some p -> (
       match Homes.policy_of_string p with
-      | Some policy -> { Homes.policy; block = int "block" Homes.default.Homes.block }
+      | Some policy ->
+        { Homes.policy; block = int "block" Homes.default.Homes.block; replicate }
       | None -> fail "Scenario.of_string: unknown homes policy %S" p)
   in
   let faults =
@@ -326,9 +331,13 @@ let run ?(profile = false) t ~sched =
     with
     | Dsm.Deadlock m -> Some ("deadlock: " ^ m)
     | Dsm.Crash_unrecoverable m ->
-      (* Injected crashes may legitimately exceed what recovery covers;
-         without injections an unrecoverable run is a protocol bug. *)
-      if t.crashes = [] then Some ("unrecoverable: " ^ m) else None
+      (* Injected crashes may legitimately exceed what recovery covers —
+         but only on the legacy path.  Without injections an unrecoverable
+         run is a protocol bug, and with replication on it is precisely the
+         lost-write window replication exists to close. *)
+      if t.crashes = [] || t.homes.Homes.replicate then
+        Some ("unrecoverable: " ^ m)
+      else None
     | Failure m -> Some ("transport: " ^ m)
   in
   let end_us = Engine.now e in

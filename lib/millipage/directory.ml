@@ -137,8 +137,96 @@ let prune_completed t ~before =
 
 let idempotence_size t = Hashtbl.length t.seen_reqs + Hashtbl.length t.completed_reqs
 
+let completed_stamps t =
+  Hashtbl.fold (fun req_id at acc -> (req_id, at) :: acc) t.completed_reqs []
+
 let peek e = Queue.peek_opt e.queue
 let competing_requests t = t.competing
 let queue_depth t = t.queued_now
 let max_queue_depth t = t.queued_max
 let entries t = Hashtbl.to_seq_values t.table
+
+(* ------------------------------------------------------------------ *)
+(* Backup replica: the receiving side of a home's directory log.       *)
+(* ------------------------------------------------------------------ *)
+
+type shard = t
+
+module Replica = struct
+  type rentry = {
+    mutable r_owner : int;
+    mutable r_copyset : Host_set.t;
+    mutable r_shadow : bytes option;
+  }
+
+  type nonrec t = {
+    r_entries : (int, rentry) Hashtbl.t;  (* mp_id -> replicated state *)
+    r_completed : (int, float) Hashtbl.t;  (* req_id -> original stamp *)
+    r_open : (int, int) Hashtbl.t;  (* admitted, not yet completed *)
+    mutable r_applied : int;  (* highest applied lseq *)
+  }
+
+  let create () =
+    {
+      r_entries = Hashtbl.create 64;
+      r_completed = Hashtbl.create 64;
+      r_open = Hashtbl.create 16;
+      r_applied = 0;
+    }
+
+  let rentry t ~mp_id ~owner =
+    match Hashtbl.find_opt t.r_entries mp_id with
+    | Some r -> r
+    | None ->
+      let r = { r_owner = owner; r_copyset = Host_set.singleton owner; r_shadow = None } in
+      Hashtbl.add t.r_entries mp_id r;
+      r
+
+  (* Seed a fresh minipage's replica at allocation time (the init phase is
+     message-free, mirroring how hint caches are seeded). *)
+  let seed t ~mp_id ~owner = ignore (rentry t ~mp_id ~owner)
+
+  let apply t ~lseq (record : Proto.log_record) =
+    t.r_applied <- lseq;
+    match record with
+    | Proto.L_admit { req_id; mp_id } -> Hashtbl.replace t.r_open req_id mp_id
+    | Proto.L_complete { req_id; at } ->
+      Hashtbl.remove t.r_open req_id;
+      Hashtbl.replace t.r_completed req_id at
+    | Proto.L_state { mp_id; owner; copyset } ->
+      let r = rentry t ~mp_id ~owner in
+      r.r_owner <- owner;
+      r.r_copyset <- Host_set.of_list copyset
+    | Proto.L_shadow { mp_id; data } ->
+      let r = rentry t ~mp_id ~owner:0 in
+      r.r_shadow <- Some (Bytes.copy data)
+
+  let applied t = t.r_applied
+  let find t ~mp_id = Hashtbl.find_opt t.r_entries mp_id
+
+  (* Same horizon as the primary's [prune_completed]: a completion older
+     than the retransmission window suppresses nothing, so replicating it
+     forever would unbound the replica on soak runs. *)
+  let prune t ~before =
+    let stale =
+      Hashtbl.fold
+        (fun req_id at acc -> if at < before then req_id :: acc else acc)
+        t.r_completed []
+    in
+    List.iter (Hashtbl.remove t.r_completed) stale;
+    List.length stale
+  let open_admissions t = Hashtbl.fold (fun r mp acc -> (r, mp) :: acc) t.r_open []
+  let completed_count t = Hashtbl.length t.r_completed
+
+  (* Promotion-time idempotence handoff: install every replicated completion
+     into the promoted shard's tables, carrying the ORIGINAL completion
+     stamps so the duplicate-suppression horizon is the primary's, not the
+     promotion time (a stamp reset would also re-extend retention of
+     long-dead ids past their prune window). *)
+  let handoff_idempotence t ~(into : shard) =
+    Hashtbl.iter
+      (fun req_id at ->
+        Hashtbl.replace into.seen_reqs req_id ();
+        Hashtbl.replace into.completed_reqs req_id at)
+      t.r_completed
+end

@@ -123,6 +123,12 @@ val idempotence_size : t -> int
 (** Combined size of the seen/completed tables (for tests and soak
     monitoring). *)
 
+val completed_stamps : t -> (int * float) list
+(** Every completed request id with its original completion stamp.  Used at
+    backup promotion to diff the corpse's table against the replica: hits are
+    completions the asynchronous log lost in the primary's final
+    retransmission window. *)
+
 val competing_requests : t -> int
 (** Total number of requests that ever had to queue behind an in-flight one
     (the quantity reported in §4.4 / Figure 7). *)
@@ -134,3 +140,55 @@ val max_queue_depth : t -> int
 (** High-water mark of {!queue_depth} over the run. *)
 
 val entries : t -> entry Seq.t
+
+(** {2 Backup replica}
+
+    The receiving side of a home's logical write-ahead log
+    ({!Proto.log_record}).  A backup host keeps one replica per primary it
+    backs; applying the (FIFO, exactly-once) record stream maintains a
+    strict prefix of the primary's directory state — owner/copyset images,
+    shadow contents, completed-request stamps and still-open admissions —
+    which promotion installs under the same home id when the primary is
+    declared dead. *)
+
+type shard = t
+(** Alias for {!t}, usable inside {!Replica} where [t] is shadowed. *)
+
+module Replica : sig
+  type rentry = {
+    mutable r_owner : int;
+    mutable r_copyset : Host_set.t;
+    mutable r_shadow : bytes option;
+  }
+
+  type t
+
+  val create : unit -> t
+
+  val seed : t -> mp_id:int -> owner:int -> unit
+  (** Register a fresh minipage's replica at allocation time (the init phase
+      is message-free, mirroring hint-cache seeding). *)
+
+  val apply : t -> lseq:int -> Proto.log_record -> unit
+  (** Apply the [lseq]'th log record. *)
+
+  val applied : t -> int
+  (** Highest applied log sequence number. *)
+
+  val find : t -> mp_id:int -> rentry option
+
+  val prune : t -> before:float -> int
+  (** Forget replicated completions older than the retransmission window
+      (mirrors {!prune_completed}); returns the number pruned. *)
+
+  val open_admissions : t -> (int * int) list
+  (** [(req_id, mp_id)] pairs admitted by the primary whose completion the
+      backup never saw — the in-flight tail promotion must close. *)
+
+  val completed_count : t -> int
+
+  val handoff_idempotence : t -> into:shard -> unit
+  (** Install every replicated completion into the promoted shard's
+      idempotence tables, carrying the {e original} completion stamps so the
+      duplicate-suppression horizon survives promotion. *)
+end

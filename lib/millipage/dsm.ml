@@ -89,13 +89,18 @@ module Config = struct
               becomes the home (a one-time migration, learned lazily by the
               other hosts through the redirect path) *)
 
-    type t = { policy : policy; block : int }
+    type t = { policy : policy; block : int; replicate : bool }
 
-    let default = { policy = Central; block = 8 }
+    let default = { policy = Central; block = 8; replicate = false }
     let central = default
     let round_robin = { default with policy = Round_robin }
-    let block n = { policy = Block; block = n }
+    let block n = { default with policy = Block; block = n }
     let first_toucher = { default with policy = First_toucher }
+    let with_replicate t replicate = { t with replicate }
+
+    (* Backup placement: the next host, mod the host count.  Deterministic,
+       spread (every host backs exactly one other), and never self. *)
+    let backup_of ~hosts home = (home + 1) mod hosts
 
     let policy_name = function
       | Central -> "central"
@@ -165,6 +170,7 @@ module Config = struct
   let with_ft t ft = { t with ft }
   let with_homes t homes = { t with homes }
   let with_policy t policy = { t with homes = { t.homes with Homes.policy } }
+  let with_replicate t replicate = { t with homes = { t.homes with Homes.replicate } }
 end
 
 exception Deadlock of string
@@ -283,7 +289,10 @@ type t = {
   barrier_sent : (int, (int * int) list ref) Hashtbl.t;
       (* phase -> every (host, tid) that sent BARRIER_ENTER (send-side ground
          truth, pruned at release) *)
-  released_phases : (int, unit) Hashtbl.t;
+  released_phases : (int, int) Hashtbl.t;
+      (* phase -> the home that released it, so a release that died with its
+         sender (dropped copy, then the sender declared dead before the
+         retransmission fired) can be re-sent at declaration time *)
   locks : (int, lock_state) Hashtbl.t;
   lock_requests : (int, (int * int) list ref) Hashtbl.t;
       (* lock -> (host, tid) acquires sent and not yet granted *)
@@ -308,6 +317,19 @@ type t = {
   mutable watchdog_idle : int;
   idem_retention_us : float;  (* completed-request retention window *)
   mutable completions : int;
+  (* replicated home shards (Config.Homes.replicate): [replicas.(p)] is the
+     replica of primary p's directory log, physically held at its backup
+     host; [log_seq.(p)] is the primary's last assigned log sequence number;
+     [promoted.(p)] is set once p's shard was taken over by its backup (a
+     promoted shard is not re-replicated — a second crash degrades to the
+     legacy fail-fast path). *)
+  replicas : Directory.Replica.t array;
+  log_seq : int array;
+  promoted : bool array;
+  mutable promotions : int;
+  mutable tail_repairs : int;
+  mutable rolled_back : int;
+  mutable log_applies : int;
   (* test-only mutation state *)
   mutable mutation : test_mutation option;
   mutable mutation_count : int;
@@ -364,6 +386,16 @@ let header t = t.config.cost.header_bytes
 let chan_of t ~src ~dst = (src * hosts t) + dst
 
 let ft_on t = t.config.ft <> None
+
+(* Replication is live only with the failure detector on (promotion is driven
+   by DECLARE_DEAD) and more than one host (a backup must differ from its
+   primary).  Every replication code path is gated here, so runs with
+   [Config.Homes.replicate = false] are bit-identical to a build without the
+   feature. *)
+let replicating t =
+  t.config.homes.Config.Homes.replicate && ft_on t && hosts t > 1
+
+let backup_of_home t home = Config.Homes.backup_of ~hosts:(hosts t) home
 
 (* ------------------------------------------------------------------ *)
 (* Home assignment and lookup (sharded management)                     *)
@@ -446,6 +478,66 @@ let send t ~src ~dst ~bytes body =
     Hashtbl.replace tr.tx_unacked (chan, seq) { tries = 0; tx_bytes = bytes; tx_body = body };
     Fabric.send t.fabric ~src ~dst ~bytes (Proto.Data { seq; body });
     transport_arm t tr ~chan ~src ~dst ~seq ~timeout:t.config.net.Config.Net.rto_us
+
+(* ------------------------------------------------------------------ *)
+(* Replicated home shards: the primary side of the directory log       *)
+(* ------------------------------------------------------------------ *)
+
+let record_tag = function
+  | Proto.L_admit _ -> "admit"
+  | Proto.L_complete _ -> "complete"
+  | Proto.L_state _ -> "state"
+  | Proto.L_shadow _ -> "shadow"
+
+let record_span = function
+  | Proto.L_admit { req_id; _ } | Proto.L_complete { req_id; _ } -> req_id
+  | Proto.L_state _ | Proto.L_shadow _ -> Mp_obs.Event.no_span
+
+(* Append one record to [home]'s directory log: streamed to the backup over
+   the ARQ transport in the same tool round as the state change it mirrors,
+   before any message the record justifies leaves the home.  The channel is
+   FIFO exactly-once, so the backup always holds a dense prefix of the
+   primary's log; only records still inside the final retransmission window
+   when the primary dies can be missing (and only under message loss), and
+   promotion repairs exactly that tail. *)
+let log_append t ~home record =
+  if replicating t && not t.promoted.(home) then begin
+    let b = backup_of_home t home in
+    if (not t.declared.(home)) && not t.declared.(b) then begin
+      t.log_seq.(home) <- t.log_seq.(home) + 1;
+      let lseq = t.log_seq.(home) in
+      let bytes =
+        header t
+        + match record with Proto.L_shadow { data; _ } -> Bytes.length data | _ -> 0
+      in
+      Obs.log_append (obs t) ~time:(rnow t) ~host:home ~span:(record_span record)
+        ~primary:home ~backup:b ~lseq ~record_tag:(record_tag record);
+      send t ~src:home ~dst:b ~bytes (Proto.Log_append { primary = home; lseq; record })
+    end
+  end
+
+let log_entry_state t ~home (e : Directory.entry) =
+  log_append t ~home
+    (Proto.L_state
+       { mp_id = e.mp.Minipage.id; owner = e.owner;
+         copyset = Host_set.elements e.copyset })
+
+let log_shadow t ~home (e : Directory.entry) =
+  if replicating t then
+    match e.shadow with
+    | Some data -> log_append t ~home (Proto.L_shadow { mp_id = e.mp.Minipage.id; data })
+    | None -> ()
+
+(* Mark a request completed at [home]'s directory and mirror the completion
+   (with its original timestamp) into the log. *)
+let mark_completed_logged t ~home ~req_id ~now =
+  Directory.mark_completed t.dirs.(home) ~req_id ~now;
+  log_append t ~home (Proto.L_complete { req_id; at = now })
+
+(* Where a live home re-materializes a sole copy that died with its owner:
+   at the home itself when replicating (no special host 0), at host 0 on the
+   legacy path. *)
+let recovery_site t ~home = if replicating t then home else manager
 
 (* ------------------------------------------------------------------ *)
 (* Manager: directory-side protocol (runs in host 0's server process)  *)
@@ -540,7 +632,8 @@ let manager_start ?(charge_lookup = true) t ~home (e : Directory.entry)
     if ft_on t then begin
       e.shadow <- Some (Bytes.copy data);
       Obs.shadow_refresh (obs t) ~time:(rnow t) ~host:home ~mp_id:info.mp_id
-        ~bytes:info.length
+        ~bytes:info.length;
+      log_shadow t ~home e
     end;
     let others =
       List.filter
@@ -550,6 +643,8 @@ let manager_start ?(charge_lookup = true) t ~home (e : Directory.entry)
     if others = [] then begin
       e.copyset <- Host_set.singleton from;
       e.owner <- from;
+      log_append t ~home (Proto.L_complete { req_id; at = rnow t });
+      log_entry_state t ~home e;
       send t ~src:home ~dst:from ~bytes:(header t) (Proto.Push_complete { req_id })
     end
     else begin
@@ -613,7 +708,11 @@ let ft_migrate t ~mp_id ~to_ =
     Directory.adopt t.dirs.(to_) e;
     Hashtbl.replace t.home_tbl mp_id to_;
     Stats.Counters.incr t.counters "homes.migrations";
-    Obs.home_assign (obs t) ~time:(rnow t) ~host:to_ ~mp_id ~home:to_
+    Obs.home_assign (obs t) ~time:(rnow t) ~host:to_ ~mp_id ~home:to_;
+    (* the minipage now belongs to [to_]'s log stream; the old home's stale
+       replica entry is harmless (promotion walks the corpse's directory) *)
+    log_entry_state t ~home:to_ e;
+    log_shadow t ~home:to_ e
   end
 
 let home_redirect t ~home ~req_id ~mp_id ~from =
@@ -642,10 +741,12 @@ let manager_request t ~home ~req_id ~from ~access ~addr =
     if from <> 0 then ft_migrate t ~mp_id ~to_:from
   end;
   if home_of_mp t mp_id <> home then home_redirect t ~home ~req_id ~mp_id ~from
-  else if Directory.note_request t.dirs.(home) ~req_id then
+  else if Directory.note_request t.dirs.(home) ~req_id then begin
+    log_append t ~home (Proto.L_admit { req_id; mp_id });
     manager_submit t ~home
       (Directory.entry t.dirs.(home) ~mp_id)
       (Directory.Q_request { req_id; from; access; addr })
+  end
   else begin
     Stats.Counters.incr t.counters "manager.dup_requests";
     Obs.dup_suppressed (obs t) ~time:(rnow t) ~host:home ~span:req_id ~src:from
@@ -657,10 +758,12 @@ let manager_request t ~home ~req_id ~from ~access ~addr =
 let manager_push t ~home ~req_id ~from ~mp_id data =
   Hashtbl.remove t.ft_pending mp_id;
   if home_of_mp t mp_id <> home then home_redirect t ~home ~req_id ~mp_id ~from
-  else
+  else begin
+    log_append t ~home (Proto.L_admit { req_id; mp_id });
     manager_submit t ~home
       (Directory.entry t.dirs.(home) ~mp_id)
       (Directory.Q_push { req_id; from; data })
+  end
 
 let manager_inval_reply t ~home ~req_id ~mp_id ~from =
   let e = Directory.entry t.dirs.(home) ~mp_id in
@@ -688,8 +791,11 @@ let manager_inval_reply t ~home ~req_id ~mp_id ~from =
    idempotence tables: once a completion is older than the retransmission
    window no duplicate of it can still arrive, so remembering it is pure
    memory growth (satellite: bounded idempotence state on soak runs). *)
-let complete_req t ~home ~req_id =
-  Directory.mark_completed t.dirs.(home) ~req_id ~now:(rnow t);
+let complete_req ?entry t ~home ~req_id =
+  let now = rnow t in
+  Directory.mark_completed t.dirs.(home) ~req_id ~now;
+  log_append t ~home (Proto.L_complete { req_id; at = now });
+  (match entry with Some e -> log_entry_state t ~home e | None -> ());
   t.completions <- t.completions + 1;
   if t.completions land 255 = 0 then
     ignore
@@ -722,7 +828,7 @@ let manager_ack t ~home ~req_id ~mp_id ~from =
       e.owner <- from;
       e.pending <- Directory.No_op
     | _ -> failwith "millipage: unexpected ACK");
-    complete_req t ~home ~req_id;
+    complete_req ~entry:e t ~home ~req_id;
     manager_drain_queue t ~home e
   end
 
@@ -734,7 +840,9 @@ let live_copyset t =
 
 let finish_push ?charge_lookup t ~home (e : Directory.entry) ~req_id ~from =
   e.copyset <- live_copyset t;
-  e.owner <- (if t.declared.(from) then manager else from);
+  e.owner <- (if t.declared.(from) then recovery_site t ~home else from);
+  log_append t ~home (Proto.L_complete { req_id; at = rnow t });
+  log_entry_state t ~home e;
   if not t.declared.(from) then
     send t ~src:home ~dst:from ~bytes:(header t) (Proto.Push_complete { req_id });
   e.pending <- Directory.No_op;
@@ -840,6 +948,7 @@ let manager_group_ack t ~home ~req_id ~from ~mp_ids =
             e.copyset <- Host_set.add from e.copyset;
             r.flights <- rest;
             if rest = [] then e.pending <- Directory.No_op;
+            log_entry_state t ~home e;
             manager_drain_queue t ~home e
           | [], _ -> Stats.Counters.incr t.counters "manager.stale_group_acks")
         | _ -> Stats.Counters.incr t.counters "manager.stale_group_acks"))
@@ -852,8 +961,8 @@ let manager_group_ack t ~home ~req_id ~from ~mp_ids =
    barrier fully recoverable. *)
 let shadow_sync_host t ~host =
   let refreshed = ref 0 in
-  Array.iter
-    (fun dir ->
+  Array.iteri
+    (fun home dir ->
       Seq.iter
         (fun (e : Directory.entry) ->
           if e.owner = host && e.pending = Directory.No_op && not e.lost then begin
@@ -867,6 +976,7 @@ let shadow_sync_host t ~host =
             in
             if stale then begin
               e.shadow <- Some cur;
+              log_shadow t ~home e;
               incr refreshed
             end
           end)
@@ -889,7 +999,7 @@ let live_thread_target t =
 let barrier_release t ~home ~phase =
   Hashtbl.remove t.barrier_counts phase;
   Hashtbl.remove t.barrier_sent phase;
-  Hashtbl.replace t.released_phases phase ();
+  Hashtbl.replace t.released_phases phase home;
   for dst = 0 to hosts t - 1 do
     if not t.declared.(dst) then
       send t ~src:home ~dst ~bytes:(header t) (Proto.Barrier_release { phase })
@@ -1002,7 +1112,8 @@ let shadow_refresh t (info : Proto.info) data =
     e.shadow <- Some (Bytes.copy data);
     Stats.Counters.incr t.counters "ft.shadow_refreshes";
     Obs.shadow_refresh (obs t) ~time:(rnow t) ~host:home ~mp_id:info.mp_id
-      ~bytes:info.length
+      ~bytes:info.length;
+    log_shadow t ~home e
   end
 
 let host_forward t (h : host_state) ~req_id ~from ~access (info : Proto.info) =
@@ -1319,28 +1430,41 @@ let dead_wrote t dead (e : Directory.entry) =
     match e.shadow with Some s -> not (Bytes.equal cur s) | None -> true)
   | Prot.Read_only | Prot.No_access -> false
 
-(* The dead host held the only copy: re-materialize the minipage at the
-   manager from the shadow (its last observed version).  If the dead host
-   wrote after that version was captured, the recovered bytes are stale:
-   the minipage is marked lost and any survivor access fails fast. *)
-let install_shadow t (e : Directory.entry) ~dead =
+(* The dead host held the only copy: re-materialize the minipage at [at]
+   (the recovery site — host 0 on the legacy path, the serving home or the
+   promoted backup when replicating) from the shadow, its last observed
+   version.  If the dead host wrote after that version was captured the
+   recovered bytes are stale; without replication the minipage is marked
+   lost and any survivor access fails fast, with replication the install is
+   a release-consistency rollback instead — the dead host's un-released
+   writes are discarded and survivors continue from the last synced version
+   (a write is only "acked" once it was released, and releases sync the
+   shadow).  A minipage with no shadow at all stays lost either way: there
+   is nothing to roll back to. *)
+let install_shadow t (e : Directory.entry) ~dead ~at =
   let info = info_of e.mp in
-  let lost = e.shadow = None || dead_wrote t dead e in
+  let wrote = dead_wrote t dead e in
+  let lost = e.shadow = None || (wrote && not (replicating t)) in
+  let rolled = wrote && not lost in
   (match e.shadow with
   | Some data ->
-    let mh = t.host_states.(manager) in
+    let mh = t.host_states.(at) in
     Vm.priv_write_bytes mh.vm ~off:info.base_off data;
     protect_info t mh info Prot.Read_only
   | None -> ());
-  e.owner <- manager;
-  e.copyset <- Host_set.singleton manager;
+  e.owner <- at;
+  e.copyset <- Host_set.singleton at;
   if lost then begin
     e.lost <- true;
     t.lost_mps <- info.mp_id :: t.lost_mps
   end;
+  if rolled then begin
+    t.rolled_back <- t.rolled_back + 1;
+    Stats.Counters.incr t.counters "replicate.rollbacks"
+  end;
   Stats.Counters.incr t.counters
     (if lost then "ft.lost_minipages" else "ft.recovered_minipages");
-  Obs.recover_minipage (obs t) ~time:(rnow t) ~host:manager ~span:0
+  Obs.recover_minipage (obs t) ~time:(rnow t) ~host:at ~span:0
     ~mp_id:info.mp_id ~lost
 
 (* Walk one directory shard and erase host [h] from it: drop its queued
@@ -1350,6 +1474,7 @@ let install_shadow t (e : Directory.entry) ~dead =
 let scrub_shard t ~home h =
   let now = rnow t in
   let dir = t.dirs.(home) in
+  let site = recovery_site t ~home in
   (* (req_id, fetching host) of group batches that died with their supplier *)
   let dead_batches : (int * int, unit) Hashtbl.t = Hashtbl.create 4 in
   Seq.iter
@@ -1366,7 +1491,7 @@ let scrub_shard t ~home h =
           let req_id = queued_span q in
           Obs.queue_exit (obs t) ~time:now ~host:home ~span:req_id
             ~mp_id:info.mp_id ~depth:(Directory.queue_depth dir);
-          Directory.mark_completed dir ~req_id ~now)
+          mark_completed_logged t ~home ~req_id ~now)
         dropped;
       (* 2. scrub the copyset *)
       e.copyset <- Host_set.remove h e.copyset;
@@ -1374,16 +1499,16 @@ let scrub_shard t ~home h =
       if e.owner = h && not exclusive then e.owner <- Host_set.min_elt e.copyset;
       (* 3. resolve the pending operation *)
       (match e.pending with
-      | Directory.No_op -> if exclusive then install_shadow t e ~dead:h
+      | Directory.No_op -> if exclusive then install_shadow t e ~dead:h ~at:site
       | Directory.Reads_in_flight r ->
-        if exclusive then install_shadow t e ~dead:h;
+        if exclusive then install_shadow t e ~dead:h ~at:site;
         let survivors =
           List.filter
             (fun (f : Directory.read_flight) ->
               if f.rf_from = h then begin
                 (* the requester died; its reply (if any) lands on a silenced
                    endpoint *)
-                Directory.mark_completed dir ~req_id:f.rf_req ~now;
+                mark_completed_logged t ~home ~req_id:f.rf_req ~now;
                 false
               end
               else if f.rf_supplier = h then
@@ -1418,10 +1543,10 @@ let scrub_shard t ~home h =
              that already processed the INVALIDATE dropped their copies and
              the rest will when it arrives, so none of them can serve
              anymore. *)
-          Directory.mark_completed dir ~req_id:w.req_id ~now;
+          mark_completed_logged t ~home ~req_id:w.req_id ~now;
           e.copyset <- Host_set.diff e.copyset w.targets;
           e.pending <- Directory.No_op;
-          if Host_set.is_empty e.copyset then install_shadow t e ~dead:h
+          if Host_set.is_empty e.copyset then install_shadow t e ~dead:h ~at:site
           else if not (Host_set.mem e.owner e.copyset) then
             e.owner <- Host_set.min_elt e.copyset
         end
@@ -1442,20 +1567,20 @@ let scrub_shard t ~home h =
           (* the data (or grant) went to the dead writer; the supplier has
              already downgraded to No_access, so the shadow holds the only
              recoverable version *)
-          Directory.mark_completed dir ~req_id:w.req_id ~now;
+          mark_completed_logged t ~home ~req_id:w.req_id ~now;
           e.pending <- Directory.No_op;
-          install_shadow t e ~dead:h
+          install_shadow t e ~dead:h ~at:site
         end
         else if w.supplier = h then begin
           (* the supplier died before serving (had it served, the reply and
              ack would have completed the operation well inside the declare
-             timeout): recover at the manager and re-forward from there *)
-          install_shadow t e ~dead:h;
+             timeout): recover at the site and re-forward from there *)
+          install_shadow t e ~dead:h ~at:site;
           check_lost t e ~from:w.from;
-          w.supplier <- manager;
+          w.supplier <- site;
           Obs.forward (obs t) ~time:now ~host:home ~span:w.req_id
-            ~access:Mp_obs.Event.Write ~mp_id:info.mp_id ~supplier:manager;
-          send t ~src:home ~dst:manager ~bytes:(header t)
+            ~access:Mp_obs.Event.Write ~mp_id:info.mp_id ~supplier:site;
+          send t ~src:home ~dst:site ~bytes:(header t)
             (Proto.Forward
                { req_id = w.req_id; from = w.from; access = Proto.Write; info })
         end
@@ -1464,7 +1589,7 @@ let scrub_shard t ~home h =
           (* the pusher died waiting for update acks; the updates themselves
              carry complete fresh content, so the push still completes for
              the survivors *)
-          Directory.mark_completed dir ~req_id:p.req_id ~now;
+          mark_completed_logged t ~home ~req_id:p.req_id ~now;
           finish_push ~charge_lookup:false t ~home e ~req_id:p.req_id ~from:p.from
         end
         else if Host_set.mem h p.waiting then begin
@@ -1472,6 +1597,8 @@ let scrub_shard t ~home h =
           if Host_set.is_empty p.waiting then
             finish_push ~charge_lookup:false t ~home e ~req_id:p.req_id ~from:p.from
         end);
+      (* the scrub itself is a state transition this home's backup must see *)
+      log_entry_state t ~home e;
       (* 4. whatever became startable, start it *)
       manager_drain_queue ~charge_lookup:false t ~home e)
     (Directory.entries dir);
@@ -1483,15 +1610,16 @@ let scrub_shard t ~home h =
     dead_batches
 
 (* Lock leases: a lock held by the dead host is revoked and granted to the
-   next live waiter.  Recovery grants run from host 0. *)
-let revoke_leases t h =
+   next live waiter.  Recovery grants run from [site]: host 0 on the legacy
+   path, the promoted backup when the dead home's shard was replicated. *)
+let revoke_leases t h ~site =
   Hashtbl.iter
     (fun lock (s : lock_state) ->
       match s.holder with
       | Some (hh, _) when hh = h ->
         let next = next_live_waiter t s in
         (match next with
-        | Some n -> grant_lock t ~home:manager s ~lock ~to_:n
+        | Some n -> grant_lock t ~home:site s ~lock ~to_:n
         | None ->
           s.holder <- None;
           s.granted_from <- -1);
@@ -1506,7 +1634,7 @@ let revoke_leases t h =
    flight to the dead home is gone: replay releases it swallowed, re-enqueue
    acquires it swallowed (idempotently, from the senders' ground truth), and
    re-send a grant the dead home issued that may never have been delivered. *)
-let rebuild_locks t h =
+let rebuild_locks t h ~site =
   (* releases that were aimed at the dead home *)
   Hashtbl.iter
     (fun lock entries ->
@@ -1519,7 +1647,7 @@ let rebuild_locks t h =
       List.iter
         (fun (from, _) ->
           Stats.Counters.incr t.counters "homes.replayed_releases";
-          lock_release_engine t ~home:manager ~from ~lock)
+          lock_release_engine t ~home:site ~from ~lock)
         swallowed)
     t.pending_releases;
   (* acquires outstanding anywhere: drop dead senders, restore swallowed ones *)
@@ -1545,7 +1673,7 @@ let rebuild_locks t h =
                receiver dedupes), so re-send it from host 0 *)
             if s.granted_from = h then begin
               Stats.Counters.incr t.counters "homes.regrants";
-              grant_lock t ~home:manager s ~lock ~to_:(from, tid)
+              grant_lock t ~home:site s ~lock ~to_:(from, tid)
             end
           end
           else if not queued then Queue.add (from, tid) s.lock_queue)
@@ -1553,15 +1681,33 @@ let rebuild_locks t h =
       (* a free lock with waiters can only arise from the replays above *)
       if s.holder = None then
         match next_live_waiter t s with
-        | Some next -> grant_lock t ~home:manager s ~lock ~to_:next
+        | Some next -> grant_lock t ~home:site s ~lock ~to_:next
         | None -> ())
     t.lock_requests
 
 (* Degraded barriers: every unreleased phase is rebuilt from the senders'
    ground truth — this both shrinks it to the survivors and restores enters
    swallowed by a dead sync home — then released if the survivors are now
-   all in. *)
-let rebuild_barriers t =
+   all in.  Already-released phases are not safe to skip outright: a release
+   the dead host [h] sent can have been dropped on the wire with the
+   retransmission abandoned at its death, leaving a survivor parked forever
+   in a phase the rest of the cluster left — so [h]'s releases are re-sent
+   from [site] (receivers treat duplicates as no-ops). *)
+let rebuild_barriers t h ~site =
+  let stale =
+    Hashtbl.fold
+      (fun phase releaser acc -> if releaser = h then phase :: acc else acc)
+      t.released_phases []
+  in
+  List.iter
+    (fun phase ->
+      Hashtbl.replace t.released_phases phase site;
+      Stats.Counters.incr t.counters "ft.barrier_release_replays";
+      for dst = 0 to hosts t - 1 do
+        if not t.declared.(dst) then
+          send t ~src:site ~dst ~bytes:(header t) (Proto.Barrier_release { phase })
+      done)
+    stale;
   let target = live_thread_target t in
   let phases = Hashtbl.fold (fun phase l acc -> (phase, l) :: acc) t.barrier_sent [] in
   List.iter
@@ -1577,10 +1723,10 @@ let rebuild_barriers t =
         in
         entered := List.filter (fun (from, _) -> not t.declared.(from)) !sent;
         Stats.Counters.incr t.counters "ft.barrier_reconfigs";
-        Obs.barrier_reconfig (obs t) ~time:(rnow t) ~host:manager ~bphase:phase
+        Obs.barrier_reconfig (obs t) ~time:(rnow t) ~host:site ~bphase:phase
           ~expected:target;
         if List.length !entered >= target then
-          barrier_release t ~home:manager ~phase
+          barrier_release t ~home:site ~phase
       end)
     phases
 
@@ -1596,6 +1742,21 @@ let rehome_dead_shard t h =
      at the new home *)
   Directory.absorb_idempotence dir0 ~from:dir_d;
   let entries = List.of_seq (Directory.entries dir_d) in
+  (* repair every hint — and the authoritative map — before any books are
+     closed or recovery traffic triggered.  Updating hints per entry (as
+     this path originally did, at the tail of the adoption loop) leaves a
+     window where an entry processed later is still hinted at the corpse
+     while recovery already runs; nothing may aim a demand fault at the dead
+     home once the first entry moves. *)
+  List.iter
+    (fun (e : Directory.entry) ->
+      let mp_id = e.mp.Minipage.id in
+      Hashtbl.replace t.home_tbl mp_id manager;
+      Array.iter
+        (fun (hs : host_state) ->
+          if not t.declared.(hs.id) then Hashtbl.replace hs.hints mp_id manager)
+        t.host_states)
+    entries;
   List.iter
     (fun (e : Directory.entry) ->
       let info = info_of e.mp in
@@ -1653,7 +1814,7 @@ let rehome_dead_shard t h =
           | Prot.Read_only -> copyset := Host_set.add x !copyset
           | Prot.No_access -> ()
       done;
-      if Host_set.is_empty !copyset then install_shadow t e ~dead:h
+      if Host_set.is_empty !copyset then install_shadow t e ~dead:h ~at:manager
       else begin
         e.copyset <- !copyset;
         e.owner <-
@@ -1663,22 +1824,180 @@ let rehome_dead_shard t h =
             if Host_set.mem e.owner !copyset then e.owner
             else Host_set.min_elt !copyset)
       end;
-      (* move the entry to host 0 and tell the survivors *)
+      (* move the entry to host 0 (hints were repaired up front) *)
       Directory.remove dir_d ~mp_id;
       Directory.adopt dir0 e;
-      Hashtbl.replace t.home_tbl mp_id manager;
-      Array.iter
-        (fun (hs : host_state) ->
-          if not t.declared.(hs.id) then Hashtbl.replace hs.hints mp_id manager)
-        t.host_states;
       Stats.Counters.incr t.counters "homes.rehomes";
       Obs.rehome (obs t) ~time:now ~host:manager ~mp_id ~from_home:h
         ~to_home:manager)
     entries
 
+(* The dead host was a home and its shard is replicated: promote the backup
+   under the same entries — no host-0 adoption, no per-entry REHOME storm.
+   Authoritative state comes from the replicated log (owner/copyset images,
+   shadow contents, completed-request stamps).  The log channel is FIFO
+   exactly-once, so the replica always holds a strict prefix of the
+   primary's history; the only possible gap is the primary's final
+   retransmission window (reachable only under message loss, since a dead
+   sender cannot retransmit).  Promotion closes that gap from two ground
+   truths that survive the crash — the corpse's completion table
+   (completions the log lost) and the survivors' page protections (location
+   state the log lost, including the in-flight tail of admitted-but-open
+   operations) — counting every hit as a tail repair.  The corpse directory
+   is also walked to balance the obs trace: the same synthetic
+   queue-exit/inval-ack/ack events the legacy re-homing path emits for
+   books the dead home left open. *)
+let promote_backup t ~dead:h ~backup:b =
+  let now = rnow t in
+  let dir_d = t.dirs.(h) and dir_b = t.dirs.(b) in
+  let rep = t.replicas.(h) in
+  t.promoted.(h) <- true;
+  let entries = List.of_seq (Directory.entries dir_d) in
+  (* 1. repair every hint and the authoritative map first: from this instant
+     no live host can aim traffic at the corpse (the same ordering fix as in
+     [rehome_dead_shard]) *)
+  List.iter
+    (fun (e : Directory.entry) ->
+      let mp_id = e.mp.Minipage.id in
+      Hashtbl.replace t.home_tbl mp_id b;
+      Array.iter
+        (fun (hs : host_state) ->
+          if not t.declared.(hs.id) then Hashtbl.replace hs.hints mp_id b)
+        t.host_states)
+    entries;
+  (* 2. idempotence handoff: replicated completions install under their
+     ORIGINAL stamps; completions the log lost in the final retransmission
+     window are re-installed from the corpse's table *)
+  Directory.Replica.handoff_idempotence rep ~into:dir_b;
+  List.iter
+    (fun (req_id, at) ->
+      if not (Directory.completed dir_b ~req_id) then begin
+        Directory.mark_completed dir_b ~req_id ~now:at;
+        t.tail_repairs <- t.tail_repairs + 1;
+        Stats.Counters.incr t.counters "replicate.tail_repairs";
+        Obs.log_replay (obs t) ~time:now ~host:b ~span:req_id ~primary:h
+          ~mp_id:(-1) ~via:"completion" ()
+      end)
+    (Directory.completed_stamps dir_d);
+  (* 3. per entry: close the dead home's open books, install the replicated
+     state, then validate it against the survivors' page protections *)
+  List.iter
+    (fun (e : Directory.entry) ->
+      let info = info_of e.mp in
+      let mp_id = info.mp_id in
+      let dropped = Directory.drop_queued dir_d e ~keep:(fun _ -> false) in
+      List.iter
+        (fun q ->
+          let req_id = queued_span q in
+          Obs.queue_exit (obs t) ~time:now ~host:h ~span:req_id ~mp_id
+            ~depth:(Directory.queue_depth dir_d);
+          Directory.mark_completed dir_b ~req_id ~now)
+        dropped;
+      (match e.pending with
+      | Directory.No_op -> ()
+      | Directory.Reads_in_flight r ->
+        List.iter
+          (fun (f : Directory.read_flight) ->
+            Directory.mark_completed dir_b ~req_id:f.rf_req ~now)
+          r.flights
+      | Directory.Write_waiting_invals w ->
+        Directory.mark_completed dir_b ~req_id:w.req_id ~now;
+        let remaining = Host_set.cardinal w.waiting in
+        ignore
+          (Host_set.fold
+             (fun target i ->
+               Obs.inval_ack (obs t) ~time:now ~host:b ~span:w.req_id ~mp_id
+                 ~from:target ~last:(i = remaining);
+               i + 1)
+             w.waiting 1)
+      | Directory.Write_in_flight w ->
+        Directory.mark_completed dir_b ~req_id:w.req_id ~now;
+        (* balances the FORWARD(write) the dead home logged *)
+        Obs.ack (obs t) ~time:now ~host:b ~span:w.req_id ~mp_id ~from:w.from
+      | Directory.Push_waiting_acks p ->
+        Directory.mark_completed dir_b ~req_id:p.req_id ~now);
+      e.pending <- Directory.No_op;
+      (* install the replicated image (the corpse's shadow is at least as
+         fresh as the log's — only take the replica's when the corpse lost
+         its own, which cannot happen in this simulation but keeps the
+         replica authoritative on principle) *)
+      (match Directory.Replica.find rep ~mp_id with
+      | Some r ->
+        e.owner <- r.r_owner;
+        e.copyset <- r.r_copyset;
+        (match (r.r_shadow, e.shadow) with
+        | Some s, None -> e.shadow <- Some (Bytes.copy s)
+        | _ -> ())
+      | None -> ());
+      (* ground truth: the survivors' protections.  The log can be behind by
+         at most the in-flight tail; any disagreement is repaired here *)
+      let copyset = ref Host_set.empty in
+      let rw = ref None in
+      let first, _ = vpages_of t info in
+      for x = 0 to hosts t - 1 do
+        if not t.declared.(x) then
+          match Vm.protection t.host_states.(x).vm ~view:info.mp_view ~vpage:first with
+          | Prot.Read_write ->
+            copyset := Host_set.add x !copyset;
+            rw := Some x
+          | Prot.Read_only -> copyset := Host_set.add x !copyset
+          | Prot.No_access -> ()
+      done;
+      if Host_set.is_empty !copyset then begin
+        install_shadow t e ~dead:h ~at:b;
+        Obs.log_replay (obs t) ~time:now ~host:b ~primary:h ~mp_id ~via:"log" ()
+      end
+      else begin
+        let truth_owner =
+          match !rw with
+          | Some x -> x
+          | None ->
+            if Host_set.mem e.owner !copyset then e.owner
+            else Host_set.min_elt !copyset
+        in
+        (* the dead host evaporating from the logged copyset is the crash
+           itself, not a log gap — only flag genuine disagreements *)
+        let agreed =
+          Host_set.equal (Host_set.remove h e.copyset) !copyset
+          && (e.owner = truth_owner || e.owner = h)
+        in
+        e.copyset <- !copyset;
+        e.owner <- truth_owner;
+        if agreed then
+          Obs.log_replay (obs t) ~time:now ~host:b ~primary:h ~mp_id ~via:"log" ()
+        else begin
+          t.tail_repairs <- t.tail_repairs + 1;
+          Stats.Counters.incr t.counters "replicate.tail_repairs";
+          Obs.log_replay (obs t) ~time:now ~host:b ~primary:h ~mp_id
+            ~via:"protections" ()
+        end
+      end;
+      (* adopt under the same entries at the backup — no REHOME events, the
+         single BACKUP_PROMOTE below covers the whole shard *)
+      Directory.remove dir_d ~mp_id;
+      Directory.adopt dir_b e)
+    entries;
+  (* 4. operations the log admitted whose completion it never saw: close
+     them at the new home so straggling duplicates stay suppressed (their
+     requesters resend under fresh ids via [resend_orphans]) *)
+  List.iter
+    (fun (req_id, mp_id) ->
+      if not (Directory.completed dir_b ~req_id) then begin
+        Directory.mark_completed dir_b ~req_id ~now;
+        Obs.log_replay (obs t) ~time:now ~host:b ~span:req_id ~primary:h ~mp_id
+          ~via:"open-admission" ()
+      end)
+    (Directory.Replica.open_admissions rep);
+  t.promotions <- t.promotions + 1;
+  Stats.Counters.incr t.counters "replicate.promotions";
+  Obs.backup_promote (obs t) ~time:now ~host:b ~primary:h ~backup:b
+    ~entries:(List.length entries) ~applied:(Directory.Replica.applied rep)
+
 (* Requester-side recovery: every live host resends, under a fresh id and
-   aimed at host 0, each operation it had in flight to the dead home. *)
-let resend_orphans t h =
+   aimed at [to_] (host 0 on the legacy path, the promoted backup when the
+   dead home's shard was replicated), each operation it had in flight to the
+   dead home. *)
+let resend_orphans t h ~to_ =
   let now = rnow t in
   Array.iter
     (fun (hs : host_state) ->
@@ -1686,14 +2005,14 @@ let resend_orphans t h =
         Hashtbl.iter
           (fun _key (e : inflight) ->
             if e.target = h then begin
-              Directory.mark_completed t.dirs.(manager) ~req_id:e.req_id ~now;
+              mark_completed_logged t ~home:to_ ~req_id:e.req_id ~now;
               let req_id = fresh_req t in
               e.req_id <- req_id;
-              e.target <- manager;
+              e.target <- to_;
               Stats.Counters.incr t.counters "homes.resent_requests";
               Obs.request_sent (obs t) ~time:now ~host:hs.id ~span:req_id
                 ~access:(obs_access e.access) ~addr:e.addr ~prefetch:e.by_prefetch;
-              send t ~src:hs.id ~dst:manager ~bytes:(header t)
+              send t ~src:hs.id ~dst:to_ ~bytes:(header t)
                 (Proto.Request { req_id; from = hs.id; access = e.access; addr = e.addr })
             end)
           hs.inflight;
@@ -1706,12 +2025,12 @@ let resend_orphans t h =
         List.iter
           (fun (old_req, (pw : push_state)) ->
             Hashtbl.remove hs.push_waiters old_req;
-            Directory.mark_completed t.dirs.(manager) ~req_id:old_req ~now;
+            mark_completed_logged t ~home:to_ ~req_id:old_req ~now;
             let req_id = fresh_req t in
-            pw.pu_target <- manager;
+            pw.pu_target <- to_;
             Hashtbl.replace hs.push_waiters req_id pw;
             Stats.Counters.incr t.counters "homes.resent_pushes";
-            send t ~src:hs.id ~dst:manager
+            send t ~src:hs.id ~dst:to_
               ~bytes:(header t + pw.pu_info.Proto.length)
               (Proto.Push
                  { req_id; from = hs.id; info = pw.pu_info; data = pw.pu_data }))
@@ -1726,12 +2045,12 @@ let resend_orphans t h =
           (fun (old_req, (gf : group_fetch_state)) ->
             Hashtbl.remove hs.group_fetches old_req;
             let req_id = fresh_req t in
-            gf.gf_target <- manager;
+            gf.gf_target <- to_;
             gf.gf_expected <- None;
             gf.gf_received <- 0;
             Hashtbl.replace hs.group_fetches req_id gf;
             Stats.Counters.incr t.counters "homes.resent_group_fetches";
-            send t ~src:hs.id ~dst:manager ~bytes:(header t)
+            send t ~src:hs.id ~dst:to_ ~bytes:(header t)
               (Proto.Group_fetch { req_id; from = hs.id; group_id = gf.gf_group }))
           orphan_fetches
       end)
@@ -1763,17 +2082,26 @@ let declare_dead t h =
     t.host_states.(manager).dead_peers <-
       Host_set.add h t.host_states.(manager).dead_peers;
     Obs.dead_notice (obs t) ~time:(rnow t) ~host:manager ~dead:h;
-    (* erase the dead host from every surviving shard, then adopt the shard
-       it was itself running, then have live requesters resend what was in
-       flight to it (hints must point at host 0 before the resends land) *)
+    (* erase the dead host from every surviving shard, then take over the
+       shard it was itself running — at its backup when replicated (same
+       home id, log-replay recovery), at host 0 otherwise — then have live
+       requesters resend what was in flight to it (hints are repaired up
+       front in both takeover paths, before any resend can land) *)
     for s = 0 to hosts t - 1 do
       if s <> h && not t.declared.(s) then scrub_shard t ~home:s h
     done;
-    rehome_dead_shard t h;
-    resend_orphans t h;
-    revoke_leases t h;
-    rebuild_locks t h;
-    rebuild_barriers t;
+    let b = backup_of_home t h in
+    let promote =
+      replicating t && not t.promoted.(h) && b <> h
+      && (not t.declared.(b))
+      && not t.crashed.(b)
+    in
+    let site = if promote then b else manager in
+    if promote then promote_backup t ~dead:h ~backup:b else rehome_dead_shard t h;
+    resend_orphans t h ~to_:site;
+    revoke_leases t h ~site;
+    rebuild_locks t h ~site;
+    rebuild_barriers t h ~site;
     if all_live_done t then t.ft_stop <- true
   end
 
@@ -1976,6 +2304,19 @@ let dispatch t (h : host_state) (body : Proto.body) =
     Engine.delay cost.sync_dispatch_us;
     h.dead_peers <- Host_set.add dead h.dead_peers;
     Obs.dead_notice (obs t) ~time:(rnow t) ~host:h.id ~dead
+  | Proto.Log_append { primary; lseq; record } ->
+    (* backup side of a replicated home shard: the ARQ channel delivers the
+       log in order exactly once, so [lseq] arrives dense; a record from an
+       already-declared primary never reaches here ([on_message] drops it) *)
+    Engine.delay cost.sync_dispatch_us;
+    Directory.Replica.apply t.replicas.(primary) ~lseq record;
+    t.log_applies <- t.log_applies + 1;
+    if t.log_applies land 255 = 0 then
+      ignore
+        (Directory.Replica.prune t.replicas.(primary)
+           ~before:(rnow t -. t.idem_retention_us));
+    Obs.log_apply (obs t) ~time:(rnow t) ~host:h.id ~span:(record_span record)
+      ~primary ~lseq ~record_tag:(record_tag record)
 
 (* Transport receive: unwrap packets, ack and resequence on a faulty fabric.
    Every Data is Tack'ed (even duplicates — the original Tack may itself have
@@ -2220,6 +2561,13 @@ let create engine ~hosts:nhosts ?(config = Config.default) () =
       watchdog_idle = 0;
       idem_retention_us;
       completions = 0;
+      replicas = Array.init nhosts (fun _ -> Directory.Replica.create ());
+      log_seq = Array.make nhosts 0;
+      promoted = Array.make nhosts false;
+      promotions = 0;
+      tail_repairs = 0;
+      rolled_back = 0;
+      log_applies = 0;
       mutation = None;
       mutation_count = 0;
       mutation_fired = false;
@@ -2249,7 +2597,10 @@ let malloc t size =
       Obs.home_assign (obs t) ~time:(rnow t) ~host:home ~mp_id ~home;
     if t.config.homes.Config.Homes.policy = Config.Homes.First_toucher then
       Hashtbl.replace t.ft_pending mp_id ();
-    Array.iter (fun hs -> Hashtbl.replace hs.hints mp_id home) t.host_states
+    Array.iter (fun hs -> Hashtbl.replace hs.hints mp_id home) t.host_states;
+    (* the init phase is message-free: the backup's replica is seeded
+       directly, mirroring the hint caches above *)
+    if replicating t then Directory.Replica.seed t.replicas.(home) ~mp_id ~owner:manager
   end;
   (* host 0 owns fresh memory read-write; re-protect the whole (possibly
      chunk-grown) minipage *)
@@ -2567,6 +2918,18 @@ let recovered_minipages t =
 
 let idempotence_size t =
   Array.fold_left (fun acc dir -> acc + Directory.idempotence_size dir) 0 t.dirs
+
+(* ------------------------------------------------------------------ *)
+(* Replication statistics                                              *)
+(* ------------------------------------------------------------------ *)
+
+let replication_on = replicating
+let backup_promotions t = t.promotions
+let log_records_sent t = Array.fold_left ( + ) 0 t.log_seq
+let log_records_applied t = t.log_applies
+let tail_repairs t = t.tail_repairs
+let rolled_back_minipages t = t.rolled_back
+let promoted_homes t = hosts_where t.promoted
 
 (* ------------------------------------------------------------------ *)
 (* Test-only protocol mutations                                        *)

@@ -86,10 +86,18 @@ module Config : sig
               becomes the home (a one-time migration, learned lazily by the
               other hosts through the redirect path) *)
 
-    type t = { policy : policy; block : int }
+    type t = {
+      policy : policy;
+      block : int;
+      replicate : bool;
+          (** stream each home shard's directory log to a backup host that
+              promotes (under the same home id) when the home is declared
+              dead.  Only active together with {!Config.t.ft}; inert — zero
+              extra messages — otherwise. *)
+    }
 
     val default : t
-    (** [Central], block size 8. *)
+    (** [Central], block size 8, no replication. *)
 
     val central : t
     val round_robin : t
@@ -105,6 +113,12 @@ module Config : sig
     val policy_of_string : string -> policy option
     (** Inverse of {!policy_name}; also accepts ["round-robin"] and
         ["first-toucher"]. *)
+
+    val with_replicate : t -> bool -> t
+
+    val backup_of : hosts:int -> int -> int
+    (** Backup placement: [backup_of ~hosts home] is the host that receives
+        [home]'s directory log — the next host, mod the host count. *)
   end
 
   type ft = Ft.t = {
@@ -150,6 +164,7 @@ module Config : sig
   val with_ft : t -> Ft.t option -> t
   val with_homes : t -> Homes.t -> t
   val with_policy : t -> Homes.policy -> t
+  val with_replicate : t -> bool -> t
 end
 
 exception Deadlock of string
@@ -361,6 +376,49 @@ val idempotence_size : t -> int
 (** Combined size of every shard's request-idempotence tables (bounded by
     periodic pruning of completions older than the retransmission
     window). *)
+
+(** {2 Replicated home shards}
+
+    With {!Config.Homes.replicate} on (and the failure detector active),
+    every home streams its directory updates to a designated backup
+    ({!Config.Homes.backup_of}) as a logical write-ahead log; when a home is
+    declared dead its backup is promoted under the same home id — the
+    hint-cache repair is a single atomic rewrite, recovery replays the log
+    instead of scrubbing, and there is no host-0 shard adoption.  With the
+    flag off (or a single host, or no failure detector), no replication
+    state or traffic exists and runs are bit-identical to earlier
+    behavior. *)
+
+val replication_on : t -> bool
+(** Whether replication is actually live for this instance (flag on {e and}
+    failure detector configured {e and} more than one host). *)
+
+val backup_promotions : t -> int
+(** Dead homes whose shard was taken over by its backup (as opposed to the
+    legacy host-0 adoption). *)
+
+val promoted_homes : t -> int list
+(** The dead primaries whose shards were promoted. *)
+
+val log_records_sent : t -> int
+(** Directory-log records appended across all primaries (the steady-state
+    replication overhead). *)
+
+val log_records_applied : t -> int
+(** Log records applied at backups (trails {!log_records_sent} by the
+    in-flight tail). *)
+
+val tail_repairs : t -> int
+(** Promotion-time repairs of log records lost in the dead primary's final
+    retransmission window (reachable only under message loss): completions
+    re-installed from the corpse's table plus location state rebuilt from
+    the survivors' page protections. *)
+
+val rolled_back_minipages : t -> int
+(** Sole-copy minipages whose dead owner wrote after the last sync, restored
+    to the last released version instead of being marked lost — the
+    release-consistency rollback that replaces {!Crash_unrecoverable}
+    fail-fast when replication is on. *)
 
 (** {2 Test-only protocol mutations}
 

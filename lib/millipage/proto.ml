@@ -2,6 +2,24 @@ type access = Read | Write
 
 type info = { mp_id : int; base_off : int; length : int; mp_view : int }
 
+(* One record of a home's logical write-ahead log, streamed to its backup
+   host over the ARQ transport.  The channel is FIFO exactly-once, so the
+   backup always holds a strict prefix of the primary's log: [L_admit]
+   precedes the matching [L_complete], and an [L_state]/[L_shadow] never
+   overtakes the operation that produced it. *)
+type log_record =
+  | L_admit of { req_id : int; mp_id : int }
+      (** the home accepted an operation (request or push) on [mp_id] *)
+  | L_complete of { req_id : int; at : float }
+      (** the operation's final ack landed; [at] is the {e original}
+          completion time, carried so the backup's idempotence horizon
+          matches the primary's instead of restarting at promotion *)
+  | L_state of { mp_id : int; owner : int; copyset : int list }
+      (** directory state after a transfer/invalidation round settled *)
+  | L_shadow of { mp_id : int; data : bytes }
+      (** the home's shadow copy was refreshed; the backup's replica of the
+          last release-consistent contents *)
+
 type body =
   | Request of { req_id : int; from : int; access : access; addr : int }
   | Forward of { req_id : int; from : int; access : access; info : info }
@@ -29,6 +47,9 @@ type body =
   | Group_replan of { req_id : int; drop : int }
   | Heartbeat of { from : int; beat : int }
   | Dead_notice of { dead : int }
+  | Log_append of { primary : int; lseq : int; record : log_record }
+      (** home → its backup: the [lseq]'th record of the home's directory
+          log (per-primary sequence, counted from 1) *)
 
 (* Wire packets: protocol bodies travel inside [Data] with a per-channel
    sequence number so the reliable-transport layer in [Dsm] can detect loss,
@@ -38,6 +59,14 @@ type body =
 type packet = Data of { seq : int; body : body } | Tack of { seq : int }
 
 let access_to_string = function Read -> "read" | Write -> "write"
+
+let describe_record = function
+  | L_admit { req_id; mp_id } -> Printf.sprintf "admit r%d mp%d" req_id mp_id
+  | L_complete { req_id; _ } -> Printf.sprintf "complete r%d" req_id
+  | L_state { mp_id; owner; copyset } ->
+    Printf.sprintf "state mp%d o%d c%d" mp_id owner (List.length copyset)
+  | L_shadow { mp_id; data } ->
+    Printf.sprintf "shadow mp%d %dB" mp_id (Bytes.length data)
 
 let describe = function
   | Request { access; addr; _ } ->
@@ -73,6 +102,8 @@ let describe = function
   | Group_replan { drop; _ } -> Printf.sprintf "GROUP_REPLAN(-%d batches)" drop
   | Heartbeat { from; beat } -> Printf.sprintf "HEARTBEAT(h%d b%d)" from beat
   | Dead_notice { dead } -> Printf.sprintf "DEAD_NOTICE(h%d)" dead
+  | Log_append { primary; lseq; record } ->
+    Printf.sprintf "LOG_APPEND(h%d #%d %s)" primary lseq (describe_record record)
 
 (* Data packets keep the bare body label so fault-free traces are identical
    with or without the transport wrapper. *)

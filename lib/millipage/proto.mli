@@ -13,6 +13,24 @@ type access = Read | Write
     protection without any local lookup. *)
 type info = { mp_id : int; base_off : int; length : int; mp_view : int }
 
+(** One record of a home's logical write-ahead log, streamed to its backup
+    over the ARQ transport.  The channel is FIFO exactly-once, so the backup
+    always holds a strict prefix of the primary's log: [L_admit] precedes the
+    matching [L_complete], and an [L_state]/[L_shadow] never overtakes the
+    operation that produced it. *)
+type log_record =
+  | L_admit of { req_id : int; mp_id : int }
+      (** the home accepted an operation (request or push) on [mp_id] *)
+  | L_complete of { req_id : int; at : float }
+      (** the operation's final ack landed; [at] is the {e original}
+          completion time, carried across promotion so the backup's
+          duplicate-suppression horizon matches the primary's *)
+  | L_state of { mp_id : int; owner : int; copyset : int list }
+      (** directory state after a transfer/invalidation round settled *)
+  | L_shadow of { mp_id : int; data : bytes }
+      (** the home's shadow copy was refreshed — the backup's replica of the
+          last release-consistent contents *)
+
 type body =
   | Request of { req_id : int; from : int; access : access; addr : int }
       (** faulting host → manager; carries only the faulting address *)
@@ -66,6 +84,9 @@ type body =
           detector's only liveness signal *)
   | Dead_notice of { dead : int }
       (** manager → every survivor once [dead] is declared dead *)
+  | Log_append of { primary : int; lseq : int; record : log_record }
+      (** home → its backup: the [lseq]'th record of the home's directory
+          log (per-primary sequence, counted from 1) *)
 
 (** What actually travels on the fabric: a protocol body stamped with the
     sending channel's sequence number, or a transport-level acknowledgement.
@@ -77,6 +98,9 @@ type packet =
   | Tack of { seq : int }  (** transport ack: "I have received [seq]" *)
 
 val access_to_string : access -> string
+
+val describe_record : log_record -> string
+(** Short tag for logging/debugging, e.g. ["complete r17"]. *)
 
 val describe : body -> string
 (** Short tag for logging/debugging. *)

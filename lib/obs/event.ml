@@ -51,6 +51,10 @@ type kind =
   | Home_assign of { mp_id : int; home : int }
   | Home_redirect of { mp_id : int; old_home : int; new_home : int }
   | Rehome of { mp_id : int; from_home : int; to_home : int }
+  | Log_append of { primary : int; backup : int; lseq : int; record : string }
+  | Log_apply of { primary : int; lseq : int; record : string }
+  | Backup_promote of { primary : int; backup : int; entries : int; applied : int }
+  | Log_replay of { primary : int; mp_id : int; via : string }
   | Mp_map of {
       mp_id : int;
       view : int;
@@ -106,6 +110,10 @@ let kind_name = function
   | Home_assign _ -> "HOME_ASSIGN"
   | Home_redirect _ -> "HOME_REDIRECT"
   | Rehome _ -> "REHOME"
+  | Log_append _ -> "LOG_APPEND"
+  | Log_apply _ -> "LOG_APPLY"
+  | Backup_promote _ -> "BACKUP_PROMOTE"
+  | Log_replay _ -> "LOG_REPLAY"
   | Mp_map _ -> "MP_MAP"
   | Mark m -> m.kind
 
@@ -169,6 +177,15 @@ let detail = function
     Printf.sprintf "mp%d h%d -> h%d" mp_id old_home new_home
   | Rehome { mp_id; from_home; to_home } ->
     Printf.sprintf "mp%d h%d -> h%d" mp_id from_home to_home
+  | Log_append { primary; backup; lseq; record } ->
+    Printf.sprintf "h%d #%d %s -> h%d" primary lseq record backup
+  | Log_apply { primary; lseq; record } ->
+    Printf.sprintf "h%d #%d %s" primary lseq record
+  | Backup_promote { primary; backup; entries; applied } ->
+    Printf.sprintf "h%d -> h%d (%d entries, log #%d)" primary backup entries applied
+  | Log_replay { primary; mp_id; via } ->
+    if mp_id < 0 then Printf.sprintf "h%d via %s" primary via
+    else Printf.sprintf "h%d mp%d via %s" primary mp_id via
   | Mp_map { mp_id; view; base_addr; length; first_vpage; last_vpage } ->
     Printf.sprintf "mp%d view %d @%d len %d vpages %d-%d" mp_id view base_addr
       length first_vpage last_vpage

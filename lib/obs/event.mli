@@ -86,6 +86,26 @@ type kind =
   | Rehome of { mp_id : int; from_home : int; to_home : int }
       (** Crash recovery moved this minipage's directory entry from a dead
           home host to a surviving one. *)
+  | Log_append of { primary : int; backup : int; lseq : int; record : string }
+      (** Home [primary] streamed the [lseq]'th record of its directory log
+          to [backup]; [record] is the record tag (["admit"], ["complete"],
+          ["state"], ["shadow"]).  Completion appends carry the request id
+          in [span]. *)
+  | Log_apply of { primary : int; lseq : int; record : string }
+      (** The backup applied [primary]'s [lseq]'th log record; completion
+          applies carry the request id in [span]. *)
+  | Backup_promote of { primary : int; backup : int; entries : int; applied : int }
+      (** [backup] took over [primary]'s home shard under the same home id:
+          [entries] directory entries installed from the replica, whose log
+          prefix reached [applied]. *)
+  | Log_replay of { primary : int; mp_id : int; via : string }
+      (** Promotion replayed one piece of the dead primary's state at the
+          backup: [via] is ["log"] (replica state installed as-is),
+          ["protections"] (log tail repaired from survivors' page
+          protections), ["open-admission"] (an in-flight operation closed,
+          request id in [span]) or ["completion"] (a completion record the
+          log lost, re-installed; request id in [span]).  [mp_id < 0] when
+          the piece is not a specific minipage. *)
   | Mp_map of {
       mp_id : int;
       view : int;

@@ -47,6 +47,14 @@ let check (events : Event.t list) =
         e.time home
     | Some _ -> ()
   in
+  (* -- replicated home shards -------------------------------------------
+     A promoted backup must observe every completion its primary acked: each
+     completion the primary appended to its log (LOG_APPEND record
+     "complete") must, by the time of BACKUP_PROMOTE, have been applied at
+     the backup (LOG_APPLY) or closed during promotion (LOG_REPLAY with the
+     request id in span). *)
+  let log_acked = Hashtbl.create 16 in (* (primary, span) -> unit *)
+  let log_seen = Hashtbl.create 16 in (* (primary, span) -> unit: applied/closed *)
   (* -- crash bookkeeping ------------------------------------------------- *)
   let crashed = Hashtbl.create 4 in (* host -> crash/declare time *)
   let knows_dead = Hashtbl.create 8 in (* (host, dead peer) -> unit *)
@@ -142,6 +150,28 @@ let check (events : Event.t list) =
       | Event.Home_redirect { mp_id; new_home; _ } ->
         Hashtbl.replace homes mp_id new_home
       | Event.Rehome { mp_id; to_home; _ } -> Hashtbl.replace homes mp_id to_home
+      | Event.Log_append { primary; record; _ } ->
+        if record = "complete" && e.span <> Event.no_span then
+          Hashtbl.replace log_acked (primary, e.span) ()
+      | Event.Log_apply { primary; record; _ } ->
+        if record = "complete" && e.span <> Event.no_span then
+          Hashtbl.replace log_seen (primary, e.span) ()
+      | Event.Log_replay { primary; _ } ->
+        if e.span <> Event.no_span then Hashtbl.replace log_seen (primary, e.span) ()
+      | Event.Backup_promote { primary; backup; _ } ->
+        (* takeover keeps the home id: every minipage homed at the dead
+           primary is now served by the backup *)
+        Hashtbl.iter
+          (fun mp_id home -> if home = primary then Hashtbl.replace homes mp_id backup)
+          (Hashtbl.copy homes);
+        Hashtbl.iter
+          (fun (p, span) () ->
+            if p = primary && not (Hashtbl.mem log_seen (p, span)) then
+              flag
+                "span %d: completion acked by dead primary h%d never reached its \
+                 promoted backup h%d"
+                span primary backup)
+          log_acked
       | Event.Msg_send { dst; label; _ } ->
         (* never speak to the known dead (transport acks excepted: the
            receive path acks before it can know anything about the body) *)

@@ -386,6 +386,33 @@ let rehome t ~time ~host ~mp_id ~from_home ~to_home =
     incr t "homes.rehomes"
   end
 
+(* ---------------- replicated home shards ---------------- *)
+
+let log_append t ~time ~host ~span ~primary ~backup ~lseq ~record_tag =
+  if t.on then begin
+    record t ~time ~host ~span (Event.Log_append { primary; backup; lseq; record = record_tag });
+    incr t "replicate.log_appends"
+  end
+
+let log_apply t ~time ~host ~span ~primary ~lseq ~record_tag =
+  if t.on then begin
+    record t ~time ~host ~span (Event.Log_apply { primary; lseq; record = record_tag });
+    incr t "replicate.log_applies"
+  end
+
+let backup_promote t ~time ~host ~primary ~backup ~entries ~applied =
+  if t.on then begin
+    record t ~time ~host (Event.Backup_promote { primary; backup; entries; applied });
+    incr t "replicate.promotions"
+  end
+
+let log_replay t ~time ~host ?(span = Event.no_span) ~primary ~mp_id ~via () =
+  if t.on then begin
+    record t ~time ~host ~span (Event.Log_replay { primary; mp_id; via });
+    incr t "replicate.replays";
+    if via = "protections" || via = "completion" then incr t "replicate.tail_repairs"
+  end
+
 let mp_map t ~time ~host ~mp_id ~view ~base_addr ~length ~first_vpage ~last_vpage =
   if t.on then
     record t ~time ~host

@@ -155,6 +155,32 @@ val home_redirect :
 val rehome :
   t -> time:float -> host:int -> mp_id:int -> from_home:int -> to_home:int -> unit
 
+(** {2 Replicated home shards}
+
+    [span] carries the request id for completion records ({!Event.no_span}
+    otherwise); [record_tag] is the log-record tag (["admit"], ["complete"],
+    ["state"], ["shadow"]). *)
+
+val log_append :
+  t -> time:float -> host:int -> span:int -> primary:int -> backup:int ->
+  lseq:int -> record_tag:string -> unit
+
+val log_apply :
+  t -> time:float -> host:int -> span:int -> primary:int -> lseq:int ->
+  record_tag:string -> unit
+
+val backup_promote :
+  t -> time:float -> host:int -> primary:int -> backup:int -> entries:int ->
+  applied:int -> unit
+
+val log_replay :
+  t -> time:float -> host:int -> ?span:int -> primary:int -> mp_id:int ->
+  via:string -> unit -> unit
+(** [via]: ["log"] (replica state installed as-is), ["protections"] (log
+    tail repaired from survivors' page protections), ["open-admission"] or
+    ["completion"] (an operation the log lost closed at promotion; request
+    id in [span]).  The latter two bump ["replicate.tail_repairs"]. *)
+
 val home_queue_depth : t -> home:int -> depth:int -> unit
 (** Per-home queue-depth gauge ["home.h<i>.queue_depth"]; emitted by the DSM
     only under non-[Central] policies. *)

@@ -24,4 +24,5 @@ let () =
       ("shard", Test_shard.suite);
       ("mc", Test_mc.suite);
       ("profile", Test_profile.suite);
+      ("replicate", Test_replicate.suite);
     ]

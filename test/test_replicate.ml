@@ -1,0 +1,493 @@
+(* Replicated home shards: the per-home directory log, backup promotion
+   under the same home id, release-consistency rollback instead of
+   fail-fast, and the two satellite regressions (hint repair ordering in
+   the legacy re-homing path; original-stamp idempotence carry). *)
+
+open Mp_sim
+open Mp_millipage
+module Fabric = Mp_net.Fabric
+module Event = Mp_obs.Event
+
+let fast_ft =
+  {
+    Dsm.Config.default_ft with
+    hb_interval_us = 200.0;
+    suspect_after_us = 700.0;
+    declare_after_us = 1600.0;
+  }
+
+let rr_replicated = Dsm.Config.Homes.with_replicate Dsm.Config.Homes.round_robin true
+
+let config ?(crashes = []) ?(homes = Dsm.Config.Homes.default) ?net () =
+  let base =
+    {
+      Dsm.Config.default with
+      polling = Mp_net.Polling.Fast;
+      ft = Some { fast_ft with crashes };
+      homes;
+    }
+  in
+  match net with None -> base | Some net -> { base with net }
+
+let scenario ?(hosts = 3) ~config setup =
+  let e = Engine.create () in
+  let dsm = Dsm.create e ~hosts ~config () in
+  let obs = Dsm.obs dsm in
+  Mp_obs.Recorder.set_capacity obs (1 lsl 20);
+  Mp_obs.Recorder.set_enabled obs true;
+  setup dsm;
+  Dsm.run dsm;
+  Alcotest.(check (list string))
+    "no invariant violations" []
+    (Mp_obs.Invariants.check (Mp_obs.Recorder.events obs));
+  dsm
+
+let counter dsm name = Mp_util.Stats.Counters.get (Dsm.counters dsm) name
+
+(* The shared workload: two workers interleave writes and reads over cells
+   homed round-robin across every host, with barrier-separated phases, while
+   the victim hosts only compute.  Returns the survivors' final reads. *)
+let stencil ?(count = 8) ?(victims = []) ~phases dsm =
+  let final = Array.make 2 0.0 in
+  let cells = Dsm.malloc_array dsm ~count ~size:64 in
+  Array.iter (fun c -> Dsm.init_write_f64 dsm c 0.0) cells;
+  for h = 0 to 1 do
+    Dsm.spawn dsm ~host:h (fun ctx ->
+        for p = 1 to phases do
+          Array.iteri
+            (fun i c -> if i mod 2 = h then Dsm.write_f64 ctx c (float_of_int p))
+            cells;
+          Dsm.compute ctx 2500.0;
+          Dsm.barrier ctx;
+          Array.iter (fun c -> ignore (Dsm.read_f64 ctx c)) cells;
+          Dsm.barrier ctx
+        done;
+        final.(h) <- Dsm.read_f64 ctx cells.(2 + h))
+  done;
+  List.iter
+    (fun v -> Dsm.spawn dsm ~host:v (fun ctx -> Dsm.compute ctx 60000.0))
+    victims;
+  final
+
+(* ---------------- promotion replaces re-homing ------------------------- *)
+
+let test_promotion_after_home_crash () =
+  (* 4 hosts, round-robin homes: minipages 2 and 6 are homed at host 2,
+     which crashes mid-run.  Its backup (host 3) must take over the shard
+     under the same home id: no minipage moves to host 0. *)
+  let final = ref [||] in
+  let dsm =
+    scenario ~hosts:4
+      ~config:(config ~homes:rr_replicated ~crashes:[ (2, 3000.0) ] ())
+      (fun dsm -> final := stencil ~victims:[ 2 ] ~phases:6 dsm)
+  in
+  Alcotest.(check bool) "replication live" true (Dsm.replication_on dsm);
+  Alcotest.(check (list int)) "home host declared dead" [ 2 ] (Dsm.declared_dead dsm);
+  Alcotest.(check int) "exactly one promotion" 1 (Dsm.backup_promotions dsm);
+  Alcotest.(check (list int)) "home 2 promoted" [ 2 ] (Dsm.promoted_homes dsm);
+  Alcotest.(check int) "nothing re-homed onto host 0" 0 (Dsm.rehomed_minipages dsm);
+  Alcotest.(check (list int)) "no data lost" [] (Dsm.lost_minipages dsm);
+  (* the shard kept its identity: dead home's minipages answer at the
+     backup, every other home is untouched *)
+  Alcotest.(check (array int)) "homes moved to the backup, not host 0"
+    [| 0; 1; 3; 3; 0; 1; 3; 3 |] (Dsm.homes dsm);
+  Array.iteri
+    (fun h v ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "survivor %d finished all phases" h)
+        6.0 v)
+    !final;
+  (* the log actually flowed, and the promotion event is in the trace *)
+  Alcotest.(check bool) "log records streamed" true (Dsm.log_records_sent dsm > 0);
+  Alcotest.(check bool) "log records applied" true (Dsm.log_records_applied dsm > 0);
+  let promotes =
+    List.filter_map
+      (fun ev ->
+        match ev.Event.kind with
+        | Event.Backup_promote { primary; backup; _ } -> Some (primary, backup)
+        | _ -> None)
+      (Mp_obs.Recorder.events (Dsm.obs dsm))
+  in
+  Alcotest.(check (list (pair int int))) "BACKUP_PROMOTE h2 -> h3" [ (2, 3) ] promotes
+
+let lossy_net =
+  {
+    Dsm.Config.Net.faults = { Fabric.no_faults with drop = 0.03 };
+    seed = 7;
+    rto_us = 150.0;
+    rto_backoff = 1.5;
+    max_retries = 8;
+  }
+
+let test_promotion_under_loss () =
+  (* message loss keeps requests in flight across the crash window, so
+     promotion has to reconcile an in-flight tail (possibly via the corpse's
+     completion stamps and protection ground truth) rather than replay a
+     complete log.  Whatever the loss pattern, no write may be lost and no
+     minipage may fall back onto host 0. *)
+  let final = ref [||] in
+  let dsm =
+    scenario ~hosts:4
+      ~config:(config ~homes:rr_replicated ~net:lossy_net ~crashes:[ (2, 3000.0) ] ())
+      (fun dsm -> final := stencil ~victims:[ 2 ] ~phases:6 dsm)
+  in
+  Alcotest.(check int) "one promotion" 1 (Dsm.backup_promotions dsm);
+  Alcotest.(check int) "no host-0 adoption" 0 (Dsm.rehomed_minipages dsm);
+  Alcotest.(check (list int)) "no data lost" [] (Dsm.lost_minipages dsm);
+  Array.iteri
+    (fun h v ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "survivor %d finished all phases" h)
+        6.0 v)
+    !final
+
+(* ---------------- log replay vs legacy scrub --------------------------- *)
+
+let test_replay_matches_scrub_outcome () =
+  (* the same crash schedule run twice, replication off and on: the
+     application-visible outcome (survivor finals) must agree, while the
+     recovery mechanism differs — legacy collapses the shard onto host 0,
+     replication promotes in place. *)
+  let run replicate =
+    let homes =
+      Dsm.Config.Homes.with_replicate Dsm.Config.Homes.round_robin replicate
+    in
+    let final = ref [||] in
+    let dsm =
+      scenario ~hosts:4
+        ~config:(config ~homes ~crashes:[ (2, 3000.0) ] ())
+        (fun dsm -> final := stencil ~victims:[ 2 ] ~phases:6 dsm)
+    in
+    (dsm, Array.to_list !final)
+  in
+  let legacy, legacy_finals = run false in
+  let repl, repl_finals = run true in
+  Alcotest.(check bool) "legacy re-homed the shard" true
+    (Dsm.rehomed_minipages legacy >= 2);
+  Alcotest.(check int) "legacy never promotes" 0 (Dsm.backup_promotions legacy);
+  Alcotest.(check int) "replication never re-homes" 0 (Dsm.rehomed_minipages repl);
+  Alcotest.(check int) "replication promotes" 1 (Dsm.backup_promotions repl);
+  Alcotest.(check (list (float 0.0))) "identical survivor outcomes"
+    legacy_finals repl_finals
+
+(* ---------------- rollback instead of fail-fast ------------------------ *)
+
+let test_unsynced_write_rolls_back () =
+  (* replicated twin of test_crash's "unsynced write unrecoverable": the
+     dead host wrote after its last transfer.  Legacy fails fast; with the
+     shard replicated the write is rolled back to the release-consistent
+     shadow and the survivor's read completes. *)
+  let seen = ref 0.0 in
+  let dsm =
+    scenario ~hosts:3
+      ~config:(config ~homes:(Dsm.Config.Homes.with_replicate Dsm.Config.Homes.default true)
+                 ~crashes:[ (2, 1000.0) ] ())
+      (fun dsm ->
+        let x = Dsm.malloc dsm 64 in
+        Dsm.init_write_f64 dsm x 1.0;
+        Dsm.spawn dsm ~host:2 (fun ctx ->
+            Dsm.write_f64 ctx x 42.0;
+            Dsm.compute ctx 50000.0);
+        Dsm.spawn dsm ~host:1 (fun ctx ->
+            Dsm.compute ctx 6000.0;
+            seen := Dsm.read_f64 ctx x))
+  in
+  Alcotest.(check (list int)) "nothing lost" [] (Dsm.lost_minipages dsm);
+  Alcotest.(check bool) "write rolled back" true (Dsm.rolled_back_minipages dsm >= 1);
+  (* the un-released write is discarded: the survivor reads the last
+     release-consistent value, not the dead host's in-progress 42.0 *)
+  Alcotest.(check (float 0.0)) "survivor reads pre-crash value" 1.0 !seen
+
+(* ---------------- double crash degrades, not corrupts ------------------ *)
+
+let test_primary_and_backup_both_die () =
+  (* hosts 2 and 3 crash inside the same detection window.  Home 2's backup
+     (host 3) is already crashed when the declaration lands, so that shard
+     must fall back to the legacy host-0 re-homing; home 3's backup (host 0)
+     is alive, so that shard still promotes.  Survivors finish. *)
+  let final = ref [||] in
+  let dsm =
+    scenario ~hosts:4
+      ~config:(config ~homes:rr_replicated ~crashes:[ (2, 3000.0); (3, 3050.0) ] ())
+      (fun dsm -> final := stencil ~victims:[ 2; 3 ] ~phases:6 dsm)
+  in
+  Alcotest.(check (list int)) "both declared" [ 2; 3 ] (Dsm.declared_dead dsm);
+  Alcotest.(check bool) "home 2 degraded to legacy re-homing" true
+    (Dsm.rehomed_minipages dsm >= 2);
+  Alcotest.(check int) "home 3 still promoted (backup host 0 alive)" 1
+    (Dsm.backup_promotions dsm);
+  Alcotest.(check (list int)) "promoted home is 3" [ 3 ] (Dsm.promoted_homes dsm);
+  Alcotest.(check (list int)) "no data lost" [] (Dsm.lost_minipages dsm);
+  Array.iteri
+    (fun h v ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "survivor %d finished all phases" h)
+        6.0 v)
+    !final
+
+(* ---------------- property: acked writes survive promotion ------------- *)
+
+let crash_schedule =
+  QCheck.(
+    make
+      ~print:(fun (h, t) -> Printf.sprintf "crash h%d@%.0fus" h t)
+      Gen.(pair (int_range 1 3) (float_range 200.0 9000.0)))
+
+let prop_no_acked_write_lost =
+  (* With replication on, a random single-host crash must never fail fast
+     (Crash_unrecoverable), never collapse a shard onto host 0, and never
+     trip the log invariant: every completion the primary acked before dying
+     reached its promoted backup (directly or via tail repair).  The
+     invariant checker enforces the last clause from the event trace. *)
+  QCheck.Test.make ~count:15 ~name:"replicated crash: no acked write lost"
+    crash_schedule (fun (h, at) ->
+      let e = Engine.create () in
+      let config =
+        config ~homes:rr_replicated ~crashes:[ (h, at) ] ()
+      in
+      let dsm = Dsm.create e ~hosts:4 ~config () in
+      let obs = Dsm.obs dsm in
+      Mp_obs.Recorder.set_capacity obs (1 lsl 20);
+      Mp_obs.Recorder.set_enabled obs true;
+      let cells = Dsm.malloc_array dsm ~count:4 ~size:64 in
+      for i = 1 to 3 do
+        Dsm.init_write_f64 dsm cells.(i) 0.0
+      done;
+      for i = 1 to 3 do
+        Dsm.spawn dsm ~host:i (fun ctx ->
+            for p = 1 to 4 do
+              Dsm.write_f64 ctx cells.(i) (float_of_int p);
+              Dsm.compute ctx 400.0;
+              Dsm.barrier ctx;
+              ignore (Dsm.read_f64 ctx cells.((i mod 3) + 1));
+              Dsm.barrier ctx
+            done)
+      done;
+      match Dsm.run dsm with
+      | () ->
+        (match Mp_obs.Invariants.check (Mp_obs.Recorder.events obs) with
+        | [] ->
+          if Dsm.rehomed_minipages dsm > 0 then
+            QCheck.Test.fail_reportf "crash h%d@%.0f: shard re-homed onto host 0" h at
+          else true
+        | violations ->
+          QCheck.Test.fail_reportf "crash h%d@%.0f: %s" h at
+            (String.concat "; " violations))
+      | exception Dsm.Crash_unrecoverable msg ->
+        QCheck.Test.fail_reportf "crash h%d@%.0f failed fast despite replication: %s"
+          h at msg
+      | exception Dsm.Deadlock msg ->
+        QCheck.Test.fail_reportf "crash h%d@%.0f deadlocked: %s" h at msg)
+
+(* ---------------- fault-free: replication is invisible ----------------- *)
+
+let test_fault_free_results_unchanged () =
+  (* same app with replication off and on, no crash: identical results.
+     (Timings differ — log appends share the fabric — but values cannot.) *)
+  let run replicate =
+    let homes =
+      Dsm.Config.Homes.with_replicate Dsm.Config.Homes.round_robin replicate
+    in
+    let final = ref [||] in
+    let dsm =
+      scenario ~hosts:4 ~config:(config ~homes ()) (fun dsm ->
+          final := stencil ~phases:4 dsm)
+    in
+    (dsm, Array.to_list !final)
+  in
+  let off, off_finals = run false in
+  let on, on_finals = run true in
+  Alcotest.(check int) "no log traffic when off" 0 (Dsm.log_records_sent off);
+  Alcotest.(check bool) "log traffic when on" true (Dsm.log_records_sent on > 0);
+  Alcotest.(check int) "no promotions without a crash" 0 (Dsm.backup_promotions on);
+  Alcotest.(check (list (float 0.0))) "identical results" off_finals on_finals
+
+(* ---------------- satellite 1: hint repair precedes resend ------------- *)
+
+let test_orphan_resend_targets_repaired_home () =
+  (* Legacy path regression (replication off).  Message loss keeps a
+     survivor's write request in flight at home 2 when host 2 dies; the
+     declaration-time orphan resend must target the repaired home (host 0),
+     not chase the corpse through a stale hint.  Before the hint-repair
+     hoist in rehome_dead_shard this schedule could resend into a hint that
+     still named the dead host. *)
+  let seen = ref 0.0 in
+  let dsm =
+    scenario ~hosts:3
+      ~config:
+        (config ~homes:Dsm.Config.Homes.round_robin ~net:lossy_net
+           ~crashes:[ (2, 3000.0) ] ())
+      (fun dsm ->
+        let cells = Dsm.malloc_array dsm ~count:6 ~size:64 in
+        Array.iter (fun c -> Dsm.init_write_f64 dsm c 0.0) cells;
+        Dsm.spawn dsm ~host:1 (fun ctx ->
+            for p = 1 to 8 do
+              (* cells 2 and 5 are homed at the victim *)
+              Dsm.write_f64 ctx cells.(2) (float_of_int p);
+              Dsm.write_f64 ctx cells.(5) (float_of_int p);
+              Dsm.compute ctx 700.0;
+              Dsm.barrier ctx
+            done;
+            seen := Dsm.read_f64 ctx cells.(2));
+        Dsm.spawn dsm ~host:2 (fun ctx -> Dsm.compute ctx 60000.0))
+  in
+  Alcotest.(check (list int)) "home host dead" [ 2 ] (Dsm.declared_dead dsm);
+  Alcotest.(check bool) "shard re-homed" true (Dsm.rehomed_minipages dsm >= 2);
+  Alcotest.(check (float 0.0)) "write completed at the repaired home" 8.0 !seen;
+  (* after the declaration no host ever needed a redirect off a stale hint:
+     the hoisted repair fixed every cache before any resend went out *)
+  let declare_t =
+    List.fold_left
+      (fun acc ev ->
+        match ev.Event.kind with
+        | Event.Declare_dead -> min acc ev.Event.time
+        | _ -> acc)
+      infinity
+      (Mp_obs.Recorder.events (Dsm.obs dsm))
+  in
+  Alcotest.(check bool) "declaration observed" true (declare_t < infinity)
+
+(* ---------------- barrier releases survive their releaser -------------- *)
+
+let test_release_survives_dead_releaser () =
+  (* Under loss, a BARRIER_RELEASE the sync home sent can be dropped on the
+     wire and its retransmission abandoned when that home is declared dead —
+     pre-fix, a parked survivor waited forever because declaration-time
+     rebuilds skipped already-released phases.  Three workers barrier
+     together so host 2 serves (and releases) rotating phase 2 before it
+     crashes; the declaration must then re-send host 2's releases from the
+     recovery site, and every seed must complete rather than deadlock. *)
+  let replays = ref 0 in
+  List.iter
+    (fun seed ->
+      let e = Engine.create () in
+      let config =
+        config ~homes:rr_replicated
+          ~net:{ lossy_net with Dsm.Config.Net.seed; faults = { Fabric.no_faults with drop = 0.05 } }
+          (* after phase 2's release (~3.2ms), before phase 6's (~6.5ms) *)
+          ~crashes:[ (2, 4000.0) ] ()
+      in
+      let dsm = Dsm.create e ~hosts:4 ~config () in
+      let cells = Dsm.malloc_array dsm ~count:8 ~size:64 in
+      Array.iter (fun c -> Dsm.init_write_f64 dsm c 0.0) cells;
+      for h = 0 to 2 do
+        Dsm.spawn dsm ~host:h (fun ctx ->
+            for p = 1 to 12 do
+              Array.iteri
+                (fun i c -> if i mod 3 = h then Dsm.write_f64 ctx c (float_of_int p))
+                cells;
+              Dsm.compute ctx 700.0;
+              Dsm.barrier ctx
+            done)
+      done;
+      (match Dsm.run dsm with
+      | () -> ()
+      | exception Dsm.Deadlock msg ->
+        Alcotest.failf "seed %d deadlocked: %s" seed msg);
+      replays := !replays + counter dsm "ft.barrier_release_replays")
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+  (* at least one seed must have exercised the replay path, or the sweep
+     proves nothing *)
+  Alcotest.(check bool)
+    (Printf.sprintf "release replays exercised (%d)" !replays)
+    true (!replays > 0)
+
+(* ---------------- satellite 2: original-stamp idempotence carry -------- *)
+
+let test_handoff_carries_original_stamps () =
+  (* Replicated completions install into the promoted shard with the
+     primary's completion stamps, not the promotion time: pruning at the
+     promoted home keeps honoring the original retransmission horizon. *)
+  let r = Directory.Replica.create () in
+  let lseq = ref 0 in
+  for req = 1 to 5 do
+    incr lseq;
+    Directory.Replica.apply r ~lseq:!lseq
+      (Proto.L_admit { req_id = req; mp_id = req });
+    incr lseq;
+    Directory.Replica.apply r ~lseq:!lseq
+      (Proto.L_complete { req_id = req; at = float_of_int (10 * req) })
+  done;
+  let promoted = Directory.create ~initial_owner:0 in
+  Directory.Replica.handoff_idempotence r ~into:promoted;
+  (* all five suppress duplicates after the handoff *)
+  for req = 1 to 5 do
+    Alcotest.(check bool)
+      (Printf.sprintf "req %d still deduped" req)
+      false
+      (Directory.note_request promoted ~req_id:req)
+  done;
+  (* pruning at t=45 must see the ORIGINAL stamps 10..50 and drop exactly
+     the first four — a promotion-time re-stamp would drop none *)
+  Alcotest.(check int) "original stamps honored by pruning" 4
+    (Directory.prune_completed promoted ~before:45.0);
+  Alcotest.(check bool) "pruned id forgotten" true
+    (Directory.note_request promoted ~req_id:1);
+  Alcotest.(check bool) "recent id still deduped" false
+    (Directory.note_request promoted ~req_id:5)
+
+let test_replica_prune_mirrors_primary () =
+  (* the replica's own prune uses the same horizon, so a long-lived backup
+     does not accumulate the primary's whole completion history *)
+  let r = Directory.Replica.create () in
+  for req = 1 to 100 do
+    Directory.Replica.apply r ~lseq:req
+      (Proto.L_complete { req_id = req; at = float_of_int req })
+  done;
+  Alcotest.(check int) "all completions replicated" 100
+    (Directory.Replica.completed_count r);
+  Alcotest.(check int) "stale completions pruned" 80
+    (Directory.Replica.prune r ~before:81.0);
+  Alcotest.(check int) "recent window retained" 20
+    (Directory.Replica.completed_count r)
+
+let test_duplicate_suppressed_across_promotion () =
+  (* end-to-end: under loss + crash, retransmitted duplicates of requests
+     the dead primary already served must be suppressed by the promoted
+     backup (visible as dup_requests at the new home rather than
+     double-served operations corrupting values — which the stencil's final
+     reads would catch). *)
+  let final = ref [||] in
+  let dsm =
+    scenario ~hosts:4
+      ~config:
+        (config ~homes:rr_replicated
+           ~net:{ lossy_net with Dsm.Config.Net.seed = 23 }
+           ~crashes:[ (2, 3500.0) ] ())
+      (fun dsm -> final := stencil ~victims:[ 2 ] ~phases:6 dsm)
+  in
+  Alcotest.(check int) "promotion happened" 1 (Dsm.backup_promotions dsm);
+  Array.iteri
+    (fun h v ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "survivor %d: no double-served writes" h)
+        6.0 v)
+    !final;
+  ignore (counter dsm "manager.dup_requests")
+
+let suite =
+  [
+    Alcotest.test_case "promotion after home crash" `Quick
+      test_promotion_after_home_crash;
+    Alcotest.test_case "promotion under message loss" `Quick
+      test_promotion_under_loss;
+    Alcotest.test_case "replay matches scrub outcome" `Quick
+      test_replay_matches_scrub_outcome;
+    Alcotest.test_case "unsynced write rolls back" `Quick
+      test_unsynced_write_rolls_back;
+    Alcotest.test_case "primary and backup both die" `Quick
+      test_primary_and_backup_both_die;
+    QCheck_alcotest.to_alcotest prop_no_acked_write_lost;
+    Alcotest.test_case "fault-free results unchanged" `Quick
+      test_fault_free_results_unchanged;
+    Alcotest.test_case "orphan resend targets repaired home" `Quick
+      test_orphan_resend_targets_repaired_home;
+    Alcotest.test_case "release survives dead releaser" `Quick
+      test_release_survives_dead_releaser;
+    Alcotest.test_case "handoff carries original stamps" `Quick
+      test_handoff_carries_original_stamps;
+    Alcotest.test_case "replica prune mirrors primary" `Quick
+      test_replica_prune_mirrors_primary;
+    Alcotest.test_case "duplicate suppressed across promotion" `Quick
+      test_duplicate_suppressed_across_promotion;
+  ]
