@@ -46,7 +46,7 @@ let test_diff =
   Bytes.fill current 100 64 'b';
   Bytes.fill current 2000 128 'c';
   Test.make ~name:"run-length diff of 4KB page"
-    (Staged.stage (fun () -> ignore (Mp_baselines.Twin_diff.diff ~twin ~current)))
+    (Staged.stage (fun () -> ignore (Mp_millipage.Twin_diff.diff ~twin ~current)))
 
 let test_vm_read =
   let obj = Mp_memsim.Memobject.create ~size:(64 * 1024) () in

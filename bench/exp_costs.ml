@@ -93,7 +93,7 @@ let run () =
        (fun bytes ->
          [
            Printf.sprintf "%d B" bytes;
-           Tab.fu (Mp_baselines.Twin_diff.creation_cost_us ~page_bytes:bytes);
+           Tab.fu (Mp_millipage.Twin_diff.creation_cost_us ~page_bytes:bytes);
          ])
        [ 1024; 2048; 4096 ]);
   Harness.note

@@ -19,6 +19,22 @@ let sor_params = { Mp_apps.Sor.default_params with rows = 128; iterations = 5 }
 let host_counts = [ 8; 16; 32; 64 ]
 let net_seed = 42
 
+(* Per-mode protocol cost on a falsely-shared synthetic: groups of eight
+   hosts share one 64-byte minipage, each host owning an 8-byte slot it
+   rewrites every barrier phase before reading a neighbor's.  Under SC the
+   minipage ping-pongs on every interleaved write; under RC each host pays
+   one fetch-and-twin plus one release diff per phase; adaptive starts SC
+   and must promote once the governor sees the write-shared signature. *)
+let fs_phases = 8
+
+type mode_cost = {
+  mc_msgs : int;
+  mc_bytes : int;
+  mc_switches : int;
+  mc_rc_pages : int;
+  mc_ok : bool;
+}
+
 type run_result = {
   r_hosts : int;
   r_end_us : float;
@@ -27,7 +43,53 @@ type run_result = {
   r_verified : bool;
   r_summary : (string * int) list;
   r_hosts_cost : (int * Profile.host_cost) list;
+  r_fs : (string * mode_cost) list;
 }
+
+let false_sharing_run ~hosts consistency =
+  let e = Engine.create () in
+  let config =
+    {
+      Dsm.Config.default with
+      net = { Dsm.Config.Net.default with seed = net_seed };
+      consistency;
+    }
+  in
+  let dsm = Dsm.create e ~hosts ~config () in
+  let groups = max 1 (hosts / 8) in
+  let mps = Dsm.malloc_array dsm ~count:groups ~size:64 in
+  Array.iter (fun x -> Dsm.init_write_f64 dsm x 0.0) mps;
+  let ok = ref true in
+  for h = 0 to hosts - 1 do
+    let g = h / 8 and slot = h mod 8 in
+    Dsm.spawn dsm ~host:h (fun ctx ->
+        for p = 1 to fs_phases do
+          let v = float_of_int ((p * 1000) + h) in
+          (* two spaced writes per phase so concurrent writers interleave *)
+          Dsm.write_f64 ctx (mps.(g) + (8 * slot)) v;
+          Dsm.compute ctx 200.0;
+          Dsm.write_f64 ctx (mps.(g) + (8 * slot)) v;
+          Dsm.compute ctx 200.0;
+          Dsm.barrier ctx;
+          let n = (slot + 1) mod 8 in
+          let got = Dsm.read_f64 ctx (mps.(g) + (8 * n)) in
+          if got <> float_of_int ((p * 1000) + (g * 8) + n) then ok := false;
+          Dsm.barrier ctx
+        done)
+  done;
+  Dsm.run dsm;
+  {
+    mc_msgs = Dsm.messages_sent dsm;
+    mc_bytes = Dsm.bytes_sent dsm;
+    mc_switches = Dsm.mode_switches dsm;
+    mc_rc_pages =
+      (try List.assoc Mp_millipage.Proto.Rc (Dsm.modes dsm) with Not_found -> 0);
+    mc_ok = !ok;
+  }
+
+let fs_modes =
+  Dsm.Config.Consistency.
+    [ ("sc", sc); ("rc", rc); ("adaptive", adaptive) ]
 
 let run_one ~hosts =
   let e = Engine.create () in
@@ -54,6 +116,8 @@ let run_one ~hosts =
     r_verified = verified;
     r_summary = Profile.summary prof;
     r_hosts_cost = Profile.hosts prof;
+    r_fs =
+      List.map (fun (name, c) -> (name, false_sharing_run ~hosts c)) fs_modes;
   }
 
 let ev_per_sec r =
@@ -85,7 +149,18 @@ let json_of_run b r =
       if i > 0 then Buffer.add_string b ", ";
       Buffer.add_string b (Printf.sprintf "%S: %d" name n))
     r.r_summary;
-  Buffer.add_string b " },\n      \"per_host\": [\n";
+  Buffer.add_string b " },\n      \"false_sharing\": {\n";
+  let nfs = List.length r.r_fs in
+  List.iteri
+    (fun i (name, c) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "        %S: { \"msgs\": %d, \"bytes\": %d, \"switches\": %d, \
+            \"rc_pages\": %d, \"verified\": %b }%s\n"
+           name c.mc_msgs c.mc_bytes c.mc_switches c.mc_rc_pages c.mc_ok
+           (if i = nfs - 1 then "" else ",")))
+    r.r_fs;
+  Buffer.add_string b "      },\n      \"per_host\": [\n";
   let n = List.length r.r_hosts_cost in
   List.iteri
     (fun i (h, (c : Profile.host_cost)) ->
@@ -219,6 +294,7 @@ let run ?(max_hosts = 64) ?(check = false) () =
        "Scale trajectory: SOR %dx%d, %d iterations, profiler attached, hosts up to %d"
        sor_params.rows sor_params.cols sor_params.iterations max_hosts);
   let results = List.map (fun hosts -> run_one ~hosts) host_counts in
+  let fs r name = List.assoc name r.r_fs in
   let rows =
     List.map
       (fun r ->
@@ -232,6 +308,10 @@ let run ?(max_hosts = 64) ?(check = false) () =
           string_of_int msgs;
           string_of_int bytes;
           string_of_int (max_host_msgs r);
+          string_of_int (fs r "sc").mc_msgs;
+          string_of_int (fs r "rc").mc_msgs;
+          Printf.sprintf "%d (%d sw)" (fs r "adaptive").mc_msgs
+            (fs r "adaptive").mc_switches;
           (if r.r_verified then "ok" else "FAIL");
         ])
       results
@@ -240,13 +320,29 @@ let run ?(max_hosts = 64) ?(check = false) () =
     ~header:
       [
         "hosts"; "sim time us"; "wall s"; "events"; "ev/s"; "msgs"; "bytes";
-        "max host msgs"; "verified";
+        "max host msgs"; "fs sc"; "fs rc"; "fs adaptive"; "verified";
       ]
     rows;
   Harness.note
     "'ev/s' is profiler streaming throughput (typed events per wall-clock \
      second); 'max host msgs' the hottest host's message count — the gap to \
-     msgs/hosts measures protocol skew.";
+     msgs/hosts measures protocol skew.  The 'fs *' columns are message \
+     counts of the falsely-shared synthetic under each consistency mode \
+     ('sw' = mode switches the adaptive governor performed).";
   if check then check_json results else write_json results;
   if List.exists (fun r -> not r.r_verified) results then
-    failwith "exp_scale: a run failed verification"
+    failwith "exp_scale: a run failed verification";
+  List.iter
+    (fun r ->
+      if List.exists (fun (_, c) -> not c.mc_ok) r.r_fs then
+        failwith "exp_scale: the false-sharing synthetic computed wrong values";
+      (* the adaptive claim this bench exists to pin: on a write-shared
+         workload the governor must end up cheaper than pure SC *)
+      let sc = (fs r "sc").mc_msgs and ad = (fs r "adaptive").mc_msgs in
+      if ad >= sc then
+        failwith
+          (Printf.sprintf
+             "exp_scale: adaptive (%d msgs) did not beat sc (%d msgs) on the \
+              falsely-shared synthetic at %d hosts"
+             ad sc r.r_hosts))
+    results

@@ -67,33 +67,52 @@ let policies =
     Mp_millipage.Dsm.Config.Homes.block 2;
     Mp_millipage.Dsm.Config.Homes.first_toucher ]
 
-(* One matrix cell per {hosts × homes × faults × crash × replication}.
-   Crash cells pick the crash instant from the cell's own fault-free
-   baseline schedule so it lands mid-run at every host count, and need a
-   surviving majority.  Each crash cell also runs with the home shards
-   replicated — there the checker treats the legacy fail-fast
+(* One matrix cell per {hosts × homes × consistency × faults × crash ×
+   replication}.  Crash cells pick the crash instant from the cell's own
+   fault-free baseline schedule so it lands mid-run at every host count, and
+   need a surviving majority.  Each crash cell also runs with the home
+   shards replicated — there the checker treats the legacy fail-fast
    (Crash_unrecoverable) as a violation, pinning the no-lost-writes claim
-   across every explored schedule. *)
+   across every explored schedule.  The consistency column runs rc and
+   adaptive against the central and round-robin policies only (the protocol
+   mode is orthogonal to home placement, so crossing it with every policy
+   would triple the wall budget for no new interleavings), but every crash
+   cell keeps an rc twin: recovery must demote the dead home's rc minipages
+   before re-serving them. *)
+let consistency_modes homes =
+  let open Mp_millipage.Dsm.Config in
+  if
+    homes.Homes.policy = Homes.Central
+    || homes.Homes.policy = Homes.Round_robin
+  then [ Consistency.sc; Consistency.rc; Consistency.adaptive ]
+  else [ Consistency.sc ]
+
 let matrix_cells hosts_list =
   List.concat_map
     (fun hosts ->
       List.concat_map
         (fun homes ->
           List.concat_map
-            (fun faults ->
-              let base = { Scenario.default with hosts; homes; faults } in
-              let crash_cells =
-                if hosts < 3 then []
-                else
-                  let baseline = Scenario.run_plan { base with faults = Mp_net.Fabric.no_faults } Plan.empty in
-                  let at = Float.max 50.0 (baseline.Scenario.end_us *. 0.4) in
-                  let crash = { base with crashes = [ (hosts - 1, at) ] } in
-                  [ crash;
-                    { crash with
-                      homes = Mp_millipage.Dsm.Config.Homes.with_replicate homes true } ]
-              in
-              base :: crash_cells)
-            [ Mp_net.Fabric.no_faults; loss_faults ])
+            (fun consistency ->
+              List.concat_map
+                (fun faults ->
+                  let base =
+                    { Scenario.default with hosts; homes; consistency; faults }
+                  in
+                  let crash_cells =
+                    if hosts < 3 || consistency.Mp_millipage.Dsm.Config.Consistency.mode = `Adaptive
+                    then []
+                    else
+                      let baseline = Scenario.run_plan { base with faults = Mp_net.Fabric.no_faults } Plan.empty in
+                      let at = Float.max 50.0 (baseline.Scenario.end_us *. 0.4) in
+                      let crash = { base with crashes = [ (hosts - 1, at) ] } in
+                      [ crash;
+                        { crash with
+                          homes = Mp_millipage.Dsm.Config.Homes.with_replicate homes true } ]
+                  in
+                  base :: crash_cells)
+                [ Mp_net.Fabric.no_faults; loss_faults ])
+            (consistency_modes homes))
         policies)
     hosts_list
 

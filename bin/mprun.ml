@@ -250,7 +250,7 @@ let report_ft (t : Mp_millipage.Dsm.t) =
 
 let execute app system hosts chunking polling paper trace_out perfetto metrics
     profile profile_out loss dup reorder net_seed ft crash stall crash_seed
-    crash_horizon homes home_block replicate =
+    crash_horizon homes home_block replicate consistency adapt_interval =
   let meta =
     [
       ("app", app);
@@ -263,6 +263,7 @@ let execute app system hosts chunking polling paper trace_out perfetto metrics
       ("net_seed", string_of_int net_seed);
       ("crash_seed", string_of_int crash_seed);
     ]
+    @ (if consistency = "sc" then [] else [ ("consistency", consistency) ])
   in
   let obs_opts =
     { Obs_opts.trace_out; perfetto; metrics; profile; profile_out; meta }
@@ -276,6 +277,21 @@ let execute app system hosts chunking polling paper trace_out perfetto metrics
       invalid_arg (Printf.sprintf "unknown homes policy %S (central|rr|block|ft)" homes)
   in
   let homes_config = Mp_millipage.Dsm.Config.Homes.with_replicate homes_config replicate in
+  let consistency_config =
+    let module C = Mp_millipage.Dsm.Config.Consistency in
+    match C.mode_of_string consistency with
+    | Some mode ->
+      C.with_adapt_interval (C.with_mode C.default mode) adapt_interval
+    | None ->
+      invalid_arg
+        (Printf.sprintf "unknown consistency %S (sc|rc|adaptive)" consistency)
+  in
+  if consistency <> "sc" && system <> "millipage" then
+    invalid_arg
+      (Printf.sprintf
+         "protocol modes (--consistency) require --system millipage; %s has a \
+          single fixed protocol"
+         system);
   if replicate && system <> "millipage" then
     invalid_arg
       (Printf.sprintf
@@ -338,6 +354,7 @@ let execute app system hosts chunking polling paper trace_out perfetto metrics
           { Mp_millipage.Dsm.Config.Net.default with faults; seed = net_seed };
         ft = ft_config;
         homes = homes_config;
+        consistency = consistency_config;
       }
     in
     let t = Mp_millipage.Dsm.create engine ~hosts ~config () in
@@ -360,6 +377,24 @@ let execute app system hosts chunking polling paper trace_out perfetto metrics
                   (Array.to_list
                      (Array.map string_of_int
                         (Mp_millipage.Dsm.max_queue_depth_by_home t)))));
+          (let module C = Mp_millipage.Dsm.Config.Consistency in
+           if consistency_config.C.mode <> `Sc then begin
+             let census =
+               Mp_millipage.Dsm.modes t
+               |> List.map (fun (m, n) ->
+                      Printf.sprintf "%s %d" (Mp_millipage.Proto.mode_to_string m) n)
+               |> String.concat ", "
+             in
+             Printf.printf
+               "consistency:  %s (%s); %d switch(es), %d twin(s), %d diff(s) \
+                (%d bytes)\n"
+               (C.mode_name consistency_config.C.mode)
+               census
+               (Mp_millipage.Dsm.mode_switches t)
+               (Mp_millipage.Dsm.rc_twins t)
+               (Mp_millipage.Dsm.rc_diffs t)
+               (Mp_millipage.Dsm.rc_diff_bytes t)
+           end);
           if Mp_millipage.Dsm.faulty t then
             Printf.printf
               "net faults:   %d dropped, %d duplicated, %d reordered; %d \
@@ -582,13 +617,34 @@ let replicate_arg =
            no release-consistent write is lost.  Implies --ft.  Millipage \
            only.")
 
+let consistency_arg =
+  Arg.(
+    value & opt string "sc"
+    & info [ "consistency" ] ~docv:"MODE"
+        ~doc:
+          "Per-minipage consistency protocol: sc (the paper's Figure-3 \
+           single-writer machine, the default), rc (every minipage on the \
+           multi-writer twin/diff release-consistent path), or adaptive \
+           (start under sc and let the online governor promote write-shared \
+           and falsely-shared minipages to rc at sync points, demoting them \
+           when the pattern fades).  Millipage only.")
+
+let adapt_interval_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "adapt-interval" ] ~docv:"N"
+        ~doc:
+          "Evaluate the adaptation governor every $(docv) barrier phases \
+           (with --consistency adaptive).")
+
 let () =
   let term =
     Term.(const execute $ app_arg $ system_arg $ hosts_arg $ chunking_arg $ polling_arg
           $ paper_arg $ trace_out_arg $ perfetto_arg $ metrics_arg $ profile_arg
           $ profile_out_arg $ loss_arg $ dup_arg $ reorder_arg $ net_seed_arg
           $ ft_arg $ crash_arg $ stall_arg $ crash_seed_arg $ crash_horizon_arg
-          $ homes_arg $ home_block_arg $ replicate_arg)
+          $ homes_arg $ home_block_arg $ replicate_arg $ consistency_arg
+          $ adapt_interval_arg)
   in
   let info =
     Cmd.info "mprun" ~doc:"Run a Millipage benchmark application on a simulated cluster"

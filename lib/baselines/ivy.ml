@@ -56,6 +56,10 @@ let prefetch ctx addr access =
 let push_to_all = Dsm.push_to_all
 let compose = Dsm.compose
 let fetch_group = Dsm.fetch_group
+
+(* ivy never creates a non-default consistency config, so every page is SC *)
+let mode_of = Dsm.mode_of_mp
+let modes = Dsm.modes
 let messages_sent = Dsm.messages_sent
 let bytes_sent = Dsm.bytes_sent
 let read_faults = Dsm.read_faults

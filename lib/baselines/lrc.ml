@@ -3,6 +3,10 @@ open Mp_sim
 open Mp_memsim
 open Mp_net
 
+(* The twin/diff machinery moved into mp_millipage (shared with millipage's
+   RC mode and MRC); this alias keeps the baseline self-contained to read. *)
+module Twin_diff = Mp_millipage.Twin_diff
+
 module Cost = struct
   type t = {
     fault_us : float;
@@ -655,3 +659,10 @@ let profile t = Mp_obs.Profile.attached t.obs
 let diffs_created t = Stats.Counters.get t.counters "diffs"
 let diff_bytes t = Stats.Counters.get t.counters "diff.bytes"
 let twins_created t = Stats.Counters.get t.counters "twins"
+
+(* every page is served by the twin/diff multi-writer protocol, always *)
+let mode_of _ _ = Mp_millipage.Proto.Rc
+
+let modes t =
+  let allocated = (t.next_off + t.page_size - 1) / t.page_size in
+  [ (Mp_millipage.Proto.Sc, 0); (Mp_millipage.Proto.Rc, allocated) ]

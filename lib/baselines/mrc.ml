@@ -4,6 +4,8 @@ open Mp_memsim
 open Mp_multiview
 open Mp_net
 
+module Twin_diff = Mp_millipage.Twin_diff
+
 type body =
   | Fetch of { req_id : int; mp_id : int; from : int }
   | Fetch_reply of { req_id : int; mp_id : int; data : bytes }
@@ -632,3 +634,10 @@ let diffs_created t = Stats.Counters.get t.counters "diffs"
 let diff_bytes t = Stats.Counters.get t.counters "diff.bytes"
 let twins_created t = Stats.Counters.get t.counters "twins"
 let views_used t = Allocator.views_used t.allocator
+
+(* every minipage is served by the twin/diff multi-writer protocol, always *)
+let mode_of _ _ = Mp_millipage.Proto.Rc
+
+let modes t =
+  [ (Mp_millipage.Proto.Sc, 0);
+    (Mp_millipage.Proto.Rc, Mpt.count (Allocator.mpt t.allocator)) ]

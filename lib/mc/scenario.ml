@@ -11,6 +11,7 @@ type t = {
   workload : workload;
   hosts : int;
   homes : Homes.t;
+  consistency : Dsm.Config.Consistency.t;
   faults : Mp_net.Fabric.faults;
   net_seed : int;
   crashes : (int * float) list;
@@ -25,6 +26,7 @@ let default =
     workload = Racer { locs = 4; ops_per_host = 10; wseed = 7 };
     hosts = 3;
     homes = Homes.central;
+    consistency = Dsm.Config.Consistency.sc;
     faults = Mp_net.Fabric.no_faults;
     net_seed = 9;
     crashes = [];
@@ -38,9 +40,12 @@ let name t =
   let workload =
     match t.workload with Racer _ -> "racer" | App a -> a
   in
-  Printf.sprintf "%s h%d %s%s%s%s%s" workload t.hosts
+  Printf.sprintf "%s h%d %s%s%s%s%s%s" workload t.hosts
     (Homes.policy_name t.homes.Homes.policy)
     (if t.homes.Homes.replicate then " repl" else "")
+    (match t.consistency.Dsm.Config.Consistency.mode with
+    | `Sc -> ""
+    | m -> " " ^ Dsm.Config.Consistency.mode_name m)
     (if Mp_net.Fabric.faults_active t.faults then " faulty" else "")
     (if t.crashes <> [] then " crash" else "")
     (match t.mutation with
@@ -61,6 +66,13 @@ let to_string t =
   if t.homes.Homes.policy = Homes.Block then kv " block=%d" t.homes.Homes.block;
   (* omitted when off so pre-replication fingerprints stay stable *)
   if t.homes.Homes.replicate then kv " replicate=1";
+  (* likewise omitted when sc, so pre-adaptive fingerprints stay stable *)
+  (let c = t.consistency in
+   if c.Dsm.Config.Consistency.mode <> `Sc then begin
+     kv " consistency=%s" (Dsm.Config.Consistency.mode_name c.mode);
+     if c.adapt_interval <> Dsm.Config.Consistency.default.adapt_interval then
+       kv " adapt=%d" c.adapt_interval
+   end);
   let f = t.faults in
   if Mp_net.Fabric.faults_active f then
     kv " drop=%g dup=%g reorder=%g jitter=%g" f.Mp_net.Fabric.drop
@@ -117,8 +129,9 @@ let of_string s =
         not
           (List.mem k
              [ "app"; "locs"; "ops"; "wseed"; "hosts"; "homes"; "block";
-               "replicate"; "drop"; "dup"; "reorder"; "jitter"; "crash";
-               "mutation"; "seed"; "netseed"; "quantum"; "maxdelay" ])
+               "replicate"; "consistency"; "adapt"; "drop"; "dup"; "reorder";
+               "jitter"; "crash"; "mutation"; "seed"; "netseed"; "quantum";
+               "maxdelay" ])
       then fail "Scenario.of_string: unknown key %S" k)
     assoc;
   let workload =
@@ -137,6 +150,18 @@ let of_string s =
       | Some policy ->
         { Homes.policy; block = int "block" Homes.default.Homes.block; replicate }
       | None -> fail "Scenario.of_string: unknown homes policy %S" p)
+  in
+  let consistency =
+    let base =
+      match get "consistency" with
+      | None -> Dsm.Config.Consistency.sc
+      | Some m -> (
+        match Dsm.Config.Consistency.mode_of_string m with
+        | Some mode -> Dsm.Config.Consistency.with_mode Dsm.Config.Consistency.default mode
+        | None -> fail "Scenario.of_string: unknown consistency mode %S" m)
+    in
+    Dsm.Config.Consistency.with_adapt_interval base
+      (int "adapt" base.Dsm.Config.Consistency.adapt_interval)
   in
   let faults =
     {
@@ -179,6 +204,7 @@ let of_string s =
     workload;
     hosts = int "hosts" default.hosts;
     homes;
+    consistency;
     faults;
     net_seed = int "netseed" default.net_seed;
     crashes;
@@ -295,7 +321,14 @@ let mix h x =
   h lxor (h lsr 27)
 
 let config t =
-  let c = { Dsm.Config.default with seed = t.seed; homes = t.homes } in
+  let c =
+    {
+      Dsm.Config.default with
+      seed = t.seed;
+      homes = t.homes;
+      consistency = t.consistency;
+    }
+  in
   let c = Dsm.Config.with_faults c t.faults in
   let c = Dsm.Config.with_net_seed c t.net_seed in
   if t.crashes = [] then c

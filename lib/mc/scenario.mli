@@ -27,6 +27,8 @@ type t = {
   workload : workload;
   hosts : int;
   homes : Mp_millipage.Dsm.Config.Homes.t;
+  consistency : Mp_millipage.Dsm.Config.Consistency.t;
+      (** protocol mode column: sc, rc, or adaptive switching *)
   faults : Mp_net.Fabric.faults;
   net_seed : int;
   crashes : (int * float) list;  (** (host, time µs) fail-stop injections *)

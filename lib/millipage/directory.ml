@@ -18,6 +18,10 @@ type pending =
     }
   | Write_in_flight of { req_id : int; from : int; mutable supplier : int }
   | Push_waiting_acks of { req_id : int; from : int; mutable waiting : Host_set.t }
+  | Mode_switch_wait of { epoch : int; mutable waiting : Host_set.t }
+      (** epoch fence of a consistency-mode switch: every sharer must drop
+          its copy and acknowledge before any post-switch access starts
+          (concurrent requests queue behind the fence) *)
 
 type entry = {
   mp : Mp_multiview.Minipage.t;
@@ -27,6 +31,9 @@ type entry = {
   queue : queued Queue.t;
   mutable shadow : bytes option;
   mutable lost : bool;
+  mutable mode : Proto.mode;
+      (** which protocol serves this minipage; switched only at sync points *)
+  mutable epoch : int;  (** bumped on every mode switch *)
 }
 
 and queued =
@@ -69,6 +76,8 @@ let register t mp =
       queue = Queue.create ();
       shadow = None;
       lost = false;
+      mode = Proto.Sc;
+      epoch = 0;
     }
   in
   Hashtbl.replace t.table mp.Mp_multiview.Minipage.id entry
@@ -157,6 +166,8 @@ module Replica = struct
     mutable r_owner : int;
     mutable r_copyset : Host_set.t;
     mutable r_shadow : bytes option;
+    mutable r_mode : Proto.mode;
+    mutable r_epoch : int;
   }
 
   type nonrec t = {
@@ -178,7 +189,15 @@ module Replica = struct
     match Hashtbl.find_opt t.r_entries mp_id with
     | Some r -> r
     | None ->
-      let r = { r_owner = owner; r_copyset = Host_set.singleton owner; r_shadow = None } in
+      let r =
+        {
+          r_owner = owner;
+          r_copyset = Host_set.singleton owner;
+          r_shadow = None;
+          r_mode = Proto.Sc;
+          r_epoch = 0;
+        }
+      in
       Hashtbl.add t.r_entries mp_id r;
       r
 
@@ -200,6 +219,21 @@ module Replica = struct
     | Proto.L_shadow { mp_id; data } ->
       let r = rentry t ~mp_id ~owner:0 in
       r.r_shadow <- Some (Bytes.copy data)
+    | Proto.L_mode { mp_id; mode; epoch } ->
+      let r = rentry t ~mp_id ~owner:0 in
+      r.r_mode <- mode;
+      r.r_epoch <- epoch
+    | Proto.L_diff { mp_id; diff } -> (
+      (* a switch to Rc always logs a full L_shadow before the first L_diff,
+         so the patch target exists; a diff racing a demotion's final
+         records can arrive after the shadow was dropped — harmless, the
+         next L_shadow re-seeds it whole *)
+      match Hashtbl.find_opt t.r_entries mp_id with
+      | Some ({ r_shadow = Some s; _ } as r) ->
+        let s = Bytes.copy s in
+        Twin_diff.apply diff s;
+        r.r_shadow <- Some s
+      | Some _ | None -> ())
 
   let applied t = t.r_applied
   let find t ~mp_id = Hashtbl.find_opt t.r_entries mp_id

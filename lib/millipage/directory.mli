@@ -33,6 +33,11 @@ type pending =
   | Write_in_flight of { req_id : int; from : int; mutable supplier : int }
       (** [supplier < 0]: ownership upgrade, no data in flight *)
   | Push_waiting_acks of { req_id : int; from : int; mutable waiting : Host_set.t }
+  | Mode_switch_wait of { epoch : int; mutable waiting : Host_set.t }
+      (** the epoch fence of a consistency-mode switch: every sharer must
+          drop its copy and acknowledge before any post-switch access starts
+          (concurrent requests queue behind the fence and drain under the
+          new mode) *)
 
 type entry = {
   mp : Mp_multiview.Minipage.t;
@@ -48,6 +53,11 @@ type entry = {
       (** the dead owner wrote after the last transfer: the recovered shadow
           is the last {e observed} version, but app-level data was lost —
           survivor accesses fail fast instead of silently reading it *)
+  mutable mode : Proto.mode;
+      (** which protocol serves this minipage — the paper's Figure-3
+          single-writer machine ([Sc]) or the multi-writer diff path ([Rc]);
+          switched by the adaptation governor at sync points only *)
+  mutable epoch : int;  (** bumped on every mode switch *)
 }
 
 and queued =
@@ -159,6 +169,8 @@ module Replica : sig
     mutable r_owner : int;
     mutable r_copyset : Host_set.t;
     mutable r_shadow : bytes option;
+    mutable r_mode : Proto.mode;
+    mutable r_epoch : int;
   }
 
   type t

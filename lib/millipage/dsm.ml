@@ -116,6 +116,57 @@ module Config = struct
       | _ -> None
   end
 
+  (* Per-minipage consistency: which protocol serves each minipage, as a
+     first-class run mode.  [`Sc] is the paper's Figure-3 single-writer
+     invalidation protocol and is bit-identical to the pre-mode build;
+     [`Rc] serves every minipage with the multi-writer release-consistent
+     path (twins on write fault, run-length diffs flushed to the home's
+     master copy at release, conservative invalidation at acquire);
+     [`Adaptive] starts everything under SC and lets the online governor
+     switch individual minipages between the two at sync points, fed by the
+     same sharing signatures the profiler computes. *)
+  module Consistency = struct
+    type mode = [ `Sc | `Rc | `Adaptive ]
+
+    type t = {
+      mode : mode;
+      adapt_interval : int;
+          (** the governor evaluates its shard every [adapt_interval]
+              barrier phases *)
+      promote_after : int;
+          (** consecutive write-shared/falsely-shared evaluations before an
+              SC minipage is promoted to RC *)
+      demote_after : int;
+          (** consecutive migratory/read-mostly/private evaluations before
+              an RC minipage is demoted back to SC *)
+    }
+
+    let default = { mode = `Sc; adapt_interval = 2; promote_after = 2; demote_after = 2 }
+    let sc = default
+    let rc = { default with mode = `Rc }
+    let adaptive = { default with mode = `Adaptive }
+    let with_mode t mode = { t with mode }
+
+    let with_adapt_interval t adapt_interval =
+      if adapt_interval < 1 then invalid_arg "Consistency.with_adapt_interval";
+      { t with adapt_interval }
+
+    let with_hysteresis t ?promote_after ?demote_after () =
+      {
+        t with
+        promote_after = Option.value ~default:t.promote_after promote_after;
+        demote_after = Option.value ~default:t.demote_after demote_after;
+      }
+
+    let mode_name = function `Sc -> "sc" | `Rc -> "rc" | `Adaptive -> "adaptive"
+
+    let mode_of_string = function
+      | "sc" -> Some `Sc
+      | "rc" -> Some `Rc
+      | "adaptive" -> Some `Adaptive
+      | _ -> None
+  end
+
   (* Compatibility re-export: [Config.ft] and [Config.default_ft] predate the
      nested sub-records and are used throughout the tests and benches. *)
   type ft = Ft.t = {
@@ -140,6 +191,7 @@ module Config = struct
     net : Net.t;
     ft : Ft.t option;
     homes : Homes.t;
+    consistency : Consistency.t;
   }
 
   let default =
@@ -154,6 +206,7 @@ module Config = struct
       net = Net.default;
       ft = None;
       homes = Homes.default;
+      consistency = Consistency.default;
     }
 
   (* Builders, so future knobs stop being breaking changes. *)
@@ -171,6 +224,7 @@ module Config = struct
   let with_homes t homes = { t with homes }
   let with_policy t policy = { t with homes = { t.homes with Homes.policy } }
   let with_replicate t replicate = { t with homes = { t.homes with Homes.replicate } }
+  let with_consistency t consistency = { t with consistency }
 end
 
 exception Deadlock of string
@@ -210,6 +264,27 @@ type group_fetch_state = {
   mutable gf_mp_ids : int list;  (* members landed so far *)
 }
 
+(* Release-consistent sharer state: one [rc_copy] per minipage this host
+   holds under RC.  [rc_twin = Some _] marks a dirty copy — a twin was taken
+   at the first write fault and the runs that differ are flushed to the home
+   as a diff at the next release. *)
+type rc_copy = {
+  rc_info : Proto.info;
+  mutable rc_epoch : int;  (* the mode epoch the copy was served under *)
+  mutable rc_twin : bytes option;
+}
+
+(* A release-time diff in flight to its home, tracked so a home crash can
+   re-aim it (diff application is idempotent: runs carry absolute bytes). *)
+type rc_diff_out = {
+  mutable rd_req : int;
+  rd_mp : int;
+  rd_epoch : int;
+  rd_diff : Twin_diff.t;
+  mutable rd_target : int;
+  rd_waited : bool;  (* a release blocks on this diff's ack *)
+}
+
 type host_state = {
   id : int;
   vm : Vm.t;
@@ -226,6 +301,12 @@ type host_state = {
   mutable dead_peers : Directory.Host_set.t;
       (** peers this host has been told are declared dead (DEAD_NOTICE) *)
   bd : Breakdown.t;
+  rc_copies : (int, rc_copy) Hashtbl.t;  (* mp_id -> local RC copy *)
+  rc_out : (int, rc_diff_out) Hashtbl.t;  (* req_id -> diff in flight *)
+  mutable rc_flush_pending : int;  (* release-blocking diffs unacked *)
+  rc_flush_waiters : Sync.Event.t Queue.t;
+      (* one event per thread blocked in a release, each woken on every diff
+         ack (two threads of one host can flush concurrently) *)
 }
 
 (* [holder = None] means free.  Holding a lock is a lease: when the holder is
@@ -252,6 +333,25 @@ type transport = {
   rx_next : int array;  (* per channel: next sequence number to deliver *)
   tx_unacked : (int * int, tx_entry) Hashtbl.t;  (* (chan, seq) *)
   rx_hold : (int * int, Proto.body) Hashtbl.t;  (* out-of-order arrivals *)
+}
+
+(* Adaptation governor state, one per minipage at its home shard: an online
+   sharing signature (same shape the profiler computes) plus hysteresis
+   streaks.  Fed on the home's request path; evaluated at barrier releases
+   every [adapt_interval] phases, which is the only place modes switch. *)
+type gov = {
+  g_sig : Mp_obs.Sharing.signature_;
+  mutable g_rc_streak : int;  (* consecutive write/falsely-shared verdicts *)
+  mutable g_sc_streak : int;  (* consecutive other verdicts *)
+  mutable g_pushed : bool;
+      (* the minipage went through a push (producer/consumer distribution):
+         promoting it to RC would forfeit the push path, so the governor
+         leaves it alone *)
+  mutable g_win_writes : int;
+      (* writes observed since the last evaluation (SC requests + RC diffs).
+         The decayed signature has a long memory tail; mode decisions need
+         to know whether anyone wrote in THIS window — a write-shared
+         verdict with no fresh writes must not keep a minipage in RC *)
 }
 
 (* Test-only protocol mutations (see module [Testonly] below): mpcheck and
@@ -330,6 +430,14 @@ type t = {
   mutable tail_repairs : int;
   mutable rolled_back : int;
   mutable log_applies : int;
+  (* adaptive-consistency state: governor signatures (keyed by mp_id, held
+     logically at the minipage's home shard) and run-level mode accounting *)
+  gov : (int, gov) Hashtbl.t;
+  mutable mode_switches : int;
+  mutable rc_twins : int;
+  mutable rc_diffs : int;
+  mutable rc_diff_bytes : int;
+  mutable mode_switch_log : (float * int * Proto.mode) list;  (* newest first *)
   (* test-only mutation state *)
   mutable mutation : test_mutation option;
   mutable mutation_count : int;
@@ -374,6 +482,7 @@ let protect_info _t (h : host_state) (info : Proto.info) prot =
 let set_prot_cost t info = t.config.cost.set_prot_us *. float_of_int (n_vpages t info)
 
 module Obs = Mp_obs.Recorder
+module Sharing = Mp_obs.Sharing
 
 let obs t = t.recorder
 let rnow t = Engine.now t.engine
@@ -386,6 +495,12 @@ let header t = t.config.cost.header_bytes
 let chan_of t ~src ~dst = (src * hosts t) + dst
 
 let ft_on t = t.config.ft <> None
+
+(* Release-consistent machinery is live only when the run can ever hold an
+   RC minipage; every RC code path is gated here, so [`Sc] runs are
+   bit-identical to a build without the feature. *)
+let rc_on t = t.config.consistency.Config.Consistency.mode <> `Sc
+let adaptive_on t = t.config.consistency.Config.Consistency.mode = `Adaptive
 
 (* Replication is live only with the failure detector on (promotion is driven
    by DECLARE_DEAD) and more than one host (a backup must differ from its
@@ -488,10 +603,13 @@ let record_tag = function
   | Proto.L_complete _ -> "complete"
   | Proto.L_state _ -> "state"
   | Proto.L_shadow _ -> "shadow"
+  | Proto.L_mode _ -> "mode"
+  | Proto.L_diff _ -> "diff"
 
 let record_span = function
   | Proto.L_admit { req_id; _ } | Proto.L_complete { req_id; _ } -> req_id
-  | Proto.L_state _ | Proto.L_shadow _ -> Mp_obs.Event.no_span
+  | Proto.L_state _ | Proto.L_shadow _ | Proto.L_mode _ | Proto.L_diff _ ->
+    Mp_obs.Event.no_span
 
 (* Append one record to [home]'s directory log: streamed to the backup over
    the ARQ transport in the same tool round as the state change it mirrors,
@@ -579,16 +697,112 @@ let check_lost t (e : Directory.entry) ~from =
             (String.concat ", "
                (List.map string_of_int (List.sort_uniq compare t.lost_mps)))))
 
+(* ------------------------------------------------------------------ *)
+(* Adaptation governor: online sharing signatures at the home           *)
+(* ------------------------------------------------------------------ *)
+
+let gov_of t mp_id =
+  match Hashtbl.find_opt t.gov mp_id with
+  | Some g -> g
+  | None ->
+    let g =
+      { g_sig = Sharing.fresh (); g_rc_streak = 0; g_sc_streak = 0;
+        g_pushed = false; g_win_writes = 0 }
+    in
+    Hashtbl.add t.gov mp_id g;
+    g
+
+(* Feed the signature on the home's request path (both modes): the same
+   evidence the offline profiler derives from the event stream, computed
+   online where the adaptation decision is made. *)
+let gov_note_request t (e : Directory.entry) ~from ~access ~addr =
+  if adaptive_on t then begin
+    let g = gov_of t e.mp.Minipage.id in
+    let sg = g.g_sig in
+    Sharing.touch sg from ~lo:addr ~hi:(addr + 8);
+    match access with
+    | Proto.Read ->
+      sg.Sharing.reads <- sg.Sharing.reads + 1;
+      sg.Sharing.readers <- Sharing.Host_set.add from sg.Sharing.readers
+    | Proto.Write ->
+      g.g_win_writes <- g.g_win_writes + 1;
+      sg.Sharing.writes <- sg.Sharing.writes + 1;
+      sg.Sharing.writers <- Sharing.Host_set.add from sg.Sharing.writers;
+      if sg.Sharing.last_writer >= 0 && sg.Sharing.last_writer <> from then
+        sg.Sharing.writer_changes <- sg.Sharing.writer_changes + 1;
+      sg.Sharing.last_writer <- from
+  end
+
+(* One SC invalidation round: count the fan-out, and mark the invalidations
+   whose writer/target footprints are disjoint — the intra-unit
+   false-sharing signal that pushes a minipage toward RC. *)
+let gov_note_invals t (e : Directory.entry) ~writer ~targets =
+  if adaptive_on t then begin
+    let sg = (gov_of t e.mp.Minipage.id).g_sig in
+    sg.Sharing.inval_rounds <- sg.Sharing.inval_rounds + 1;
+    let fw = Sharing.footprint sg writer in
+    Host_set.iter
+      (fun target ->
+        sg.Sharing.invals <- sg.Sharing.invals + 1;
+        sg.Sharing.inval_targets <- sg.Sharing.inval_targets + 1;
+        let ft = Sharing.footprint sg target in
+        if
+          fw <> Sharing.Footprint.empty
+          && ft <> Sharing.Footprint.empty
+          && not (Sharing.Footprint.overlaps fw ft)
+        then begin
+          sg.Sharing.false_invals <- sg.Sharing.false_invals + 1;
+          sg.Sharing.false_caused <- sg.Sharing.false_caused + 1
+        end)
+      targets
+  end
+
+(* A release-time diff is the RC path's write evidence. *)
+let gov_note_diff t mp_id ~from diff =
+  if adaptive_on t then begin
+    let g = gov_of t mp_id in
+    let sg = g.g_sig in
+    g.g_win_writes <- g.g_win_writes + 1;
+    sg.Sharing.writes <- sg.Sharing.writes + 1;
+    sg.Sharing.writers <- Sharing.Host_set.add from sg.Sharing.writers;
+    sg.Sharing.transfers <- sg.Sharing.transfers + 1;
+    sg.Sharing.bytes_in <- sg.Sharing.bytes_in + Twin_diff.encoded_bytes diff
+  end
+
 (* [charge_lookup]: crash recovery calls this from the failure detector,
    which must restart queued operations atomically — no simulated delay. *)
 let manager_start ?(charge_lookup = true) t ~home (e : Directory.entry)
     (q : Directory.queued) =
   let cost = t.config.cost in
   match q with
-  | Directory.Q_request { req_id; from; access; addr = _ } -> (
+  | Directory.Q_request { req_id; from; access; addr } -> (
     if charge_lookup then Engine.delay cost.mpt_lookup_us;
     check_lost t e ~from;
+    gov_note_request t e ~from ~access ~addr;
     let info = info_of e.mp in
+    if e.mode = Proto.Rc then begin
+      (* release-consistent serve: data straight from the home's master copy
+         — no forward hop, no invalidation round.  Reads and writes alike
+         get a copy; concurrent writers are reconciled by release-time
+         diffs, so a write serve leaves every other copy in place. *)
+      let data =
+        match e.shadow with
+        | Some master -> Bytes.copy master
+        | None -> failwith "millipage: RC minipage without a master copy"
+      in
+      let flight =
+        { Directory.rf_req = req_id; rf_from = from; rf_supplier = home;
+          rf_group = false }
+      in
+      (match e.pending with
+      | Directory.Reads_in_flight r -> r.flights <- flight :: r.flights
+      | Directory.No_op -> e.pending <- Directory.Reads_in_flight { flights = [ flight ] }
+      | _ -> failwith "millipage: RC serve during a conflicting operation");
+      send t ~src:home ~dst:from
+        ~bytes:(Cost_model.data_message_bytes cost info.length)
+        (Proto.Rc_data { req_id; access; info; epoch = e.epoch; data })
+    end
+    else
     match access with
     | Proto.Read ->
       let replica = choose_read_replica e in
@@ -613,6 +827,7 @@ let manager_start ?(charge_lookup = true) t ~home (e : Directory.entry)
       in
       if Host_set.is_empty targets then proceed_write t ~home e ~req_id ~from ~supplier
       else begin
+        gov_note_invals t e ~writer:from ~targets;
         e.pending <-
           Directory.Write_waiting_invals { req_id; from; targets; waiting = targets };
         Host_set.iter
@@ -629,7 +844,11 @@ let manager_start ?(charge_lookup = true) t ~home (e : Directory.entry)
     (* a push overwrites the whole minipage with fresh content, so it makes a
        lost minipage whole again *)
     e.lost <- false;
-    if ft_on t then begin
+    (* a push refreshes the shadow under ft (recovery source) and under RC
+       (the shadow IS the master copy); the governor also pins pushed
+       minipages to SC — promotion would forfeit the push path *)
+    if adaptive_on t then (gov_of t info.mp_id).g_pushed <- true;
+    if ft_on t || e.mode = Proto.Rc then begin
       e.shadow <- Some (Bytes.copy data);
       Obs.shadow_refresh (obs t) ~time:(rnow t) ~host:home ~mp_id:info.mp_id
         ~bytes:info.length;
@@ -666,6 +885,10 @@ let can_start (e : Directory.entry) (q : Directory.queued) =
   match (e.pending, q) with
   | Directory.No_op, _ -> true
   | Directory.Reads_in_flight _, Directory.Q_request { access = Proto.Read; _ } -> true
+  | Directory.Reads_in_flight _, Directory.Q_request { access = Proto.Write; _ } ->
+    (* multi-writer: an RC home serves concurrent writes without waiting;
+       a Mode_switch_wait fence (like every other pending) blocks all starts *)
+    e.mode = Proto.Rc
   | _ -> false
 
 let queued_span = function
@@ -897,6 +1120,9 @@ let manager_group_fetch t ~home ~req_id ~from ~group_id =
         | Directory.No_op | Directory.Reads_in_flight _ -> true
         | _ -> false)
         && not (Host_set.mem from e.copyset)
+        && e.mode = Proto.Sc
+        (* RC members are skipped: they fault on demand and are served from
+           the master copy *)
       in
       if fetchable then begin
         check_lost t e ~from;
@@ -954,6 +1180,210 @@ let manager_group_ack t ~home ~req_id ~from ~mp_ids =
         | _ -> Stats.Counters.incr t.counters "manager.stale_group_acks"))
     mp_ids
 
+(* ------------------------------------------------------------------ *)
+(* Release consistency: home side (master copy, diffs, mode switches)  *)
+(* ------------------------------------------------------------------ *)
+
+(* Finish a mode switch once every fenced sharer acked (or there was nobody
+   to fence).  Also called from crash recovery, so it charges no simulated
+   delay.  After a demotion the Figure-3 machine restarts from a clean
+   single-copy state: the master copy installed at the home, sole member of
+   the copyset. *)
+let complete_mode_switch t ~home (e : Directory.entry) =
+  let info = info_of e.mp in
+  let hh = t.host_states.(home) in
+  (match e.mode with
+  | Proto.Sc -> (
+    Hashtbl.remove hh.rc_copies info.mp_id;
+    match e.shadow with
+    | Some master ->
+      Vm.priv_write_bytes hh.vm ~off:info.base_off master;
+      protect_info t hh info Prot.Read_only
+    | None -> ())
+  | Proto.Rc -> ());
+  e.owner <- home;
+  e.copyset <- Host_set.singleton home;
+  e.pending <- Directory.No_op;
+  log_append t ~home (Proto.L_mode { mp_id = info.mp_id; mode = e.mode; epoch = e.epoch });
+  log_shadow t ~home e;
+  log_entry_state t ~home e;
+  manager_drain_queue ~charge_lookup:false t ~home e
+
+(* Rc -> Sc.  Precondition: the entry is quiet (governor) or freshly scrubbed
+   (recovery).  The mode and epoch flip immediately — requests arriving
+   during the fence queue behind [Mode_switch_wait] and drain under SC. *)
+let demote_entry t ~home (e : Directory.entry) =
+  let info = info_of e.mp in
+  let targets = Host_set.filter (fun x -> not t.declared.(x)) e.copyset in
+  e.mode <- Proto.Sc;
+  e.epoch <- e.epoch + 1;
+  t.mode_switches <- t.mode_switches + 1;
+  Stats.Counters.incr t.counters "rc.demotes";
+  t.mode_switch_log <- (rnow t, info.mp_id, Proto.Sc) :: t.mode_switch_log;
+  if Host_set.is_empty targets then complete_mode_switch t ~home e
+  else begin
+    e.pending <- Directory.Mode_switch_wait { epoch = e.epoch; waiting = targets };
+    Host_set.iter
+      (fun dst ->
+        send t ~src:home ~dst ~bytes:(header t)
+          (Proto.Mode_switch { mp_id = info.mp_id; epoch = e.epoch; mode = Proto.Sc; info }))
+      targets
+  end
+
+(* Sc -> Rc: fence the sharers and capture the master copy.  Three sources,
+   by decreasing directness: the home's own copy when it is a sharer (the SC
+   invariant makes home-in-copyset equivalent to home-copy-current); the
+   owner's [Mode_ack] payload when the home holds no copy — the fence stops
+   further writes, so the owner's copy at fence receipt is the final SC
+   content; the shadow when nobody holds a copy at all (then the shadow IS
+   the content — the last completed barrier refreshed it and no copy means
+   no writer since).  A copyless, shadowless entry has nothing to promote
+   from and stays SC until a later tick. *)
+let promote_entry t ~home (e : Directory.entry) =
+  let info = info_of e.mp in
+  let hh = t.host_states.(home) in
+  let home_has_copy = Host_set.mem home e.copyset in
+  if home_has_copy || not (Host_set.is_empty e.copyset) || e.shadow <> None
+  then begin
+    e.mode <- Proto.Rc;
+    e.epoch <- e.epoch + 1;
+    t.mode_switches <- t.mode_switches + 1;
+    Stats.Counters.incr t.counters "rc.promotes";
+    t.mode_switch_log <- (rnow t, info.mp_id, Proto.Rc) :: t.mode_switch_log;
+    if home_has_copy then begin
+      e.shadow <- Some (Vm.priv_read_bytes hh.vm ~off:info.base_off ~len:info.length);
+      (* the home keeps a clean read-only RC copy of the fresh master *)
+      Engine.delay (set_prot_cost t info);
+      protect_info t hh info Prot.Read_only;
+      Hashtbl.replace hh.rc_copies info.mp_id
+        { rc_info = info; rc_epoch = e.epoch; rc_twin = None }
+    end;
+    let targets =
+      Host_set.filter (fun x -> x <> home && not t.declared.(x)) e.copyset
+    in
+    if Host_set.is_empty targets then complete_mode_switch t ~home e
+    else begin
+      e.pending <- Directory.Mode_switch_wait { epoch = e.epoch; waiting = targets };
+      Host_set.iter
+        (fun dst ->
+          send t ~src:home ~dst ~bytes:(header t)
+            (Proto.Mode_switch
+               { mp_id = info.mp_id; epoch = e.epoch; mode = Proto.Rc; info }))
+        targets
+    end
+  end
+
+let manager_mode_ack t ~home ~mp_id ~epoch ~from ~data =
+  match Directory.find t.dirs.(home) ~mp_id with
+  | None -> Stats.Counters.incr t.counters "rc.stale_mode_acks"
+  | Some e -> (
+    match e.pending with
+    | Directory.Mode_switch_wait w when w.epoch = epoch ->
+      (* a promotion ack may carry the sharer's SC copy: the owner's is the
+         final content (its writes stop at fence receipt, and the channel is
+         FIFO); any sharer's stands in when the owner is declared dead —
+         surviving copies are all clean, hence identical *)
+      (match data with
+      | Some master when e.mode = Proto.Rc && (from = e.owner || t.declared.(e.owner))
+        ->
+        e.shadow <- Some master
+      | _ -> ());
+      w.waiting <- Host_set.remove from w.waiting;
+      if Host_set.is_empty w.waiting then complete_mode_switch t ~home e
+    | _ -> Stats.Counters.incr t.counters "rc.stale_mode_acks")
+
+(* A release-time diff reached a home: apply it to the master copy and ack
+   the releaser.  Runs carry absolute replacement bytes, so application is
+   idempotent (safe under crash-recovery resends), and the app's own
+   synchronization keeps concurrent diffs disjoint (data-race freedom).
+   During a fence, diffs from any older epoch are still merged — a sharer
+   racing the fence (or two recovery demotions in a row) must not lose its
+   writes; afterwards stale epochs are counted and dropped. *)
+let manager_rc_diff t ~home ~req_id ~from ~mp_id ~epoch ~(diff : Twin_diff.t) =
+  let authoritative = home_of_mp t mp_id in
+  if authoritative <> home then begin
+    (* stale hint: pass the diff along to the authoritative home *)
+    Stats.Counters.incr t.counters "homes.forwarded_acks";
+    send t ~src:home ~dst:authoritative
+      ~bytes:(header t + Twin_diff.encoded_bytes diff)
+      (Proto.Rc_diff { req_id; from; mp_id; epoch; diff })
+  end
+  else begin
+    Engine.delay t.config.cost.mpt_lookup_us;
+    let e = Directory.entry t.dirs.(home) ~mp_id in
+    let acceptable =
+      (e.mode = Proto.Rc && epoch = e.epoch)
+      ||
+      match e.pending with
+      | Directory.Mode_switch_wait _ -> epoch < e.epoch
+      | _ -> false
+    in
+    if acceptable then (
+      match e.shadow with
+      | Some master ->
+        Engine.delay (Twin_diff.apply_cost_us diff);
+        Twin_diff.apply diff master;
+        gov_note_diff t mp_id ~from diff;
+        log_append t ~home (Proto.L_diff { mp_id; diff })
+      | None -> Stats.Counters.incr t.counters "rc.stale_diffs")
+    else Stats.Counters.incr t.counters "rc.stale_diffs";
+    if not t.declared.(from) then
+      send t ~src:home ~dst:from ~bytes:(header t) (Proto.Rc_diff_ack { req_id; mp_id })
+  end
+
+(* One governor evaluation over [home]'s shard, run when the host processes
+   a barrier release — mode switches happen at sync points only, by
+   construction.  Classification works on a windowed (decayed) signature
+   with hysteresis streaks; pushed minipages are pinned to SC (promotion
+   would forfeit the push path). *)
+let governor_tick t ~home ~phase =
+  if adaptive_on t then begin
+    let c = t.config.consistency in
+    if (phase + 1) mod max 1 c.Config.Consistency.adapt_interval = 0 then begin
+      let entries =
+        List.of_seq (Directory.entries t.dirs.(home))
+        |> List.sort (fun (a : Directory.entry) b ->
+               compare a.mp.Minipage.id b.mp.Minipage.id)
+      in
+      List.iter
+        (fun (e : Directory.entry) ->
+          match Hashtbl.find_opt t.gov e.mp.Minipage.id with
+          | None -> ()
+          | Some g when g.g_pushed -> ()
+          | Some g ->
+            if e.pending = Directory.No_op then begin
+              (match Sharing.classify g.g_sig with
+              | Sharing.Write_shared | Sharing.Falsely_shared
+                when g.g_win_writes > 0 ->
+                g.g_rc_streak <- g.g_rc_streak + 1;
+                g.g_sc_streak <- 0
+              | (Sharing.Write_shared | Sharing.Falsely_shared)
+                when e.mode = Proto.Rc ->
+                (* the decayed signature still reads write-shared but nobody
+                   wrote this window: the write phase is over, lean SC *)
+                g.g_sc_streak <- g.g_sc_streak + 1;
+                g.g_rc_streak <- 0
+              | Sharing.Write_shared | Sharing.Falsely_shared
+              | Sharing.Low_traffic ->
+                ()
+              | _ ->
+                g.g_sc_streak <- g.g_sc_streak + 1;
+                g.g_rc_streak <- 0);
+              g.g_win_writes <- 0;
+              match e.mode with
+              | Proto.Sc when g.g_rc_streak >= c.Config.Consistency.promote_after ->
+                g.g_rc_streak <- 0;
+                promote_entry t ~home e
+              | Proto.Rc when g.g_sc_streak >= c.Config.Consistency.demote_after ->
+                g.g_sc_streak <- 0;
+                demote_entry t ~home e
+              | _ -> ()
+            end;
+            Sharing.decay g.g_sig)
+        entries
+    end
+  end
+
 (* Refresh the shadow of every quiet minipage owned by [host] from the
    host's current content.  Called when [host] enters a barrier: at that
    point its phase writes are final (any release-consistent reader passes
@@ -965,7 +1395,12 @@ let shadow_sync_host t ~host =
     (fun home dir ->
       Seq.iter
         (fun (e : Directory.entry) ->
-          if e.owner = host && e.pending = Directory.No_op && not e.lost then begin
+          if
+            e.owner = host && e.pending = Directory.No_op && not e.lost
+            && e.mode = Proto.Sc
+            (* an RC shadow is the master copy, maintained by diffs — a sync
+               from one sharer's VM would clobber the other writers' runs *)
+          then begin
             let info = info_of e.mp in
             let cur =
               Vm.priv_read_bytes t.host_states.(host).vm ~off:info.base_off
@@ -1160,18 +1595,9 @@ let host_forward t (h : host_state) ~req_id ~from ~access (info : Proto.info) =
       (Proto.Reply_data { req_id; access; info; data })
   end
 
-let host_reply t (h : host_state) ~req_id ~access (info : Proto.info) data =
-  let cost = t.config.cost in
-  (match data with
-  | Some d ->
-    Engine.delay (cost.recv_dma_us_per_byte *. float_of_int info.length);
-    Vm.priv_write_bytes h.vm ~off:info.base_off d
-  | None -> ());
-  Engine.delay (set_prot_cost t info);
-  protect_info t h info
-    (match access with Proto.Read -> Prot.Read_only | Proto.Write -> Prot.Read_write);
-  Obs.reply (obs t) ~time:(rnow t) ~host:h.id ~span:req_id
-    ~access:(obs_access access) ~mp_id:info.mp_id ~bytes:info.length;
+(* Wake the faulting thread(s) a landed data message satisfies and route the
+   protocol ack — shared by the SC reply path and the RC serve path. *)
+let reply_wake t (h : host_state) ~req_id ~access (info : Proto.info) =
   let first, last = vpages_of t info in
   let matched = ref false in
   for vp = first to last do
@@ -1192,6 +1618,195 @@ let host_reply t (h : host_state) ~req_id ~access (info : Proto.info) data =
     wake (access_idx Proto.Read)
   done;
   if not !matched then server_ack t h ~req_id ~mp_id:info.mp_id
+
+let host_reply t (h : host_state) ~req_id ~access (info : Proto.info) data =
+  let cost = t.config.cost in
+  (match data with
+  | Some d ->
+    Engine.delay (cost.recv_dma_us_per_byte *. float_of_int info.length);
+    Vm.priv_write_bytes h.vm ~off:info.base_off d
+  | None -> ());
+  Engine.delay (set_prot_cost t info);
+  protect_info t h info
+    (match access with Proto.Read -> Prot.Read_only | Proto.Write -> Prot.Read_write);
+  Obs.reply (obs t) ~time:(rnow t) ~host:h.id ~span:req_id
+    ~access:(obs_access access) ~mp_id:info.mp_id ~bytes:info.length;
+  reply_wake t h ~req_id ~access info
+
+(* ------------------------------------------------------------------ *)
+(* Release consistency: sharer side (copies, twins, flushes)           *)
+(* ------------------------------------------------------------------ *)
+
+(* A release-consistent serve landed: install the master-copy snapshot,
+   twin it on a write, wake the faulting thread.  The reply itself tells
+   this host the minipage is in RC mode (registering the local RC copy).
+   When a dirty copy already exists — two serves raced to the same host —
+   the snapshot is NOT installed: the local bytes are the same snapshot
+   plus this host's own writes, which the install would lose. *)
+let host_rc_data t (h : host_state) ~req_id ~access (info : Proto.info) ~epoch data =
+  let cost = t.config.cost in
+  Engine.delay (cost.recv_dma_us_per_byte *. float_of_int info.length);
+  let c =
+    match Hashtbl.find_opt h.rc_copies info.mp_id with
+    | Some c ->
+      c.rc_epoch <- epoch;
+      c
+    | None ->
+      let c = { rc_info = info; rc_epoch = epoch; rc_twin = None } in
+      Hashtbl.add h.rc_copies info.mp_id c;
+      c
+  in
+  if c.rc_twin = None then Vm.priv_write_bytes h.vm ~off:info.base_off data;
+  (match access with
+  | Proto.Read ->
+    Engine.delay (set_prot_cost t info);
+    protect_info t h info Prot.Read_only
+  | Proto.Write ->
+    if c.rc_twin = None then begin
+      Engine.delay (Twin_diff.creation_cost_us ~page_bytes:info.length);
+      c.rc_twin <- Some (Twin_diff.twin data);
+      t.rc_twins <- t.rc_twins + 1
+    end;
+    Engine.delay (set_prot_cost t info);
+    protect_info t h info Prot.Read_write);
+  Obs.reply (obs t) ~time:(rnow t) ~host:h.id ~span:req_id
+    ~access:(obs_access access) ~mp_id:info.mp_id ~bytes:info.length;
+  reply_wake t h ~req_id ~access info
+
+(* A write fault on a minipage this host already holds read-only under RC:
+   no message at all — twin the page and upgrade locally (the multi-writer
+   fast path that makes write-shared data cheap). *)
+let rc_write_local t (h : host_state) (c : rc_copy) =
+  let info = c.rc_info in
+  if c.rc_twin = None then begin
+    Engine.delay (Twin_diff.creation_cost_us ~page_bytes:info.length);
+    c.rc_twin <-
+      Some (Twin_diff.twin (Vm.priv_read_bytes h.vm ~off:info.base_off ~len:info.length));
+    t.rc_twins <- t.rc_twins + 1
+  end;
+  Engine.delay (set_prot_cost t info);
+  protect_info t h info Prot.Read_write
+
+let host_rc_diff_ack t (h : host_state) ~req_id =
+  match Hashtbl.find_opt h.rc_out req_id with
+  | None -> Stats.Counters.incr t.counters "rc.stale_diff_acks"
+  | Some o ->
+    Hashtbl.remove h.rc_out req_id;
+    if o.rd_waited then begin
+      h.rc_flush_pending <- h.rc_flush_pending - 1;
+      (* wake every blocked releaser; each re-checks its own condition (two
+         threads of one host can be flushing concurrently) *)
+      Queue.iter Sync.Event.set h.rc_flush_waiters;
+      Queue.clear h.rc_flush_waiters
+    end
+
+(* Flush every dirty RC copy on this host to its home as a run-length diff
+   and block until each diff is acked — the release half of the protocol,
+   called at barrier entry, unlock, and before a push. *)
+let rc_flush t (h : host_state) =
+  if rc_on t then begin
+    let dirty =
+      Hashtbl.fold
+        (fun mp_id c acc -> if c.rc_twin <> None then (mp_id, c) :: acc else acc)
+        h.rc_copies []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    List.iter
+      (fun (mp_id, c) ->
+        let info = c.rc_info in
+        let twin = Option.get c.rc_twin in
+        let current = Vm.priv_read_bytes h.vm ~off:info.base_off ~len:info.length in
+        Engine.delay (Twin_diff.creation_cost_us ~page_bytes:info.length);
+        let diff = Twin_diff.diff ~twin ~current in
+        c.rc_twin <- None;
+        Engine.delay (set_prot_cost t info);
+        protect_info t h info Prot.Read_only;
+        if not (Twin_diff.is_empty diff) then begin
+          let req_id = fresh_req t in
+          let o =
+            { rd_req = req_id; rd_mp = mp_id; rd_epoch = c.rc_epoch; rd_diff = diff;
+              rd_target = hint_of h mp_id; rd_waited = true }
+          in
+          Hashtbl.replace h.rc_out req_id o;
+          h.rc_flush_pending <- h.rc_flush_pending + 1;
+          t.rc_diffs <- t.rc_diffs + 1;
+          t.rc_diff_bytes <- t.rc_diff_bytes + Twin_diff.encoded_bytes diff;
+          send t ~src:h.id ~dst:o.rd_target
+            ~bytes:(header t + Twin_diff.encoded_bytes diff)
+            (Proto.Rc_diff { req_id; from = h.id; mp_id; epoch = c.rc_epoch; diff })
+        end)
+      dirty;
+    while h.rc_flush_pending > 0 do
+      let ev = Sync.Event.create ~auto_reset:false ~name:"rc-flush" () in
+      Queue.add ev h.rc_flush_waiters;
+      Sync.Event.wait ev
+    done
+  end
+
+(* Acquire-side conservative invalidation: on a barrier release or lock
+   grant, drop every CLEAN local RC copy, so post-acquire reads refetch the
+   master copy (which holds every write released before this acquire).
+   Dirty copies survive: their pending writes are race-free by the app's own
+   synchronization and flush at this host's next release. *)
+let rc_acquire_invalidate t (h : host_state) =
+  let copies =
+    Hashtbl.fold (fun mp_id c acc -> (mp_id, c) :: acc) h.rc_copies []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun (mp_id, (c : rc_copy)) ->
+      if c.rc_twin = None then begin
+        Hashtbl.remove h.rc_copies mp_id;
+        Engine.delay (set_prot_cost t c.rc_info);
+        protect_info t h c.rc_info Prot.No_access
+      end)
+    copies
+
+(* The epoch fence of a mode switch arrives at a sharer: flush a dirty copy
+   (the channel is FIFO, so the diff precedes the ack at the home), drop the
+   copy, and acknowledge.  SC sharers being promoted hold no [rc_copies]
+   entry and just drop protection. *)
+let host_mode_switch t (h : host_state) ~mp_id ~epoch ~mode (info : Proto.info) =
+  (* on a promotion fence, a valid SC copy rides along on the ack — captured
+     before protection drops (the home adopts the owner's payload as master) *)
+  let data =
+    if mode = Proto.Rc && not (Hashtbl.mem h.rc_copies mp_id) then begin
+      let first, _ = vpages_of t info in
+      if Vm.protection h.vm ~view:info.mp_view ~vpage:first <> Prot.No_access
+      then Some (Vm.priv_read_bytes h.vm ~off:info.base_off ~len:info.length)
+      else None
+    end
+    else None
+  in
+  (match Hashtbl.find_opt h.rc_copies mp_id with
+  | Some c ->
+    (match c.rc_twin with
+    | Some twin ->
+      let current = Vm.priv_read_bytes h.vm ~off:info.base_off ~len:info.length in
+      Engine.delay (Twin_diff.creation_cost_us ~page_bytes:info.length);
+      let diff = Twin_diff.diff ~twin ~current in
+      c.rc_twin <- None;
+      if not (Twin_diff.is_empty diff) then begin
+        let req_id = fresh_req t in
+        let o =
+          { rd_req = req_id; rd_mp = mp_id; rd_epoch = c.rc_epoch; rd_diff = diff;
+            rd_target = hint_of h mp_id; rd_waited = false }
+        in
+        Hashtbl.replace h.rc_out req_id o;
+        t.rc_diffs <- t.rc_diffs + 1;
+        t.rc_diff_bytes <- t.rc_diff_bytes + Twin_diff.encoded_bytes diff;
+        send t ~src:h.id ~dst:o.rd_target
+          ~bytes:(header t + Twin_diff.encoded_bytes diff)
+          (Proto.Rc_diff { req_id; from = h.id; mp_id; epoch = c.rc_epoch; diff })
+      end
+    | None -> ());
+    Hashtbl.remove h.rc_copies mp_id
+  | None -> ());
+  Engine.delay (set_prot_cost t info);
+  protect_info t h info Prot.No_access;
+  send t ~src:h.id ~dst:(hint_of h mp_id)
+    ~bytes:(header t + match data with Some b -> Bytes.length b | None -> 0)
+    (Proto.Mode_ack { mp_id; epoch; from = h.id; data })
 
 (* wake read waiters covered by a freshly arrived minipage, without claiming
    any ack (used by group fetches, whose single GROUP_ACK covers everything) *)
@@ -1324,6 +1939,11 @@ let host_push_update t (h : host_state) (info : Proto.info) data =
   let cost = t.config.cost in
   Engine.delay (cost.recv_dma_us_per_byte *. float_of_int info.length);
   Vm.priv_write_bytes h.vm ~off:info.base_off data;
+  (* a push overwrites the whole minipage: any local RC twin is obsolete
+     (the pushed content IS the new master) *)
+  (match Hashtbl.find_opt h.rc_copies info.mp_id with
+  | Some c -> c.rc_twin <- None
+  | None -> ());
   Engine.delay (set_prot_cost t info);
   protect_info t h info Prot.Read_only;
   send t ~src:h.id ~dst:(hint_of h info.mp_id) ~bytes:(header t)
@@ -1596,6 +2216,14 @@ let scrub_shard t ~home h =
           p.waiting <- Host_set.remove h p.waiting;
           if Host_set.is_empty p.waiting then
             finish_push ~charge_lookup:false t ~home e ~req_id:p.req_id ~from:p.from
+        end
+      | Directory.Mode_switch_wait w ->
+        (* a fenced sharer died: its copy is gone with it, which is exactly
+           what the fence wanted (any dirty diff it held is discarded — a
+           rollback to the last release, like the shadow path) *)
+        if Host_set.mem h w.waiting then begin
+          w.waiting <- Host_set.remove h w.waiting;
+          if Host_set.is_empty w.waiting then complete_mode_switch t ~home e
         end);
       (* the scrub itself is a state transition this home's backup must see *)
       log_entry_state t ~home e;
@@ -1735,6 +2363,26 @@ let rebuild_barriers t h ~site =
    fresh ids — see [resend_orphans]); each entry's copyset/owner is rebuilt
    from the survivors' ground-truth page protections; entries with no
    surviving copy are re-materialized from their shadow. *)
+(* Hosts with an unacked release diff aimed at the dead home may have
+   already dropped (or cleaned) their local copy, so the protections walk
+   misses them — yet the diff they resend at the new home (via
+   [resend_orphans], which runs after the takeover) must still find the
+   recovery fence open, or the release's writes would be dropped as stale.
+   Fencing them keeps the fence up until their channel drains; FIFO order
+   guarantees the resent diff precedes their MODE_ACK. *)
+let rc_diff_stragglers t ~dead ~mp_id set =
+  Array.fold_left
+    (fun acc (hs : host_state) ->
+      if t.declared.(hs.id) || t.crashed.(hs.id) then acc
+      else
+        Hashtbl.fold
+          (fun _ (rd : rc_diff_out) acc ->
+            if rd.rd_target = dead && rd.rd_mp = mp_id then
+              Host_set.add hs.id acc
+            else acc)
+          hs.rc_out acc)
+    set t.host_states
+
 let rehome_dead_shard t h =
   let now = rnow t in
   let dir_d = t.dirs.(h) and dir0 = t.dirs.(manager) in
@@ -1799,7 +2447,13 @@ let rehome_dead_shard t h =
         (* balances the FORWARD(write) the dead home logged *)
         Obs.ack (obs t) ~time:now ~host:manager ~span:w.req_id ~mp_id ~from:w.from
       | Directory.Push_waiting_acks p ->
-        Directory.mark_completed dir0 ~req_id:p.req_id ~now);
+        Directory.mark_completed dir0 ~req_id:p.req_id ~now
+      | Directory.Mode_switch_wait _ ->
+        (* the fence dies with the home; the survivors are re-fenced below *)
+        ());
+      let was_fenced =
+        match e.pending with Directory.Mode_switch_wait _ -> true | _ -> false
+      in
       e.pending <- Directory.No_op;
       (* rebuild location state from the survivors' page protections *)
       let copyset = ref Host_set.empty in
@@ -1814,7 +2468,16 @@ let rehome_dead_shard t h =
           | Prot.Read_only -> copyset := Host_set.add x !copyset
           | Prot.No_access -> ()
       done;
-      if Host_set.is_empty !copyset then install_shadow t e ~dead:h ~at:manager
+      let rc_recover = e.mode = Proto.Rc || was_fenced in
+      if rc_recover then begin
+        (* RC protections are local working copies, not Figure-3 read
+           copies: record the surviving sharers, then demote the minipage
+           under a fresh epoch fence (below, after adoption) so each sharer
+           flushes its dirty diff into the master and drops its copy *)
+        e.copyset <- !copyset;
+        e.owner <- manager
+      end
+      else if Host_set.is_empty !copyset then install_shadow t e ~dead:h ~at:manager
       else begin
         e.copyset <- !copyset;
         e.owner <-
@@ -1829,7 +2492,11 @@ let rehome_dead_shard t h =
       Directory.adopt dir0 e;
       Stats.Counters.incr t.counters "homes.rehomes";
       Obs.rehome (obs t) ~time:now ~host:manager ~mp_id ~from_home:h
-        ~to_home:manager)
+        ~to_home:manager;
+      if rc_recover then begin
+        e.copyset <- rc_diff_stragglers t ~dead:h ~mp_id e.copyset;
+        demote_entry t ~home:manager e
+      end)
     entries
 
 (* The dead host was a home and its shard is replicated: promote the backup
@@ -1915,12 +2582,19 @@ let promote_backup t ~dead:h ~backup:b =
         (* balances the FORWARD(write) the dead home logged *)
         Obs.ack (obs t) ~time:now ~host:b ~span:w.req_id ~mp_id ~from:w.from
       | Directory.Push_waiting_acks p ->
-        Directory.mark_completed dir_b ~req_id:p.req_id ~now);
+        Directory.mark_completed dir_b ~req_id:p.req_id ~now
+      | Directory.Mode_switch_wait _ ->
+        (* the fence dies with the primary; the survivors are re-fenced
+           below under a fresh epoch *)
+        ());
+      let was_fenced =
+        match e.pending with Directory.Mode_switch_wait _ -> true | _ -> false
+      in
       e.pending <- Directory.No_op;
-      (* install the replicated image (the corpse's shadow is at least as
-         fresh as the log's — only take the replica's when the corpse lost
-         its own, which cannot happen in this simulation but keeps the
-         replica authoritative on principle) *)
+      (* install the replicated image (the corpse's shadow — and its
+         mode/epoch — are at least as fresh as the log's prefix — only take
+         the replica's when the corpse lost its own, which cannot happen in
+         this simulation but keeps the replica authoritative on principle) *)
       (match Directory.Replica.find rep ~mp_id with
       | Some r ->
         e.owner <- r.r_owner;
@@ -1943,7 +2617,17 @@ let promote_backup t ~dead:h ~backup:b =
           | Prot.Read_only -> copyset := Host_set.add x !copyset
           | Prot.No_access -> ()
       done;
-      if Host_set.is_empty !copyset then begin
+      let rc_recover = e.mode = Proto.Rc || was_fenced in
+      if rc_recover then begin
+        (* RC protections are local working copies, not Figure-3 read
+           copies: record the surviving sharers, then demote under a fresh
+           epoch fence (below, after adoption) so each flushes its dirty
+           diff into the master and drops its copy *)
+        e.copyset <- !copyset;
+        e.owner <- b;
+        Obs.log_replay (obs t) ~time:now ~host:b ~primary:h ~mp_id ~via:"log" ()
+      end
+      else if Host_set.is_empty !copyset then begin
         install_shadow t e ~dead:h ~at:b;
         Obs.log_replay (obs t) ~time:now ~host:b ~primary:h ~mp_id ~via:"log" ()
       end
@@ -1975,7 +2659,11 @@ let promote_backup t ~dead:h ~backup:b =
       (* adopt under the same entries at the backup — no REHOME events, the
          single BACKUP_PROMOTE below covers the whole shard *)
       Directory.remove dir_d ~mp_id;
-      Directory.adopt dir_b e)
+      Directory.adopt dir_b e;
+      if rc_recover then begin
+        e.copyset <- rc_diff_stragglers t ~dead:h ~mp_id e.copyset;
+        demote_entry t ~home:b e
+      end)
     entries;
   (* 4. operations the log admitted whose completion it never saw: close
      them at the new home so straggling duplicates stay suppressed (their
@@ -2052,7 +2740,32 @@ let resend_orphans t h ~to_ =
             Stats.Counters.incr t.counters "homes.resent_group_fetches";
             send t ~src:hs.id ~dst:to_ ~bytes:(header t)
               (Proto.Group_fetch { req_id; from = hs.id; group_id = gf.gf_group }))
-          orphan_fetches
+          orphan_fetches;
+        (* release-time diffs whose ack the dead home swallowed: resend to
+           the new home under a fresh id.  Diff application is idempotent
+           (absolute replacement runs), so a diff the dead home did apply —
+           and replicate — before dying merges harmlessly twice. *)
+        let orphan_diffs =
+          Hashtbl.fold
+            (fun req_id (rd : rc_diff_out) acc ->
+              if rd.rd_target = h then (req_id, rd) :: acc else acc)
+            hs.rc_out []
+        in
+        List.iter
+          (fun (old_req, (rd : rc_diff_out)) ->
+            Hashtbl.remove hs.rc_out old_req;
+            mark_completed_logged t ~home:to_ ~req_id:old_req ~now;
+            let req_id = fresh_req t in
+            rd.rd_req <- req_id;
+            rd.rd_target <- to_;
+            Hashtbl.replace hs.rc_out req_id rd;
+            Stats.Counters.incr t.counters "rc.resent_diffs";
+            send t ~src:hs.id ~dst:to_
+              ~bytes:(header t + Twin_diff.encoded_bytes rd.rd_diff)
+              (Proto.Rc_diff
+                 { req_id; from = hs.id; mp_id = rd.rd_mp; epoch = rd.rd_epoch;
+                   diff = rd.rd_diff }))
+          orphan_diffs
       end)
     t.host_states
 
@@ -2256,12 +2969,19 @@ let dispatch t (h : host_state) (body : Proto.body) =
     manager_barrier_enter t ~home:h.id ~from ~tid ~phase
   | Proto.Barrier_release { phase } ->
     Engine.delay cost.sync_dispatch_us;
+    (* a barrier release is an acquire: drop clean RC copies so phase reads
+       refetch the master, then let the governor evaluate this shard *)
+    if rc_on t then begin
+      rc_acquire_invalidate t h;
+      governor_tick t ~home:h.id ~phase
+    end;
     host_barrier_release h ~phase
   | Proto.Lock_acquire { req_id = _; from; tid; lock } ->
     Engine.delay cost.sync_dispatch_us;
     manager_lock_acquire t ~home:h.id ~from ~tid ~lock
   | Proto.Lock_grant { lock; tid } ->
     Engine.delay cost.sync_dispatch_us;
+    if rc_on t then rc_acquire_invalidate t h;
     host_lock_grant t h ~lock ~tid
   | Proto.Lock_release { from; lock } ->
     Engine.delay cost.sync_dispatch_us;
@@ -2297,6 +3017,23 @@ let dispatch t (h : host_state) (body : Proto.body) =
   | Proto.Group_replan { req_id; drop } ->
     Engine.delay cost.sync_dispatch_us;
     host_group_replan h ~req_id ~drop
+  | Proto.Rc_data { req_id; access; info; epoch; data } ->
+    Engine.delay cost.dispatch_us;
+    host_rc_data t h ~req_id ~access info ~epoch data
+  | Proto.Rc_diff { req_id; from; mp_id; epoch; diff } ->
+    Engine.delay cost.dispatch_us;
+    manager_rc_diff t ~home:h.id ~req_id ~from ~mp_id ~epoch ~diff
+  | Proto.Rc_diff_ack { req_id; mp_id = _ } ->
+    Engine.delay cost.sync_dispatch_us;
+    host_rc_diff_ack t h ~req_id
+  | Proto.Mode_switch { mp_id; epoch; mode; info } ->
+    Engine.delay cost.sync_dispatch_us;
+    host_mode_switch t h ~mp_id ~epoch ~mode info
+  | Proto.Mode_ack { mp_id; epoch; from; data } ->
+    Engine.delay cost.sync_dispatch_us;
+    if home_of_mp t mp_id = h.id then
+      manager_mode_ack t ~home:h.id ~mp_id ~epoch ~from ~data
+    else forward_to_home ~mp_id body
   | Proto.Heartbeat { from; beat = _ } ->
     Engine.delay cost.sync_dispatch_us;
     if not t.declared.(from) then t.last_beat.(from) <- Engine.now t.engine
@@ -2416,6 +3153,34 @@ let on_fault t (h : host_state) (f : Vm.fault) =
   let access = match f.access with Prot.Read -> Proto.Read | Prot.Write -> Proto.Write in
   let t0 = Engine.now t.engine in
   Engine.delay cost.fault_us;
+  (* RC write upgrade: a write fault on a read-only copy this host already
+     holds under RC is served locally — twin and re-protect, no message *)
+  let rc_local =
+    if rc_on t && access = Proto.Write then begin
+      (* [f.phys_off] is the faulting vpage's start, which under millipage
+         names whichever minipage happens to sit first in the page — resolve
+         the accessed minipage from the faulting address instead *)
+      let _, _, phys = Vm.translate h.vm f.addr in
+      match Mpt.find (Allocator.mpt t.allocator) phys with
+      | Some mp -> (
+        match Hashtbl.find_opt h.rc_copies mp.Minipage.id with
+        | Some c
+          when Vm.protection h.vm ~view:f.view ~vpage:f.vpage = Prot.Read_only ->
+          Some c
+        | _ -> None)
+      | None -> None
+    end
+    else None
+  in
+  match rc_local with
+  | Some c ->
+    let span = fresh_req t in
+    Obs.fault_begin (obs t) ~time:t0 ~host:h.id ~span ~access:(obs_access access)
+      ~addr:f.addr ~view:f.view ~vpage:f.vpage;
+    rc_write_local t h c;
+    charge h B_write (Engine.now t.engine -. t0);
+    Obs.fault_end (obs t) ~time:(rnow t) ~host:h.id ~span
+  | None ->
   let e =
     match find_joinable h ~view:f.view ~vpage:f.vpage access with
     | Some e -> e
@@ -2507,6 +3272,10 @@ let create engine ~hosts:nhosts ?(config = Config.default) () =
       computing = 0;
       dead_peers = Directory.Host_set.empty;
       bd = Breakdown.create ();
+      rc_copies = Hashtbl.create 64;
+      rc_out = Hashtbl.create 16;
+      rc_flush_pending = 0;
+      rc_flush_waiters = Queue.create ();
     }
   in
   (* completed-request retention: twice the worst-case retransmission span
@@ -2568,6 +3337,12 @@ let create engine ~hosts:nhosts ?(config = Config.default) () =
       tail_repairs = 0;
       rolled_back = 0;
       log_applies = 0;
+      gov = Hashtbl.create 64;
+      mode_switches = 0;
+      rc_twins = 0;
+      rc_diffs = 0;
+      rc_diff_bytes = 0;
+      mode_switch_log = [];
       mutation = None;
       mutation_count = 0;
       mutation_fired = false;
@@ -2639,8 +3414,37 @@ let spawn t ~host ?name f =
       t.finished_by_host.(host) <- t.finished_by_host.(host) + 1;
       if ft_on t && all_live_done t then t.ft_stop <- true)
 
+(* With [`Rc] every minipage starts release-consistent: materialize each
+   entry's master copy from the init-phase content before the clock starts
+   (message-free, like hint seeding).  Host 0 held the only copy after
+   allocation, so its bytes are the ground truth; dropping its protection
+   makes the first touch of every host — including host 0 — fetch from the
+   master. *)
+let materialize_rc t =
+  let h0 = t.host_states.(manager) in
+  Array.iteri
+    (fun home dir ->
+      Seq.iter
+        (fun (e : Directory.entry) ->
+          let info = info_of e.mp in
+          let master = Vm.priv_read_bytes h0.vm ~off:info.base_off ~len:info.length in
+          e.mode <- Proto.Rc;
+          e.shadow <- Some master;
+          e.owner <- home;
+          e.copyset <- Host_set.empty;
+          protect_info t h0 info Prot.No_access;
+          if replicating t then
+            match Directory.Replica.find t.replicas.(home) ~mp_id:info.mp_id with
+            | Some r ->
+              r.Directory.Replica.r_mode <- Proto.Rc;
+              r.Directory.Replica.r_shadow <- Some (Bytes.copy master)
+            | None -> ())
+        (Directory.entries dir))
+    t.dirs
+
 let run t =
   t.started <- true;
+  if t.config.consistency.Config.Consistency.mode = `Rc then materialize_rc t;
   (match t.config.ft with Some ft -> start_ft t ft | None -> ());
   Engine.run t.engine;
   if not (all_live_done t) then raise (Deadlock (deadlock_report t))
@@ -2688,6 +3492,9 @@ let barrier ctx =
   let t0 = Engine.now t.engine in
   Stats.Counters.incr t.counters "barriers";
   Obs.barrier_enter (obs t) ~time:t0 ~host:h.id ~bphase:phase;
+  (* barrier entry is a release: flush this host's dirty RC copies to their
+     homes (and wait for the acks) before announcing arrival *)
+  rc_flush t h;
   let target = sync_home t phase in
   let sent =
     match Hashtbl.find_opt t.barrier_sent phase with
@@ -2742,6 +3549,9 @@ let lock ctx l =
 let unlock ctx l =
   let t = ctx.t and h = ctx.hs in
   Obs.lock_release (obs t) ~time:(rnow t) ~host:h.id ~lock:l;
+  (* an unlock is a release: the next holder's acquire must find this
+     critical section's writes at the master copies *)
+  rc_flush t h;
   let target = sync_home t l in
   let rels =
     match Hashtbl.find_opt t.pending_releases l with
@@ -2773,13 +3583,19 @@ let prefetch ctx addr access =
 let push_to_all ctx addr =
   let t = ctx.t and h = ctx.hs in
   let view, vpage, off = Vm.translate h.vm addr in
-  (match Vm.protection h.vm ~view ~vpage with
-  | Prot.Read_write -> ()
-  | Prot.Read_only | Prot.No_access ->
-    invalid_arg "Dsm.push_to_all: caller must hold the writable copy");
   (* the allocation layout is fixed after init, so hosts may consult the MPT
      for their own pushes without a manager round-trip *)
   let mp = Mpt.find_exn (Allocator.mpt t.allocator) off in
+  let rc_local = rc_on t && Hashtbl.mem h.rc_copies mp.Minipage.id in
+  (match Vm.protection h.vm ~view ~vpage with
+  | Prot.Read_write -> ()
+  | Prot.Read_only when rc_local ->
+    (* an RC holder's copy may be clean (read-only) yet current: a push is a
+       release, so the flush below reconciles before the data is read *)
+    ()
+  | Prot.Read_only | Prot.No_access ->
+    invalid_arg "Dsm.push_to_all: caller must hold the writable copy");
+  if rc_local then rc_flush t h;
   let info = info_of mp in
   let cost = t.config.cost in
   Engine.delay (set_prot_cost t info);
@@ -2930,6 +3746,38 @@ let log_records_applied t = t.log_applies
 let tail_repairs t = t.tail_repairs
 let rolled_back_minipages t = t.rolled_back
 let promoted_homes t = hosts_where t.promoted
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive-consistency statistics                                     *)
+(* ------------------------------------------------------------------ *)
+
+let mode_of_mp t mp_id =
+  match Directory.find t.dirs.(home_of_mp t mp_id) ~mp_id with
+  | Some (e : Directory.entry) -> e.mode
+  | None -> Proto.Sc
+
+let mode_of t ~addr =
+  let vm = t.host_states.(manager).vm in
+  let _, _, off = Vm.translate vm addr in
+  let mp = Mpt.find_exn (Allocator.mpt t.allocator) off in
+  mode_of_mp t mp.Minipage.id
+
+let modes t =
+  let sc = ref 0 and rc = ref 0 in
+  Array.iter
+    (fun dir ->
+      Seq.iter
+        (fun (e : Directory.entry) ->
+          match e.mode with Proto.Sc -> incr sc | Proto.Rc -> incr rc)
+        (Directory.entries dir))
+    t.dirs;
+  [ (Proto.Sc, !sc); (Proto.Rc, !rc) ]
+
+let mode_switches t = t.mode_switches
+let rc_twins t = t.rc_twins
+let rc_diffs t = t.rc_diffs
+let rc_diff_bytes t = t.rc_diff_bytes
+let mode_switch_log t = List.rev t.mode_switch_log
 
 (* ------------------------------------------------------------------ *)
 (* Test-only protocol mutations                                        *)

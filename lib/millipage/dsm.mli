@@ -121,6 +121,51 @@ module Config : sig
         [home]'s directory log — the next host, mod the host count. *)
   end
 
+  (** Per-minipage consistency: which protocol serves each minipage, as a
+      first-class run mode.  [`Sc] is the paper's Figure-3 single-writer
+      invalidation protocol and is bit-identical to the pre-mode build;
+      [`Rc] serves every minipage with the multi-writer release-consistent
+      path (twins on write fault, run-length diffs flushed to the home's
+      master copy at release, conservative invalidation at acquire);
+      [`Adaptive] starts everything under SC and lets the online governor
+      switch individual minipages between the two at sync points, fed by the
+      same sharing signatures the profiler computes. *)
+  module Consistency : sig
+    type mode = [ `Sc | `Rc | `Adaptive ]
+
+    type t = {
+      mode : mode;
+      adapt_interval : int;
+          (** the governor evaluates its shard every [adapt_interval]
+              barrier phases *)
+      promote_after : int;
+          (** consecutive write-shared/falsely-shared evaluations before an
+              SC minipage is promoted to RC *)
+      demote_after : int;
+          (** consecutive migratory/read-mostly/private evaluations before
+              an RC minipage is demoted back to SC *)
+    }
+
+    val default : t
+    (** [`Sc], evaluate every 2 phases, promote after 2, demote after 2. *)
+
+    val sc : t
+    val rc : t
+    val adaptive : t
+    val with_mode : t -> mode -> t
+
+    val with_adapt_interval : t -> int -> t
+    (** Raises [Invalid_argument] below 1. *)
+
+    val with_hysteresis : t -> ?promote_after:int -> ?demote_after:int -> unit -> t
+
+    val mode_name : mode -> string
+    (** ["sc"], ["rc"], ["adaptive"]. *)
+
+    val mode_of_string : string -> mode option
+    (** Inverse of {!mode_name}. *)
+  end
+
   type ft = Ft.t = {
     hb_interval_us : float;
     suspect_after_us : float;
@@ -145,11 +190,15 @@ module Config : sig
     net : Net.t;  (** network faults + reliable transport *)
     ft : Ft.t option;  (** crash-fault tolerance; [None] disables it entirely *)
     homes : Homes.t;  (** home-assignment policy (default [Central]) *)
+    consistency : Consistency.t;
+        (** per-minipage protocol modes (default pure SC — bit-identical to
+            the pre-mode build) *)
   }
 
   val default : t
   (** 32 views, 16 MB object, 4 KB pages, no chunking, Table 1 costs,
-      NT-timer polling, no faults, no crash-fault tolerance, central homes. *)
+      NT-timer polling, no faults, no crash-fault tolerance, central homes,
+      pure SC consistency. *)
 
   val with_views : t -> int -> t
   val with_object_size : t -> int -> t
@@ -165,6 +214,7 @@ module Config : sig
   val with_homes : t -> Homes.t -> t
   val with_policy : t -> Homes.policy -> t
   val with_replicate : t -> bool -> t
+  val with_consistency : t -> Consistency.t -> t
 end
 
 exception Deadlock of string
@@ -419,6 +469,47 @@ val rolled_back_minipages : t -> int
     to the last released version instead of being marked lost — the
     release-consistency rollback that replaces {!Crash_unrecoverable}
     fail-fast when replication is on. *)
+
+(** {2 Adaptive consistency}
+
+    With {!Config.Consistency} set to [`Rc] or [`Adaptive], minipages can be
+    served by the multi-writer release-consistent path instead of the
+    Figure-3 single-writer machine: the home keeps the master copy and
+    serves reads and writes from it directly, writers twin the minipage at
+    their first write fault, run-length diffs are flushed to the master at
+    release points (barrier entry, unlock, push) and clean local copies are
+    dropped at acquire points (barrier release, lock grant).  Under
+    [`Adaptive] an online governor — fed by the same sharing signatures the
+    profiler computes — promotes write-shared and falsely-shared minipages
+    to RC and demotes them back when the pattern fades, at sync points only,
+    each switch fenced by an epoch handshake so home, backup replica and
+    sharers agree before the first post-switch access. *)
+
+val mode_of : t -> addr:int -> Proto.mode
+(** Current protocol mode of the minipage holding [addr]. *)
+
+val mode_of_mp : t -> int -> Proto.mode
+(** Current protocol mode of a minipage by id. *)
+
+val modes : t -> (Proto.mode * int) list
+(** Census of minipages by current mode, as [[(Sc, n); (Rc, m)]]. *)
+
+val mode_switches : t -> int
+(** Completed mode switches (promotions + demotions), including
+    recovery-forced demotions after a crash. *)
+
+val rc_twins : t -> int
+(** Twins created at RC write faults. *)
+
+val rc_diffs : t -> int
+(** Release-time diffs flushed to the masters (empty diffs are skipped). *)
+
+val rc_diff_bytes : t -> int
+(** Total encoded bytes of those diffs — the quantity to weigh against the
+    invalidation traffic SC would have sent. *)
+
+val mode_switch_log : t -> (float * int * Proto.mode) list
+(** Every completed switch as [(time µs, mp_id, new mode)], oldest first. *)
 
 (** {2 Test-only protocol mutations}
 

@@ -2,6 +2,17 @@ type access = Read | Write
 
 type info = { mp_id : int; base_off : int; length : int; mp_view : int }
 
+(* Per-minipage consistency protocol.  [Sc] is the paper's Figure-3
+   single-writer invalidation protocol; [Rc] is the multi-writer
+   release-consistent path (twin on write fault, run-length diffs flushed to
+   the home at release, conservative local invalidation at acquire).  A
+   minipage's mode is owned by its home and changes only at sync points,
+   fenced by an epoch handshake so home, backup replica and sharers agree on
+   the mode before the first post-switch access. *)
+type mode = Sc | Rc
+
+let mode_to_string = function Sc -> "sc" | Rc -> "rc"
+
 (* One record of a home's logical write-ahead log, streamed to its backup
    host over the ARQ transport.  The channel is FIFO exactly-once, so the
    backup always holds a strict prefix of the primary's log: [L_admit]
@@ -19,6 +30,14 @@ type log_record =
   | L_shadow of { mp_id : int; data : bytes }
       (** the home's shadow copy was refreshed; the backup's replica of the
           last release-consistent contents *)
+  | L_mode of { mp_id : int; mode : mode; epoch : int }
+      (** a mode switch completed its epoch handshake; the backup must serve
+          the minipage under the same protocol after a promotion *)
+  | L_diff of { mp_id : int; diff : Twin_diff.t }
+      (** a release-time diff was applied to the home's master copy; the
+          backup patches its replica shadow with the same runs (an [L_mode]
+          to [Rc] always logs a full [L_shadow] first, so the patch target
+          exists) *)
 
 type body =
   | Request of { req_id : int; from : int; access : access; addr : int }
@@ -45,6 +64,25 @@ type body =
   | Group_data of { req_id : int; members : (info * bytes) list }
   | Group_ack of { req_id : int; from : int; mp_ids : int list }
   | Group_replan of { req_id : int; drop : int }
+  | Rc_data of { req_id : int; access : access; info : info; epoch : int; data : bytes }
+      (** home → requester: a release-consistent serve straight from the
+          home's master copy (no forward hop, no invalidation round); the
+          reply itself tells the requester the minipage is in [Rc] mode *)
+  | Rc_diff of {
+      req_id : int;
+      from : int;
+      mp_id : int;
+      epoch : int;
+      diff : Twin_diff.t;
+    }  (** sharer → home at release: the writes since the twin was taken *)
+  | Rc_diff_ack of { req_id : int; mp_id : int }
+      (** home → sharer: the diff reached the master copy; the release may
+          complete *)
+  | Mode_switch of { mp_id : int; epoch : int; mode : mode; info : info }
+      (** home → sharers: epoch fence of a mode switch.  Receivers drop
+          their local copies (flushing a dirty RC copy first — the channel
+          is FIFO, so the diff always precedes the ack) and acknowledge. *)
+  | Mode_ack of { mp_id : int; epoch : int; from : int; data : bytes option }
   | Heartbeat of { from : int; beat : int }
   | Dead_notice of { dead : int }
   | Log_append of { primary : int; lseq : int; record : log_record }
@@ -67,6 +105,10 @@ let describe_record = function
     Printf.sprintf "state mp%d o%d c%d" mp_id owner (List.length copyset)
   | L_shadow { mp_id; data } ->
     Printf.sprintf "shadow mp%d %dB" mp_id (Bytes.length data)
+  | L_mode { mp_id; mode; epoch } ->
+    Printf.sprintf "mode mp%d %s e%d" mp_id (mode_to_string mode) epoch
+  | L_diff { mp_id; diff } ->
+    Printf.sprintf "diff mp%d %dB" mp_id (Twin_diff.encoded_bytes diff)
 
 let describe = function
   | Request { access; addr; _ } ->
@@ -100,6 +142,16 @@ let describe = function
     Printf.sprintf "GROUP_DATA(%d minipages)" (List.length members)
   | Group_ack { mp_ids; _ } -> Printf.sprintf "GROUP_ACK(%d minipages)" (List.length mp_ids)
   | Group_replan { drop; _ } -> Printf.sprintf "GROUP_REPLAN(-%d batches)" drop
+  (* [Rc_data] keeps "REPLY_" and [Rc_diff] keeps "DATA" in their labels so
+     the profiler's cause buckets classify both as data traffic. *)
+  | Rc_data { info; _ } -> Printf.sprintf "REPLY_RC(mp%d)" info.mp_id
+  | Rc_diff { mp_id; _ } -> Printf.sprintf "DIFF_DATA(mp%d)" mp_id
+  | Rc_diff_ack { mp_id; _ } -> Printf.sprintf "DIFF_ACK(mp%d)" mp_id
+  | Mode_switch { mp_id; mode; epoch; _ } ->
+    Printf.sprintf "MODE_SWITCH(mp%d %s e%d)" mp_id (mode_to_string mode) epoch
+  | Mode_ack { mp_id; epoch; data; _ } ->
+    Printf.sprintf "MODE_ACK(mp%d e%d%s)" mp_id epoch
+      (match data with Some _ -> " +data" | None -> "")
   | Heartbeat { from; beat } -> Printf.sprintf "HEARTBEAT(h%d b%d)" from beat
   | Dead_notice { dead } -> Printf.sprintf "DEAD_NOTICE(h%d)" dead
   | Log_append { primary; lseq; record } ->

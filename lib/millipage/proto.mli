@@ -13,6 +13,18 @@ type access = Read | Write
     protection without any local lookup. *)
 type info = { mp_id : int; base_off : int; length : int; mp_view : int }
 
+(** Per-minipage consistency protocol.  [Sc] is the paper's Figure-3
+    single-writer invalidation protocol; [Rc] is the multi-writer
+    release-consistent path: twins on write fault, run-length diffs flushed
+    to the home's master copy at release, conservative local invalidation at
+    acquire.  A minipage's mode is owned by its home, changes only at sync
+    points, and every switch is fenced by an epoch handshake
+    ({!Mode_switch}/{!Mode_ack}) so home, backup replica and sharers agree
+    before the first post-switch access. *)
+type mode = Sc | Rc
+
+val mode_to_string : mode -> string
+
 (** One record of a home's logical write-ahead log, streamed to its backup
     over the ARQ transport.  The channel is FIFO exactly-once, so the backup
     always holds a strict prefix of the primary's log: [L_admit] precedes the
@@ -30,6 +42,13 @@ type log_record =
   | L_shadow of { mp_id : int; data : bytes }
       (** the home's shadow copy was refreshed — the backup's replica of the
           last release-consistent contents *)
+  | L_mode of { mp_id : int; mode : mode; epoch : int }
+      (** a mode switch completed its epoch handshake; after a promotion the
+          backup serves the minipage under the same protocol *)
+  | L_diff of { mp_id : int; diff : Twin_diff.t }
+      (** a release-time diff reached the home's master copy; the backup
+          patches its replica shadow with the same runs (a switch to [Rc]
+          always logs a full [L_shadow] first, so the patch target exists) *)
 
 type body =
   | Request of { req_id : int; from : int; access : access; addr : int }
@@ -79,6 +98,34 @@ type body =
       (** manager → fetching host after crash recovery: [drop] announced
           batches died with their supplier; the skipped members fault on
           demand later *)
+  | Rc_data of { req_id : int; access : access; info : info; epoch : int; data : bytes }
+      (** home → requester: a release-consistent serve straight from the
+          home's master copy — no forward hop, no invalidation round.  The
+          reply itself tells the requester the minipage is in [Rc] mode; a
+          [Write] serve is twinned at the receiver. *)
+  | Rc_diff of {
+      req_id : int;
+      from : int;
+      mp_id : int;
+      epoch : int;
+      diff : Twin_diff.t;
+    }
+      (** sharer → home at release (barrier entry, unlock, push): the writes
+          made since the twin was taken, applied to the master copy *)
+  | Rc_diff_ack of { req_id : int; mp_id : int }
+      (** home → sharer: the diff reached the master; the release may
+          complete *)
+  | Mode_switch of { mp_id : int; epoch : int; mode : mode; info : info }
+      (** home → sharers: the epoch fence of a mode switch.  Receivers drop
+          their local copies (a dirty RC copy is flushed first — the channel
+          is FIFO, so the diff always precedes the ack) and acknowledge;
+          the home serves no new access until every sharer acked. *)
+  | Mode_ack of { mp_id : int; epoch : int; from : int; data : bytes option }
+      (** sharer → home: fence acknowledged.  On an SC→RC promotion the
+          acking sharer that still holds a valid SC copy includes its bytes;
+          the home adopts the owner's payload as the RC master (the home
+          itself need not be a sharer, and its shadow may be one release
+          behind). *)
   | Heartbeat of { from : int; beat : int }
       (** every host → manager, each heartbeat interval; the failure
           detector's only liveness signal *)

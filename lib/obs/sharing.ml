@@ -131,6 +131,25 @@ let touch s host ~lo ~hi =
 
 let accesses s = s.reads + s.writes
 
+(* Exponential decay for windowed (online) classification: halve every
+   counter so old evidence fades geometrically while recent behaviour
+   dominates.  Structural facts — who ever read/wrote, where they touched,
+   who wrote last — are kept: they are cheap, and forgetting them would make
+   the classifier flap between [Private] and the sharing verdicts.  Integer
+   halving is deterministic and self-limiting (a counter incremented k times
+   per window settles near 2k). *)
+let decay s =
+  s.reads <- s.reads / 2;
+  s.writes <- s.writes / 2;
+  s.transfers <- s.transfers / 2;
+  s.bytes_in <- s.bytes_in / 2;
+  s.invals <- s.invals / 2;
+  s.inval_rounds <- s.inval_rounds / 2;
+  s.inval_targets <- s.inval_targets / 2;
+  s.false_invals <- s.false_invals / 2;
+  s.false_caused <- s.false_caused / 2;
+  s.writer_changes <- s.writer_changes / 2
+
 (* ------------------------------------------------------------------ *)
 (* Thresholds                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -188,19 +207,27 @@ let classify ?(thresholds = default_thresholds) s =
         || float_of_int s.writes /. float_of_int acc <= t.write_ratio && nr > 1
       then Read_mostly
       else if nw >= 2 then begin
-        let rounds = max 1 s.inval_rounds in
-        let alternation =
-          float_of_int s.writer_changes /. float_of_int rounds
-        in
-        let avg_targets =
-          float_of_int s.inval_targets /. float_of_int rounds
-        in
-        if
-          alternation >= t.migratory_alternation
-          && avg_targets <= t.migratory_max_targets
-          && Host_set.subset s.writers s.readers
-        then Migratory
-        else Write_shared
+        (* the migratory verdict needs invalidation evidence from the
+           window itself: with no rounds (e.g. a freshly promoted RC
+           minipage, whose writes travel as diffs), decayed residue of
+           [writer_changes] over a phantom round would misread concurrent
+           writers as ownership hops *)
+        if s.inval_rounds = 0 then Write_shared
+        else begin
+          let rounds = s.inval_rounds in
+          let alternation =
+            float_of_int s.writer_changes /. float_of_int rounds
+          in
+          let avg_targets =
+            float_of_int s.inval_targets /. float_of_int rounds
+          in
+          if
+            alternation >= t.migratory_alternation
+            && avg_targets <= t.migratory_max_targets
+            && Host_set.subset s.writers s.readers
+          then Migratory
+          else Write_shared
+        end
       end
       else
         (* exactly one writer, other hosts read it: producer-consumer *)

@@ -65,6 +65,12 @@ val footprint : signature_ -> int -> Footprint.t
 val touch : signature_ -> int -> lo:int -> hi:int -> unit
 val accesses : signature_ -> int
 
+val decay : signature_ -> unit
+(** Halve every counter in place (integer division), so a windowed caller —
+    e.g. the adaptive-consistency governor, once per evaluation — sees
+    recent behaviour dominate while structural facts (reader/writer sets,
+    footprints, last writer) are retained. *)
+
 type thresholds = {
   min_accesses : int;
   write_ratio : float;

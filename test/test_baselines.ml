@@ -1,5 +1,6 @@
 open Mp_sim
 open Mp_baselines
+module Twin_diff = Mp_millipage.Twin_diff
 
 (* ---------------- Twin_diff ---------------- *)
 

@@ -25,4 +25,5 @@ let () =
       ("mc", Test_mc.suite);
       ("profile", Test_profile.suite);
       ("replicate", Test_replicate.suite);
+      ("adaptive", Test_adaptive.suite);
     ]
