@@ -2,50 +2,253 @@
 
     Runs bounded exploration over a representative slice of the scenario
     matrix (hosts x homes x faults x crash, random-walk and delay-bounded)
-    under a fixed per-cell budget, and reports schedules/sec, distinct-trace
-    and distinct-state coverage and the choice-point histogram — all routed
-    through the observability metrics registry so the numbers land in the
-    same tables as the protocol's own counters. *)
+    under a fixed per-cell budget — every cell with refinement checking on —
+    and reports schedules/sec, distinct-trace and distinct-state coverage,
+    both pruning counters and the choice-point histogram, all routed
+    through the observability metrics registry.
+
+    A parallel deep-dive then runs one racer scenario under [-j 1] and
+    [-j N] (N = min 8 available cores), asserts the two walks reach
+    identical deduped fingerprint sets, and records schedules/sec and the
+    speedup.  The whole trajectory lands in [BENCH_mc.json] (set
+    MP_BENCH_DIR to relocate); [--check] re-runs the sweep and diffs the
+    deterministic lines against the committed baseline, exactly like
+    [bench scale --check].  Machine-speed lines (wall, rates, speedup,
+    jobs) sit on their own lines and are excluded from the diff. *)
 
 open Mp_mc
 module Metrics = Mp_obs.Metrics
 module Tab = Mp_util.Tab
 
 let budget_schedules = 150
-let cell_wall_s = 6.0
+let cell_wall_s = 30.0
 
 let loss =
   { Mp_net.Fabric.drop = 0.03; duplicate = 0.02; reorder = 0.05; jitter_us = 4.0 }
 
+(* Every cell checks refinement: the sweep doubles as a standing assertion
+   that all explored schedules of these protocol corners simulate against
+   the memory spec.  Refinement histories are recorded outside the
+   coherence log, so coverage numbers are unchanged by it. *)
 let cells =
   let open Scenario in
+  let refine t = { t with refine = true } in
   let homes = Mp_millipage.Dsm.Config.Homes.round_robin in
-  [
-    ("h2 central", `Random, { default with hosts = 2 });
-    ("h3 central", `Random, default);
-    ("h3 central delay-2", `Delay, default);
-    ("h4 rr", `Random, { default with hosts = 4; homes });
-    ("h4 rr faulty", `Random, { default with hosts = 4; homes; faults = loss });
-    ( "h4 rr crash",
-      `Random,
-      { default with hosts = 4; homes; crashes = [ (3, 1200.0) ] } );
-    ( "h4 rr faulty crash",
-      `Random,
-      { default with hosts = 4; homes; faults = loss; crashes = [ (3, 1200.0) ] }
-    );
-  ]
+  List.map
+    (fun (l, m, t) -> (l, m, refine t))
+    [
+      ("h2 central", `Random, { default with hosts = 2 });
+      ("h3 central", `Random, default);
+      ("h3 central delay-2", `Delay, default);
+      ( "h3 barrier delay-2",
+        `Delay,
+        {
+          default with
+          workload =
+            Racer { locs = 2; ops_per_host = 3; wseed = 7; barrier_every = 2 };
+        } );
+      ("h4 rr", `Random, { default with hosts = 4; homes });
+      ("h4 rr faulty", `Random, { default with hosts = 4; homes; faults = loss });
+      ( "h4 rr crash",
+        `Random,
+        { default with hosts = 4; homes; crashes = [ (3, 1200.0) ] } );
+      ( "h4 rr faulty crash",
+        `Random,
+        { default with hosts = 4; homes; faults = loss; crashes = [ (3, 1200.0) ] }
+      );
+    ]
 
-let run () =
+(* ------------------------- parallel deep-dive -------------------------- *)
+
+let deep_budget = 400
+
+let deep_scenario =
+  Scenario.
+    {
+      default with
+      hosts = 4;
+      homes = Mp_millipage.Dsm.Config.Homes.round_robin;
+      faults = loss;
+      refine = true;
+    }
+
+type deep = {
+  d_jobs : int;
+  d_schedules : int;
+  d_traces : int;
+  d_states : int;
+  d_sets_equal : bool;
+  d_rate_j1 : float;
+  d_rate_jn : float;
+  d_speedup : float;
+}
+
+let deep_dive ~jobs =
+  let b = Explore.budget ~max_schedules:deep_budget ~max_wall_s:600.0 () in
+  let r1 = Explore.random_walk deep_scenario ~seed:11 b in
+  let rn =
+    if jobs > 1 then Explore.random_walk ~jobs deep_scenario ~seed:11 b else r1
+  in
+  let rate (r : Explore.result) =
+    float_of_int r.Explore.schedules /. Float.max 1e-9 r.Explore.wall_s
+  in
+  {
+    d_jobs = jobs;
+    d_schedules = r1.Explore.schedules;
+    d_traces = r1.Explore.distinct_traces;
+    d_states = r1.Explore.distinct_states;
+    d_sets_equal =
+      r1.Explore.trace_sigs = rn.Explore.trace_sigs
+      && r1.Explore.state_sigs = rn.Explore.state_sigs;
+    d_rate_j1 = rate r1;
+    d_rate_jn = rate rn;
+    d_speedup = rate rn /. Float.max 1e-9 (rate r1);
+  }
+
+(* ------------------------------- JSON ---------------------------------- *)
+
+type cell_result = {
+  c_label : string;
+  c_mode : string;
+  c_r : Explore.result;
+}
+
+(* Volatile (machine-speed) fields sit on their own lines so the --check
+   drift diff can drop exactly those lines and compare the rest verbatim. *)
+let render_json cells_r deep =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n  \"bench\": \"mc\",\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"budget\": %d,\n  \"cells\": [\n" budget_schedules);
+  let n = List.length cells_r in
+  List.iteri
+    (fun i c ->
+      let r = c.c_r in
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"cell\": %S, \"mode\": %S, \"schedules\": %d, \"traces\": \
+            %d, \"states\": %d,\n\
+            \      \"cps\": %d, \"max_cps\": %d, \"pruned\": %d, \
+            \"sleep_pruned\": %d, \"verdict\": %S,\n\
+            \      \"wall_s\": %.3f,\n\
+            \      \"rate\": %.0f }%s\n"
+           c.c_label c.c_mode r.Explore.schedules r.Explore.distinct_traces
+           r.Explore.distinct_states r.Explore.total_choice_points
+           r.Explore.max_choice_points r.Explore.pruned r.Explore.sleep_pruned
+           (match r.Explore.failure with None -> "clean" | Some _ -> "violation")
+           r.Explore.wall_s
+           (float_of_int r.Explore.schedules /. Float.max 1e-9 r.Explore.wall_s)
+           (if i = n - 1 then "" else ",")))
+    cells_r;
+  Buffer.add_string b "  ],\n  \"deep_dive\": {\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "    \"scenario\": %S,\n\
+        \    \"budget\": %d,\n\
+        \    \"schedules\": %d, \"traces\": %d, \"states\": %d, \
+        \"sets_equal\": %b,\n\
+        \    \"jobs\": %d,\n\
+        \    \"rate_j1\": %.0f,\n\
+        \    \"rate_jn\": %.0f,\n\
+        \    \"speedup\": %.2f\n"
+       (Scenario.to_string deep_scenario)
+       deep_budget deep.d_schedules deep.d_traces deep.d_states
+       deep.d_sets_equal deep.d_jobs deep.d_rate_j1 deep.d_rate_jn
+       deep.d_speedup);
+  Buffer.add_string b "  }\n}\n";
+  Buffer.contents b
+
+let json_file () =
+  match Sys.getenv_opt "MP_BENCH_DIR" with
+  | None -> "BENCH_mc.json"
+  | Some dir -> Filename.concat dir "BENCH_mc.json"
+
+let write_json cells_r deep =
+  let file = json_file () in
+  let oc = open_out file in
+  output_string oc (render_json cells_r deep);
+  close_out oc;
+  Harness.note "wrote %s" file
+
+(* ---------------- drift check against the committed baseline ----------- *)
+
+let contains line sub =
+  let n = String.length line and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub line i m = sub || go (i + 1)) in
+  m > 0 && go 0
+
+let volatile line =
+  contains line "\"wall_s\"" || contains line "\"rate\""
+  || contains line "\"rate_j1\"" || contains line "\"rate_jn\""
+  || contains line "\"speedup\"" || contains line "\"jobs\""
+
+let signature text =
+  let strip_comma l =
+    let l = ref l in
+    while String.length !l > 0 && !l.[String.length !l - 1] = ',' do
+      l := String.sub !l 0 (String.length !l - 1)
+    done;
+    !l
+  in
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         if volatile line then None else Some (strip_comma line))
+
+let check_json cells_r deep =
+  let file = json_file () in
+  let baseline =
+    try
+      let ic = open_in file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with Sys_error msg ->
+      failwith
+        (Printf.sprintf
+           "exp_mc --check: cannot read baseline %s (%s); run 'bench mc' once \
+            and commit the file"
+           file msg)
+  in
+  let want = signature baseline in
+  let got = signature (render_json cells_r deep) in
+  if want = got then
+    Harness.note "mc trajectory matches %s (%d deterministic lines)" file
+      (List.length got)
+  else begin
+    let rec diff i = function
+      | w :: ws, g :: gs ->
+        if w = g then diff (i + 1) (ws, gs)
+        else Harness.note "  line %d drifted:\n    baseline: %s\n    current:  %s" i w g
+      | w :: _, [] -> Harness.note "  line %d missing from current run: %s" i w
+      | [], g :: _ -> Harness.note "  line %d not in baseline: %s" i g
+      | [], [] -> ()
+    in
+    diff 1 (want, got);
+    failwith
+      (Printf.sprintf
+         "exp_mc: trajectory drifted from %s — if the exploration change is \
+          intentional, regenerate with 'bench mc' and commit the new baseline"
+         file)
+  end
+
+(* -------------------------------- sweep -------------------------------- *)
+
+let default_jobs () = max 1 (min 8 (Domain.recommended_domain_count ()))
+
+let run ?(jobs = -1) ?(check = false) () =
+  let jobs = if jobs <= 0 then default_jobs () else jobs in
   Harness.section
     (Printf.sprintf
-       "mpcheck exploration sweep: %d schedules or %.0fs per cell"
-       budget_schedules cell_wall_s);
+       "mpcheck exploration sweep: %d schedules or %.0fs per cell, refinement \
+        on, deep-dive at -j %d"
+       budget_schedules cell_wall_s jobs);
   let m = Metrics.create () in
   let budget =
     Explore.budget ~max_schedules:budget_schedules ~max_wall_s:cell_wall_s ()
   in
   let failures = ref 0 in
-  let rows =
+  let cells_r =
     List.map
       (fun (label, mode, scenario) ->
         let r =
@@ -58,9 +261,20 @@ let run () =
         Metrics.gauge_set m
           ("mc.rate." ^ String.map (fun c -> if c = ' ' then '_' else c) label)
           (float_of_int r.Explore.schedules /. Float.max 1e-9 r.Explore.wall_s);
+        {
+          c_label = label;
+          c_mode = (match mode with `Random -> "random" | `Delay -> "delay-2");
+          c_r = r;
+        })
+      cells
+  in
+  let rows =
+    List.map
+      (fun c ->
+        let r = c.c_r in
         [
-          label;
-          (match mode with `Random -> "random" | `Delay -> "delay-2");
+          c.c_label;
+          c.c_mode;
           string_of_int r.Explore.schedules;
           Printf.sprintf "%.0f"
             (float_of_int r.Explore.schedules /. Float.max 1e-9 r.Explore.wall_s);
@@ -71,20 +285,53 @@ let run () =
              else r.Explore.total_choice_points / r.Explore.schedules);
           string_of_int r.Explore.max_choice_points;
           string_of_int r.Explore.pruned;
+          string_of_int r.Explore.sleep_pruned;
           (match r.Explore.failure with None -> "clean" | Some _ -> "VIOLATION");
         ])
-      cells
+      cells_r
   in
   Tab.print
     ~header:
-      [ "cell"; "mode"; "sched"; "/s"; "traces"; "states"; "cps"; "max"; "pruned";
-        "verdict" ]
+      [ "cell"; "mode"; "sched"; "/s"; "traces"; "states"; "cps"; "max";
+        "pruned"; "sleep"; "verdict" ]
     rows;
+  let deep = deep_dive ~jobs in
+  Tab.print
+    ~header:[ "deep-dive"; "sched"; "/s -j1"; Printf.sprintf "/s -j%d" deep.d_jobs;
+              "speedup"; "sets" ]
+    [
+      [
+        "racer h4 rr faulty spec";
+        string_of_int deep.d_schedules;
+        Printf.sprintf "%.0f" deep.d_rate_j1;
+        Printf.sprintf "%.0f" deep.d_rate_jn;
+        Printf.sprintf "%.2fx" deep.d_speedup;
+        (if deep.d_sets_equal then "identical" else "DIVERGED");
+      ];
+    ]
+  ;
   Harness.note "choice-point histogram (all cells, bucket width 32):";
   print_string (Metrics.latency_table m);
   print_string (Metrics.counters_table m);
+  if check then check_json cells_r deep else write_json cells_r deep;
   if !failures > 0 then
-    Harness.note "!! %d cell(s) found violating schedules" !failures
+    failwith
+      (Printf.sprintf "exp_mc: %d cell(s) found violating schedules" !failures)
   else
-    Harness.note "all %d cells clean (%d schedules)" (List.length cells)
-      (Mp_util.Stats.Counters.get (Metrics.counters m) "mc.schedules")
+    Harness.note "all %d cells clean (%d schedules, refinement on)"
+      (List.length cells)
+      (Mp_util.Stats.Counters.get (Metrics.counters m) "mc.schedules");
+  if not deep.d_sets_equal then
+    failwith
+      "exp_mc: -j1 and -jN random walks reached different fingerprint sets";
+  (* the parallel-scaling claim is only assertable when the machine can
+     actually run the workers concurrently: on a starved runner the deep
+     dive still records the (volatile) speedup, but does not gate *)
+  if jobs >= 8 && Domain.recommended_domain_count () >= 8 && deep.d_speedup < 3.0
+  then
+    failwith
+      (Printf.sprintf
+         "exp_mc: -j%d speedup %.2fx is below the 3x floor this machine's %d \
+          cores should sustain"
+         jobs deep.d_speedup
+         (Domain.recommended_domain_count ()))

@@ -65,9 +65,28 @@ let shard =
   cmd "shard" "Sharded-home sweep: per-home queue depth and end time vs central"
     Term.(const Exp_shard.run $ const ())
 
+let mc_jobs_arg =
+  Arg.(
+    value & opt int (-1)
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel deep-dive (default: min 8 \
+           available cores).")
+
+let mc_check_arg =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Compare the deterministic lines of the trajectory (everything but \
+           wall-clock rates and the speedup) against the committed \
+           BENCH_mc.json instead of rewriting it; exit non-zero on drift.")
+
 let mc =
   cmd "mc" "mpcheck sweep: schedule-exploration throughput and coverage"
-    Term.(const Exp_mc.run $ const ())
+    Term.(
+      const (fun jobs check -> Exp_mc.run ~jobs ~check ())
+      $ mc_jobs_arg $ mc_check_arg)
 
 let max_hosts_arg =
   Arg.(

@@ -19,10 +19,12 @@ let pr fmt = Printf.printf fmt
 
 let print_result name (r : Explore.result) =
   let rate = if r.wall_s > 0.0 then float_of_int r.schedules /. r.wall_s else 0.0 in
-  pr "%-32s %5d sched (%5.0f/s)  %5d traces  %5d states  cps avg %4d max %4d  pruned %d\n%!"
+  pr
+    "%-32s %5d sched (%5.0f/s)  %5d traces  %5d states  cps avg %4d max %4d  \
+     pruned %d  sleep %d\n%!"
     name r.schedules rate r.distinct_traces r.distinct_states
     (if r.schedules = 0 then 0 else r.total_choice_points / r.schedules)
-    r.max_choice_points r.pruned
+    r.max_choice_points r.pruned r.sleep_pruned
 
 (* Shrink a failing schedule and persist it for replay. *)
 let handle_failure scenario ~out (plan, (o : Scenario.outcome)) =
@@ -33,14 +35,24 @@ let handle_failure scenario ~out (plan, (o : Scenario.outcome)) =
   Artifact.save ~file:out (Artifact.of_outcome scenario plan o);
   pr "artifact written to %s — reproduce with: mpcheck replay %s\n%!" out out
 
-let run_one scenario ~mode ~seed ~prob ~bound budget =
+let run_one scenario ~mode ~seed ~prob ~bound ~jobs ~sleep_sets budget =
   match mode with
-  | `Random -> Explore.random_walk ~prob scenario ~seed budget
-  | `Delay -> Explore.delay_bounded scenario ~bound budget
+  | `Random -> Explore.random_walk ~prob ~jobs scenario ~seed budget
+  | `Delay -> Explore.delay_bounded ~sleep_sets ~jobs scenario ~bound budget
+
+(* [--refine]/[--lockread] layer the corresponding scenario fields over
+   whatever the -s string specified, without being able to turn them off. *)
+let with_flags scenario ~refine ~lockread =
+  {
+    scenario with
+    Scenario.refine = refine || scenario.Scenario.refine;
+    lockread = lockread || scenario.Scenario.lockread;
+  }
 
 (* ------------------------------- explore ------------------------------- *)
 
-let explore scenario_str mode seed prob bound max_schedules max_wall out =
+let explore scenario_str mode seed prob bound jobs no_sleep refine lockread
+    max_schedules max_wall out =
   match
     try Ok (Scenario.of_string scenario_str) with Failure m -> Error m
   with
@@ -48,8 +60,12 @@ let explore scenario_str mode seed prob bound max_schedules max_wall out =
     prerr_endline m;
     2
   | Ok scenario ->
+    let scenario = with_flags scenario ~refine ~lockread in
     let budget = Explore.budget ~max_schedules ~max_wall_s:max_wall () in
-    let r = run_one scenario ~mode ~seed ~prob ~bound budget in
+    let r =
+      run_one scenario ~mode ~seed ~prob ~bound ~jobs
+        ~sleep_sets:(not no_sleep) budget
+    in
     print_result (Scenario.name scenario) r;
     (match r.failure with
     | None -> 0
@@ -73,19 +89,17 @@ let policies =
    need a surviving majority.  Each crash cell also runs with the home
    shards replicated — there the checker treats the legacy fail-fast
    (Crash_unrecoverable) as a violation, pinning the no-lost-writes claim
-   across every explored schedule.  The consistency column runs rc and
-   adaptive against the central and round-robin policies only (the protocol
-   mode is orthogonal to home placement, so crossing it with every policy
-   would triple the wall budget for no new interleavings), but every crash
-   cell keeps an rc twin: recovery must demote the dead home's rc minipages
-   before re-serving them. *)
-let consistency_modes homes =
+   across every explored schedule.  The consistency column crosses every
+   homes policy — block and first-toucher placement shard rc/adaptive twin
+   and directory state differently from central/rr, which is exactly the
+   coverage the refinement spec wants.  Crash twins: sc and rc cells get a
+   legacy and a replicated twin; adaptive gets the replicated twin only —
+   an adaptive manager crashing under the legacy path can legitimately
+   strand a mid-switch minipage, so only the no-lost-writes claim (backed
+   by replication) is schedule-checkable there. *)
+let consistency_modes _homes =
   let open Mp_millipage.Dsm.Config in
-  if
-    homes.Homes.policy = Homes.Central
-    || homes.Homes.policy = Homes.Round_robin
-  then [ Consistency.sc; Consistency.rc; Consistency.adaptive ]
-  else [ Consistency.sc ]
+  [ Consistency.sc; Consistency.rc; Consistency.adaptive ]
 
 let matrix_cells hosts_list =
   List.concat_map
@@ -100,15 +114,20 @@ let matrix_cells hosts_list =
                     { Scenario.default with hosts; homes; consistency; faults }
                   in
                   let crash_cells =
-                    if hosts < 3 || consistency.Mp_millipage.Dsm.Config.Consistency.mode = `Adaptive
-                    then []
+                    if hosts < 3 then []
                     else
+                      let adaptive =
+                        consistency.Mp_millipage.Dsm.Config.Consistency.mode
+                        = `Adaptive
+                      in
                       let baseline = Scenario.run_plan { base with faults = Mp_net.Fabric.no_faults } Plan.empty in
                       let at = Float.max 50.0 (baseline.Scenario.end_us *. 0.4) in
                       let crash = { base with crashes = [ (hosts - 1, at) ] } in
-                      [ crash;
+                      let replicated =
                         { crash with
-                          homes = Mp_millipage.Dsm.Config.Homes.with_replicate homes true } ]
+                          homes = Mp_millipage.Dsm.Config.Homes.with_replicate homes true }
+                      in
+                      if adaptive then [ replicated ] else [ crash; replicated ]
                   in
                   base :: crash_cells)
                 [ Mp_net.Fabric.no_faults; loss_faults ])
@@ -116,20 +135,28 @@ let matrix_cells hosts_list =
         policies)
     hosts_list
 
-let matrix hosts_list mode seed prob bound max_schedules max_wall out =
-  let cells = matrix_cells hosts_list in
-  let t0 = Sys.time () in
+let matrix hosts_list mode seed prob bound jobs no_sleep refine lockread
+    max_schedules max_wall out =
+  let cells =
+    List.map
+      (fun c -> with_flags c ~refine ~lockread)
+      (matrix_cells hosts_list)
+  in
+  let t0 = Unix.gettimeofday () in
   let failed = ref 0 and total_sched = ref 0 in
   List.iter
     (fun scenario ->
-      let left = max_wall -. (Sys.time () -. t0) in
+      let left = max_wall -. (Unix.gettimeofday () -. t0) in
       if left > 0.5 then begin
         let budget =
           Explore.budget ~max_schedules
             ~max_wall_s:(Float.min left (max_wall /. float_of_int (List.length cells) *. 2.0))
             ()
         in
-        let r = run_one scenario ~mode ~seed ~prob ~bound budget in
+        let r =
+          run_one scenario ~mode ~seed ~prob ~bound ~jobs
+            ~sleep_sets:(not no_sleep) budget
+        in
         total_sched := !total_sched + r.schedules;
         print_result (Scenario.name scenario) r;
         match r.failure with
@@ -142,7 +169,7 @@ let matrix hosts_list mode seed prob bound max_schedules max_wall out =
     cells;
   pr "matrix: %d cells, %d schedules, %d failing, %.1fs\n%!" (List.length cells)
     !total_sched !failed
-    (Sys.time () -. t0);
+    (Unix.gettimeofday () -. t0);
   if !failed > 0 then 1 else 0
 
 (* ------------------------------- replay -------------------------------- *)
@@ -165,9 +192,9 @@ let replay file verbose =
           match step with
           | Sched.Net { pick; _ } when pick = 0 -> ()
           | Sched.Tie { pick; _ } when pick = 0 -> ()
-          | Sched.Tie { n; pick; labels } ->
+          | Sched.Tie { n; pick; labels; _ } ->
             pr "  @%d tie/%d pick %d = %s\n" pos n pick labels.(pick)
-          | Sched.Net { n; pick; label } ->
+          | Sched.Net { n; pick; label; _ } ->
             pr "  @%d net/%d delay %d on %s\n" pos n pick label)
         o.Scenario.steps;
     let mismatches = Artifact.check artifact o in
@@ -186,9 +213,11 @@ let scenario_arg =
     & info [ "s"; "scenario" ] ~docv:"KV"
         ~doc:
           "Scenario as space-separated k=v pairs: app=racer|sor|lu|water|is|tsp, \
-           hosts=N, homes=central|rr|block|ft, drop/dup/reorder/jitter, \
-           crash=H@T, mutation=stale-reply:N|drop-inval-ack:N, seed, netseed, \
-           quantum, maxdelay.  Empty string is the default racer scenario.")
+           barrier=K (racer: global barrier every K ops), hosts=N, \
+           homes=central|rr|block|ft, drop/dup/reorder/jitter, crash=H@T, \
+           mutation=stale-reply:N|drop-inval-ack:N|lost-diff:N, lockread=1, \
+           refine=1, seed, netseed, quantum, maxdelay.  Empty string is the \
+           default racer scenario.")
 
 let mode_arg =
   Arg.(
@@ -209,6 +238,43 @@ let bound_arg =
   Arg.(
     value & opt int 2
     & info [ "bound" ] ~docv:"K" ~doc:"Max deviations per schedule (delay mode).")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains exploring in parallel.  Each worker replays \
+           scenarios on a private engine; fingerprints dedupe through \
+           domain-safe tables, and a random walk's fingerprint sets are \
+           identical for every N.")
+
+let no_sleep_arg =
+  Arg.(
+    value & flag
+    & info [ "no-sleep" ]
+        ~doc:
+          "Disable DPOR sleep sets in delay-bounded mode (persistent-set \
+           promotion pruning stays on).")
+
+let refine_arg =
+  Arg.(
+    value & flag
+    & info [ "refine" ]
+        ~doc:
+          "Check every explored schedule's read/write/sync history against \
+           the executable memory spec by refinement: strict \
+           atomic-memory simulation under sc, sync-point linearization \
+           (happens-before floors) under rc/adaptive.")
+
+let lockread_arg =
+  Arg.(
+    value & flag
+    & info [ "lockread" ]
+        ~doc:
+          "Racer reads its location inside each critical section, placing \
+           an observation above the lock's happens-before floor (catches \
+           lost release diffs; changes the schedule).")
 
 let budget_arg =
   Arg.(
@@ -235,7 +301,8 @@ let explore_cmd =
   let term =
     Term.(
       const explore $ scenario_arg $ mode_arg $ seed_arg $ prob_arg $ bound_arg
-      $ budget_arg $ wall_arg $ out_arg)
+      $ jobs_arg $ no_sleep_arg $ refine_arg $ lockread_arg $ budget_arg
+      $ wall_arg $ out_arg)
   in
   Cmd.v (Cmd.info "explore" ~doc:"Explore schedules of one scenario") term
 
@@ -243,7 +310,8 @@ let matrix_cmd =
   let term =
     Term.(
       const matrix $ hosts_list_arg $ mode_arg $ seed_arg $ prob_arg $ bound_arg
-      $ budget_arg $ wall_arg $ out_arg)
+      $ jobs_arg $ no_sleep_arg $ refine_arg $ lockread_arg $ budget_arg
+      $ wall_arg $ out_arg)
   in
   Cmd.v
     (Cmd.info "matrix"

@@ -7,13 +7,30 @@
       by fingerprint.  Cheap, embarrassingly diverse, the default.
     - {!delay_bounded} — breadth-first over plans with at most [bound]
       deviations from the default schedule (delay-bounded scheduling).
-      Tie alternatives that commute with every earlier same-instant event
-      are pruned (persistent-set-style reduction): swapping independent
-      events cannot reach a new state, so their plans are never enqueued.
+      Two partial-order reductions prune the tree:
+      {ul
+      {- {e persistent-set promotion}: a tie alternative that commutes with
+         every earlier same-instant event is never promoted — the swap
+         cannot reach a new state;}
+      {- {e DPOR sleep sets}: an event explored from a sibling branch goes
+         to sleep in the branches promoted after it, and stays asleep — its
+         re-promotion pruned — until a {e dependent} event executes.
+         Sleepers are identified by (instant, label), which is stable under
+         tie reordering.  See DESIGN.md §16.}}
 
-    Both stop at the first violating schedule and return it; {!shrink} then
-    greedily removes deviations while the violation still reproduces,
-    yielding the minimal replayable plan. *)
+    Both modes run on a single domain by default; [~jobs:n] drains the work
+    (seed indices for the walk, the plan frontier for the bounded search)
+    with a pool of [n] domains, each replaying scenarios on its own private
+    engine.  Fingerprints dedupe through domain-safe sharded tables, and a
+    walk's fingerprint {e sets} are identical for any [jobs] on a clean
+    schedule-bounded run, because run index [i] computes the same schedule
+    no matter which worker claims it.
+
+    Both stop at the first violating schedule and return it ([~jobs] > 1:
+    the walk reports the smallest failing run index — the same failure the
+    sequential walk stops at); {!shrink} then greedily removes deviations
+    while the violation still reproduces, yielding the minimal replayable
+    plan. *)
 
 type budget = { max_schedules : int; max_wall_s : float }
 
@@ -26,21 +43,43 @@ type result = {
   distinct_states : int;  (** unique end-state fingerprints *)
   total_choice_points : int;  (** summed over all runs *)
   max_choice_points : int;  (** largest single run *)
-  pruned : int;  (** plans skipped by the independence reduction *)
+  pruned : int;  (** plans skipped by persistent-set promotion *)
+  sleep_pruned : int;  (** plans skipped by DPOR sleep sets *)
   wall_s : float;
+  trace_sigs : int list;  (** the deduped trace fingerprints, sorted *)
+  state_sigs : int list;  (** the deduped state fingerprints, sorted *)
   failure : (Plan.t * Scenario.outcome) option;
       (** first violating schedule, unshrunk *)
 }
 
 val random_walk :
-  ?metrics:Mp_obs.Metrics.t -> ?prob:float -> Scenario.t -> seed:int -> budget -> result
+  ?metrics:Mp_obs.Metrics.t ->
+  ?prob:float ->
+  ?jobs:int ->
+  Scenario.t ->
+  seed:int ->
+  budget ->
+  result
 (** Runs the default schedule first, then random walks seeded [seed + i].
     [prob] is the per-choice-point deviation probability (default 0.05).
-    When [metrics] is given, progress lands in the registry under
-    ["mc.schedules"], ["mc.violations"], ["mc.choice_points"] (histogram). *)
+    [jobs] (default 1) sizes the domain pool; workers claim run indices
+    from a shared counter.  When [metrics] is given, progress lands in the
+    registry under ["mc.schedules"], ["mc.violations"],
+    ["mc.choice_points"] (histogram). *)
 
 val delay_bounded :
-  ?metrics:Mp_obs.Metrics.t -> Scenario.t -> bound:int -> budget -> result
+  ?metrics:Mp_obs.Metrics.t ->
+  ?sleep_sets:bool ->
+  ?jobs:int ->
+  Scenario.t ->
+  bound:int ->
+  budget ->
+  result
+(** [sleep_sets] (default [true]) enables the DPOR layer; pruning counts
+    split into [pruned] (persistent-set) and [sleep_pruned] (sleep sets),
+    and mirror into the metrics registry under ["mc.pruned.persistent"] /
+    ["mc.pruned.sleep"].  [jobs] (default 1) sizes the domain pool draining
+    the shared plan frontier. *)
 
 val shrink : Scenario.t -> Plan.t -> Plan.t * Scenario.outcome
 (** Greedy fixpoint: repeatedly drop any single deviation whose removal

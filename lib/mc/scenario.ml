@@ -4,7 +4,12 @@ module Coherence = Mp_check.Coherence
 module Homes = Dsm.Config.Homes
 
 type workload =
-  | Racer of { locs : int; ops_per_host : int; wseed : int }
+  | Racer of {
+      locs : int;
+      ops_per_host : int;
+      wseed : int;
+      barrier_every : int;
+    }
   | App of string
 
 type t = {
@@ -19,11 +24,13 @@ type t = {
   seed : int;
   quantum_us : float;
   max_delay_steps : int;
+  refine : bool;
+  lockread : bool;
 }
 
 let default =
   {
-    workload = Racer { locs = 4; ops_per_host = 10; wseed = 7 };
+    workload = Racer { locs = 4; ops_per_host = 10; wseed = 7; barrier_every = 0 };
     hosts = 3;
     homes = Homes.central;
     consistency = Dsm.Config.Consistency.sc;
@@ -34,6 +41,8 @@ let default =
     seed = 1;
     quantum_us = 2.0;
     max_delay_steps = 3;
+    refine = false;
+    lockread = false;
   }
 
 let name t =
@@ -51,7 +60,9 @@ let name t =
     (match t.mutation with
     | None -> ""
     | Some (Dsm.Testonly.Stale_reply_data _) -> " mut:stale"
-    | Some (Dsm.Testonly.Drop_inval_ack _) -> " mut:dropack")
+    | Some (Dsm.Testonly.Drop_inval_ack _) -> " mut:dropack"
+    | Some (Dsm.Testonly.Lost_diff _) -> " mut:lostdiff")
+    ^ if t.refine then " spec" else ""
 
 (* ------------------------------ encoding ------------------------------- *)
 
@@ -59,8 +70,10 @@ let to_string t =
   let b = Buffer.create 128 in
   let kv fmt = Printf.ksprintf (fun s -> Buffer.add_string b s) fmt in
   (match t.workload with
-  | Racer { locs; ops_per_host; wseed } ->
-    kv "app=racer locs=%d ops=%d wseed=%d" locs ops_per_host wseed
+  | Racer { locs; ops_per_host; wseed; barrier_every } ->
+    kv "app=racer locs=%d ops=%d wseed=%d" locs ops_per_host wseed;
+    (* omitted when 0, so barrier-free racer artifacts round-trip unchanged *)
+    if barrier_every > 0 then kv " barrier=%d" barrier_every
   | App a -> kv "app=%s" a);
   kv " hosts=%d homes=%s" t.hosts (Homes.policy_name t.homes.Homes.policy);
   if t.homes.Homes.policy = Homes.Block then kv " block=%d" t.homes.Homes.block;
@@ -84,7 +97,11 @@ let to_string t =
   (match t.mutation with
   | None -> ()
   | Some (Dsm.Testonly.Stale_reply_data { nth }) -> kv " mutation=stale-reply:%d" nth
-  | Some (Dsm.Testonly.Drop_inval_ack { nth }) -> kv " mutation=drop-inval-ack:%d" nth);
+  | Some (Dsm.Testonly.Drop_inval_ack { nth }) -> kv " mutation=drop-inval-ack:%d" nth
+  | Some (Dsm.Testonly.Lost_diff { nth }) -> kv " mutation=lost-diff:%d" nth);
+  (* both omitted when off, so pre-refinement artifacts round-trip unchanged *)
+  if t.lockread then kv " lockread=1";
+  if t.refine then kv " refine=1";
   kv " seed=%d netseed=%d quantum=%g maxdelay=%d" t.seed t.net_seed t.quantum_us
     t.max_delay_steps;
   Buffer.contents b
@@ -128,16 +145,22 @@ let of_string s =
       if
         not
           (List.mem k
-             [ "app"; "locs"; "ops"; "wseed"; "hosts"; "homes"; "block";
+             [ "app"; "locs"; "ops"; "wseed"; "barrier"; "hosts"; "homes"; "block";
                "replicate"; "consistency"; "adapt"; "drop"; "dup"; "reorder";
                "jitter"; "crash"; "mutation"; "seed"; "netseed"; "quantum";
-               "maxdelay" ])
+               "maxdelay"; "lockread"; "refine" ])
       then fail "Scenario.of_string: unknown key %S" k)
     assoc;
   let workload =
     match get "app" with
     | None | Some "racer" ->
-      Racer { locs = int "locs" 4; ops_per_host = int "ops" 10; wseed = int "wseed" 7 }
+      Racer
+        {
+          locs = int "locs" 4;
+          ops_per_host = int "ops" 10;
+          wseed = int "wseed" 7;
+          barrier_every = int "barrier" 0;
+        }
     | Some a when List.mem a apps -> App a
     | Some a -> fail "Scenario.of_string: unknown app %S" a
   in
@@ -197,6 +220,7 @@ let of_string s =
         match (kind, int_of_string_opt nth) with
         | "stale-reply", Some nth -> Some (Dsm.Testonly.Stale_reply_data { nth })
         | "drop-inval-ack", Some nth -> Some (Dsm.Testonly.Drop_inval_ack { nth })
+        | "lost-diff", Some nth -> Some (Dsm.Testonly.Lost_diff { nth })
         | _ -> fail "Scenario.of_string: bad mutation %S" spec)
       | None -> fail "Scenario.of_string: bad mutation %S" spec)
   in
@@ -212,35 +236,75 @@ let of_string s =
     seed = int "seed" default.seed;
     quantum_us = flt "quantum" default.quantum_us;
     max_delay_steps = int "maxdelay" default.max_delay_steps;
+    refine = int "refine" 0 <> 0;
+    lockread = int "lockread" 0 <> 0;
   }
 
 (* ------------------------------ workloads ------------------------------ *)
 
 (* The racer draws each host's operation plan from a per-host generator
    derived before the run starts, so the operation sequences are a function
-   of [wseed] alone — never of the schedule under exploration. *)
-let setup_racer e dsm log ~locs ~ops_per_host ~wseed =
+   of [wseed] alone — never of the schedule under exploration.
+
+   Every operation is recorded twice: into the coherence log (exactly as
+   before — the log, and hence both fingerprints, is untouched by the
+   refinement machinery) and into the spec history, which additionally sees
+   the acquire/release sync points.  With [lockread] on, each critical
+   section reads its location before writing: that read sits above the
+   lock's happens-before floor, so a release whose diff the home lost is
+   observable — the next acquirer reads below the floor the release
+   published.  [lockread] changes the schedule (an extra protocol access
+   per critical section), so it is off by default and pre-existing
+   scenarios keep their fingerprints. *)
+let setup_racer e dsm log hist ~locs ~ops_per_host ~wseed ~barrier_every
+    ~lockread =
   let hosts = Dsm.hosts dsm in
   let xs = Dsm.malloc_array dsm ~count:locs ~size:64 in
   Array.iter (fun x -> Dsm.init_write_int dsm x 0) xs;
   let root = Mp_util.Prng.create ~seed:wseed in
   for host = 0 to hosts - 1 do
     let hr = Mp_util.Prng.split root in
-    Dsm.spawn dsm ~host ~name:(Printf.sprintf "racer%d" host) (fun ctx ->
-        for _ = 1 to ops_per_host do
+    (* named like the app threads ("sor.h0"), so engine labels mentioning
+       this thread carry a parseable host: Sched.independent then sees
+       racer resumes/starts, which is what lets both partial-order
+       reductions reason about them.  Fingerprints don't hash labels, so
+       pre-existing artifacts replay bit-identically. *)
+    Dsm.spawn dsm ~host ~name:(Printf.sprintf "racer.h%d" host) (fun ctx ->
+        for op = 1 to ops_per_host do
+          (* every host barriers at the same op indices, so arrival counts
+             always agree.  Barriers give the racer same-instant resumption
+             groups that span hosts — the tie shape DPOR sleep sets prune —
+             and exercise the spec's global barrier channel. *)
+          if barrier_every > 0 && op mod barrier_every = 0 then begin
+            Dsm.barrier ctx;
+            Spec.record hist (Spec.Barrier { host })
+          end;
           let l = Mp_util.Prng.int hr locs in
           match Mp_util.Prng.int hr 3 with
           | 0 ->
             Dsm.lock ctx l;
+            Spec.record hist (Spec.Acquire { host; key = l });
+            if lockread then begin
+              let v = Dsm.read_int ctx xs.(l) in
+              Coherence.record log ~time:(Engine.now e) ~host ~loc:l
+                ~kind:Coherence.Read ~value:v;
+              Spec.record hist (Spec.Read { host; loc = l; value = v })
+            end;
             let v = Coherence.fresh_value log in
             Dsm.write_int ctx xs.(l) v;
             Coherence.record log ~time:(Engine.now e) ~host ~loc:l
               ~kind:Coherence.Write ~value:v;
+            Spec.record hist (Spec.Write { host; loc = l; value = v });
+            (* recorded at release entry: the unlock below blocks until the
+               flushed diffs are acknowledged, so no one acquires this lock
+               before the publication is protocol-complete *)
+            Spec.record hist (Spec.Release { host; key = l });
             Dsm.unlock ctx l
           | 1 ->
             let v = Dsm.read_int ctx xs.(l) in
             Coherence.record log ~time:(Engine.now e) ~host ~loc:l
-              ~kind:Coherence.Read ~value:v
+              ~kind:Coherence.Read ~value:v;
+            Spec.record hist (Spec.Read { host; loc = l; value = v })
           | _ -> Dsm.compute ctx (1.0 +. Mp_util.Prng.float hr 20.0)
         done)
   done;
@@ -311,6 +375,7 @@ type outcome = {
   mutation_fired : bool;
   crashed : int list;
   profile : Mp_obs.Profile.t option;
+  refinement : Spec.verdict option;
 }
 
 (* splitmix64-style finalizer, truncated to OCaml's native int. *)
@@ -350,10 +415,12 @@ let run ?(profile = false) t ~sched =
      choice points, or timing — exploration results stay bit-identical *)
   let prof = if profile then Some (Mp_obs.Profile.attach obs) else None in
   let log = Coherence.create () in
+  let hist = Spec.hist () in
   let verify =
     match t.workload with
-    | Racer { locs; ops_per_host; wseed } ->
-      setup_racer e dsm log ~locs ~ops_per_host ~wseed
+    | Racer { locs; ops_per_host; wseed; barrier_every } ->
+      setup_racer e dsm log hist ~locs ~ops_per_host ~wseed ~barrier_every
+        ~lockread:t.lockread
     | App a -> setup_app dsm a
   in
   Sched.install sched e;
@@ -392,9 +459,31 @@ let run ?(profile = false) t ~sched =
       | Some false -> [ "result: verification failed" ]
       | _ -> []
   in
+  let refinement =
+    (* Only histories from completed runs refine: a deadlocked or crashed
+       thread's half-recorded critical section is not a spec execution.
+       Crash scenarios use the Weak relation even under sc — rollback
+       legitimately un-does writes the strict map would still hold. *)
+    if not t.refine then None
+    else if failure <> None then
+      Some { Spec.passed = true; reads_checked = 0; violations = [] }
+    else
+      let hb = t.crashes = [] in
+      let mode =
+        if t.crashes <> [] then Spec.Weak
+        else
+          match t.consistency.Dsm.Config.Consistency.mode with
+          | `Sc -> Spec.Sc
+          | _ -> Spec.Weak
+      in
+      Some (Spec.check ~mode ~hb (Spec.entries hist))
+  in
+  let refine_violations =
+    match refinement with Some v -> v.Spec.violations | None -> []
+  in
   let violations =
     (match failure with Some f -> [ f ] | None -> [])
-    @ coherence @ invariants @ result
+    @ coherence @ invariants @ refine_violations @ result
   in
   let state_sig =
     let h = ref 0x2545F49 in
@@ -442,6 +531,7 @@ let run ?(profile = false) t ~sched =
     mutation_fired = Dsm.Testonly.mutation_fired dsm;
     crashed;
     profile = prof;
+    refinement;
   }
 
 let run_plan ?profile t plan =

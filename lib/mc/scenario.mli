@@ -13,11 +13,22 @@
     schedules can be persisted as replayable artifacts. *)
 
 type workload =
-  | Racer of { locs : int; ops_per_host : int; wseed : int }
+  | Racer of {
+      locs : int;
+      ops_per_host : int;
+      wseed : int;
+      barrier_every : int;
+    }
       (** The adversarial workload: every host runs a seeded plan of
           lock-protected writes, unsynchronized reads and short computes
           over [locs] shared words, all recorded to a coherence log.
-          Maximizes protocol races per simulated microsecond. *)
+          Maximizes protocol races per simulated microsecond.
+          [barrier_every > 0] adds a global barrier every that many ops
+          (same op indices on every host): barriers produce the cross-host
+          same-instant tie groups DPOR sleep sets prune, and exercise the
+          refinement spec's barrier channel.  [0] — the default, and the
+          only shape that existed before refinement — keeps pre-existing
+          artifacts bit-identical. *)
   | App of string
       (** A real benchmark at miniature scale: ["sor"], ["lu"], ["water"],
           ["is"] or ["tsp"].  Checked by the application's own [verify]
@@ -37,6 +48,16 @@ type t = {
   seed : int;  (** DSM config seed *)
   quantum_us : float;  (** µs of delivery delay per net-point pick step *)
   max_delay_steps : int;  (** net-point picks range over [0, max_delay_steps] *)
+  refine : bool;
+      (** simulate the run's read/write/sync history against the executable
+          {!Spec} state machine; refinement violations join [violations].
+          Off by default — the history is recorded separately from the
+          coherence log, so turning refinement on changes no fingerprints. *)
+  lockread : bool;
+      (** racer variant: each critical section reads its location before
+          writing, placing an observation above the lock's happens-before
+          floor.  Required for the refinement spec to catch a lost release
+          diff.  Changes the schedule, so off by default. *)
 }
 
 val default : t
@@ -54,7 +75,7 @@ val of_string : string -> t
 type outcome = {
   violations : string list;
       (** everything that failed, prefixed ["deadlock:"], ["coherence:"],
-          ["invariant:"], ["result:"], ["transport:"] *)
+          ["invariant:"], ["refinement:"], ["result:"], ["transport:"] *)
   end_us : float;  (** simulated completion time *)
   steps : Sched.step array;  (** the schedule's full choice-point log *)
   taken : Plan.t;  (** non-default picks taken (replays this schedule) *)
@@ -69,6 +90,10 @@ type outcome = {
   crashed : int list;  (** hosts declared dead *)
   profile : Mp_obs.Profile.t option;
       (** sharing-pattern profile of the run, when [run ~profile:true] *)
+  refinement : Spec.verdict option;
+      (** the spec simulation's verdict, when the scenario has [refine]
+          set.  Vacuously passing for runs that did not complete (a
+          half-recorded critical section is not a spec execution). *)
 }
 
 val run : ?profile:bool -> t -> sched:Sched.t -> outcome

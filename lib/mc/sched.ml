@@ -1,8 +1,8 @@
 open Mp_sim
 
 type step =
-  | Tie of { n : int; pick : int; labels : string array }
-  | Net of { n : int; pick : int; label : string }
+  | Tie of { n : int; pick : int; time : float; labels : string array }
+  | Net of { n : int; pick : int; time : float; label : string }
 
 type mode = Follow | Random of { seed : int; prob : float }
 
@@ -64,16 +64,16 @@ let install t e =
     (Some
        {
          Engine.choose =
-           (fun ~time:_ ~labels ->
+           (fun ~time ~labels ->
              let n = Array.length labels in
              let pick = next_pick t ~n in
-             log_step t (Tie { n; pick; labels = Array.copy labels }) ~pick;
+             log_step t (Tie { n; pick; time; labels = Array.copy labels }) ~pick;
              pick);
          perturb_latency =
-           (fun ~label ~now:_ ->
+           (fun ~label ~now ->
              let n = t.max_delay_steps + 1 in
              let pick = next_pick t ~n in
-             log_step t (Net { n; pick; label }) ~pick;
+             log_step t (Net { n; pick; time = now; label }) ~pick;
              float_of_int pick *. t.quantum_us);
        })
 

@@ -15,10 +15,14 @@
     schedule bit-for-bit. *)
 
 type step =
-  | Tie of { n : int; pick : int; labels : string array }
-      (** [n ≥ 2] same-instant events, their engine labels, and the pick. *)
-  | Net of { n : int; pick : int; label : string }
-      (** A send on channel [label]; [n = max_delay_steps + 1] alternatives. *)
+  | Tie of { n : int; pick : int; time : float; labels : string array }
+      (** [n ≥ 2] same-instant events at instant [time], their engine labels,
+          and the pick.  [(time, label)] identifies an event stably across
+          tie reordering — promoting a tie alternative never moves its
+          timestamp — which is what the DPOR sleep sets key on. *)
+  | Net of { n : int; pick : int; time : float; label : string }
+      (** A send on channel [label] at instant [time];
+          [n = max_delay_steps + 1] alternatives. *)
 
 type mode =
   | Follow  (** plan picks where given, default 0 elsewhere *)

@@ -360,6 +360,7 @@ type gov = {
 type test_mutation =
   | Stale_reply_data of { nth : int }
   | Drop_inval_ack of { nth : int }
+  | Lost_diff of { nth : int }
 
 type t = {
   engine : Engine.t;
@@ -1322,9 +1323,28 @@ let manager_rc_diff t ~home ~req_id ~from ~mp_id ~epoch ~(diff : Twin_diff.t) =
       match e.shadow with
       | Some master ->
         Engine.delay (Twin_diff.apply_cost_us diff);
-        Twin_diff.apply diff master;
-        gov_note_diff t mp_id ~from diff;
-        log_append t ~home (Proto.L_diff { mp_id; diff })
+        (* test-only mutation: the home silently discards the nth diff it
+           would have applied — the releaser still gets its ack, so the
+           release completes and the writes are lost without any protocol
+           symptom.  Only the refinement spec's happens-before floor (an
+           acquirer of the same lock reading below the released rank) can
+           catch this. *)
+        let lose =
+          match t.mutation with
+          | Some (Lost_diff { nth }) ->
+            t.mutation_count <- t.mutation_count + 1;
+            if t.mutation_count = nth then begin
+              t.mutation_fired <- true;
+              true
+            end
+            else false
+          | _ -> false
+        in
+        if not lose then begin
+          Twin_diff.apply diff master;
+          gov_note_diff t mp_id ~from diff;
+          log_append t ~home (Proto.L_diff { mp_id; diff })
+        end
       | None -> Stats.Counters.incr t.counters "rc.stale_diffs")
     else Stats.Counters.incr t.counters "rc.stale_diffs";
     if not t.declared.(from) then
@@ -3787,6 +3807,7 @@ module Testonly = struct
   type mutation = test_mutation =
     | Stale_reply_data of { nth : int }
     | Drop_inval_ack of { nth : int }
+    | Lost_diff of { nth : int }
 
   let set_mutation t m =
     if t.started then invalid_arg "Dsm.Testonly.set_mutation: run already started";

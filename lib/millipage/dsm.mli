@@ -530,6 +530,14 @@ module Testonly : sig
             protection but never acknowledges: the writer's invalidation
             round hangs, which surfaces as an unmatched [Inval] /
             unmatched [Fault] in the trace invariants plus a {!Deadlock}. *)
+    | Lost_diff of { nth : int }
+        (** The [nth] release-consistency diff reaching its home is
+            discarded instead of applied to the master copy — but still
+            acknowledged, so the release completes and the critical
+            section's writes silently vanish.  Invisible to the coherence
+            write-rank oracle (nobody ever observes the lost value); only
+            the mpcheck refinement spec's sync-point happens-before floors
+            catch it. *)
 
   val set_mutation : t -> mutation option -> unit
   (** Arm (or disarm) a mutation.  Init phase only; resets the fire

@@ -363,21 +363,30 @@ let feed_all t events = List.iter (feed t) events
 (* Recorder attachment                                                 *)
 (* ------------------------------------------------------------------ *)
 
+(* mutex-guarded: parallel mpcheck workers may attach one profiler per
+   per-domain recorder, and the registry list is the only shared state *)
 let registry : (Recorder.t * t) list ref = ref []
+let registry_mutex = Mutex.create ()
 
-let attached r = List.assq_opt r !registry
+let with_registry f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+let attached r = with_registry (fun () -> List.assq_opt r !registry)
 
 let detach r =
-  if List.mem_assq r !registry then begin
-    Recorder.set_tap r None;
-    registry := List.filter (fun (r', _) -> r' != r) !registry
-  end
+  with_registry (fun () ->
+      if List.mem_assq r !registry then begin
+        Recorder.set_tap r None;
+        registry := List.filter (fun (r', _) -> r' != r) !registry
+      end)
 
 let attach ?thresholds ?bucket_us r =
   detach r;
   let t = create ?thresholds ?bucket_us () in
-  Recorder.set_tap r (Some (feed t));
-  registry := (r, t) :: !registry;
+  with_registry (fun () ->
+      Recorder.set_tap r (Some (feed t));
+      registry := (r, t) :: !registry);
   t
 
 (* ------------------------------------------------------------------ *)

@@ -159,15 +159,18 @@ let spawn t ?(name = "proc") ?group f =
    payload; processes capture it at spawn time via these helpers.  A process
    discovers its engine with a dedicated effect would be circular, so instead
    we thread the engine through a domain-local "current engine" set around
-   each event execution. *)
-let current : t option ref = ref None
+   each event execution.  Domain-local storage (not a plain ref) so that
+   several domains — the parallel mpcheck explorer runs one engine per
+   worker — never observe each other's current engine. *)
+let current : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
 let with_current t thunk =
-  let saved = !current in
-  current := Some t;
-  Fun.protect ~finally:(fun () -> current := saved) thunk
+  let saved = Domain.DLS.get current in
+  Domain.DLS.set current (Some t);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current saved) thunk
 
-let the_engine () = match !current with Some t -> t | None -> raise Not_in_process
+let the_engine () =
+  match Domain.DLS.get current with Some t -> t | None -> raise Not_in_process
 
 let delay d =
   let t = the_engine () in

@@ -1,0 +1,58 @@
+type ('a, 'b) t = {
+  mutexes : Mutex.t array;
+  shards : ('a, 'b) Hashtbl.t array;
+}
+
+let stripes = 64
+
+let create ?(size = 64) () =
+  {
+    mutexes = Array.init stripes (fun _ -> Mutex.create ());
+    shards = Array.init stripes (fun _ -> Hashtbl.create size);
+  }
+
+let stripe t k = Hashtbl.hash k land (Array.length t.shards - 1)
+
+let locked t i f =
+  Mutex.lock t.mutexes.(i);
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutexes.(i)) f
+
+let replace t k v =
+  let i = stripe t k in
+  locked t i (fun () -> Hashtbl.replace t.shards.(i) k v)
+
+let mem t k =
+  let i = stripe t k in
+  locked t i (fun () -> Hashtbl.mem t.shards.(i) k)
+
+let find_opt t k =
+  let i = stripe t k in
+  locked t i (fun () -> Hashtbl.find_opt t.shards.(i) k)
+
+(* Returns whether [k] was absent (and is now bound): a single atomic
+   test-and-set so concurrent claimants of one key see exactly one winner. *)
+let add_new t k v =
+  let i = stripe t k in
+  locked t i (fun () ->
+      if Hashtbl.mem t.shards.(i) k then false
+      else begin
+        Hashtbl.replace t.shards.(i) k v;
+        true
+      end)
+
+let length t =
+  let n = ref 0 in
+  Array.iteri
+    (fun i shard -> locked t i (fun () -> n := !n + Hashtbl.length shard))
+    t.shards;
+  !n
+
+let fold t f init =
+  let acc = ref init in
+  Array.iteri
+    (fun i shard ->
+      locked t i (fun () -> Hashtbl.iter (fun k v -> acc := f k v !acc) shard))
+    t.shards;
+  !acc
+
+let keys t = fold t (fun k _ acc -> k :: acc) []

@@ -118,7 +118,12 @@ let test_perturbation_clamped () =
 
 (* ---------------- replay determinism ---------------- *)
 
-let racer20 = Scenario.{ default with workload = Racer { locs = 4; ops_per_host = 20; wseed = 7 } }
+let racer20 =
+  Scenario.
+    {
+      default with
+      workload = Racer { locs = 4; ops_per_host = 20; wseed = 7; barrier_every = 0 };
+    }
 
 let test_follow_reproduces_random () =
   let r = Scenario.run_random racer20 ~seed:3 ~prob:0.1 in
@@ -159,6 +164,51 @@ let test_delay_bounded_prunes () =
   Alcotest.(check bool) "independent ties pruned" true (r.Explore.pruned > 0);
   Alcotest.(check bool) "protocol clean under delay bounding" true
     (r.Explore.failure = None)
+
+(* The parallel walk is defined by seed-indexed runs, not by which domain
+   executes them: for any seed, -j 1 and -j N must dedup to identical
+   trace- and state-fingerprint sets. *)
+let small_racer =
+  Scenario.
+    {
+      default with
+      workload = Racer { locs = 2; ops_per_host = 3; wseed = 7; barrier_every = 0 };
+    }
+
+let qcheck_parallel_walk_equivalence =
+  QCheck.Test.make ~name:"explore: -j1 and -j2 reach identical fingerprint sets"
+    ~count:6
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let budget = Explore.budget ~max_schedules:30 ~max_wall_s:60.0 () in
+      let a = Explore.random_walk small_racer ~seed budget in
+      let b = Explore.random_walk ~jobs:2 small_racer ~seed budget in
+      a.Explore.trace_sigs = b.Explore.trace_sigs
+      && a.Explore.state_sigs = b.Explore.state_sigs)
+
+(* Sleep-set soundness: on a racer small enough to search exhaustively, the
+   DPOR-pruned search must reach exactly the protocol states the unpruned
+   search reaches — sleep sets may only drop redundant interleavings. *)
+let test_sleep_sets_sound () =
+  let tiny =
+    Scenario.
+      {
+        default with
+        hosts = 2;
+        workload = Racer { locs = 2; ops_per_host = 3; wseed = 7; barrier_every = 2 };
+      }
+  in
+  let budget = Explore.budget ~max_schedules:50_000 ~max_wall_s:240.0 () in
+  let on = Explore.delay_bounded ~sleep_sets:true tiny ~bound:2 budget in
+  let off = Explore.delay_bounded ~sleep_sets:false tiny ~bound:2 budget in
+  Alcotest.(check bool) "both searches completed" true
+    (on.Explore.schedules < 50_000 && off.Explore.schedules < 50_000);
+  Alcotest.(check bool) "sleep sets pruned something" true
+    (on.Explore.sleep_pruned > 0);
+  Alcotest.(check bool) "pruned search runs no more schedules" true
+    (on.Explore.schedules <= off.Explore.schedules);
+  Alcotest.(check bool) "identical protocol-state coverage" true
+    (on.Explore.state_sigs = off.Explore.state_sigs)
 
 (* ---------------- seeded protocol mutations ---------------- *)
 
@@ -204,6 +254,106 @@ let test_drop_inval_ack_caught () =
   Alcotest.(check bool) "mutation fired" true o.Scenario.mutation_fired;
   Alcotest.(check bool) "invariant checker flagged the lost ack" true
     (any_contains "invariant" o.Scenario.violations)
+
+(* A lost release diff under RC is invisible to the coherence log and the
+   invariant checker on the default schedule — the dropped value is simply
+   never observed.  Only the refinement spec's happens-before floor (the
+   acquirer of the same lock reading below what the release published)
+   catches it; the failure must then shrink and replay like any other. *)
+let test_lost_diff_refinement_caught () =
+  let rc_racer =
+    {
+      racer20 with
+      consistency = Dsm.Config.Consistency.rc;
+      lockread = true;
+      mutation = Some (Dsm.Testonly.Lost_diff { nth = 6 });
+    }
+  in
+  let blind = Scenario.run_plan { rc_racer with refine = false } Plan.empty in
+  Alcotest.(check bool) "mutation fired" true blind.Scenario.mutation_fired;
+  Alcotest.(check (list string)) "coherence + invariants miss the lost diff" []
+    blind.Scenario.violations;
+  let budget = Explore.budget ~max_schedules:200 ~max_wall_s:300.0 () in
+  let r = Explore.random_walk ~prob:0.1 { rc_racer with refine = true } ~seed:1 budget in
+  match r.Explore.failure with
+  | None -> Alcotest.fail "refinement missed the lost diff"
+  | Some (plan, o) ->
+    Alcotest.(check bool) "refinement oracle flagged it" true
+      (any_contains "refinement" o.Scenario.violations);
+    let shrunk, so = Explore.shrink { rc_racer with refine = true } plan in
+    Alcotest.(check bool) "still failing after shrink" true
+      (so.Scenario.violations <> []);
+    Alcotest.(check bool) "shrink never grows" true
+      (Plan.deviations shrunk <= Plan.deviations plan);
+    let artifact = Artifact.of_outcome { rc_racer with refine = true } shrunk so in
+    let artifact' = Artifact.of_string (Artifact.to_string artifact) in
+    Alcotest.(check (list string)) "artifact replays bit-identically" []
+      (Artifact.check artifact' (Artifact.replay artifact'))
+
+(* ---------------- the refinement spec itself ---------------- *)
+
+let w host loc value = Spec.Write { host; loc; value }
+let rd host loc value = Spec.Read { host; loc; value }
+
+let test_spec_sc () =
+  let ok = Spec.check ~mode:Spec.Sc [ w 0 0 1; rd 1 0 1; w 1 0 2; rd 0 0 2 ] in
+  Alcotest.(check bool) "alternating history passes" true ok.Spec.passed;
+  Alcotest.(check int) "both reads checked" 2 ok.Spec.reads_checked;
+  Alcotest.(check bool) "initial value readable" true
+    (Spec.check ~mode:Spec.Sc [ rd 1 0 0 ]).Spec.passed;
+  let stale = [ w 0 0 1; w 0 0 2; rd 1 0 1 ] in
+  Alcotest.(check bool) "SC rejects a stale read" false
+    (Spec.check ~mode:Spec.Sc stale).Spec.passed;
+  Alcotest.(check bool) "weak (no HB yet) permits the same lag" true
+    (Spec.check ~mode:Spec.Weak stale).Spec.passed;
+  Alcotest.(check bool) "value from nowhere rejected in every mode" false
+    (Spec.check ~mode:Spec.Weak [ w 0 0 1; rd 1 0 9 ]).Spec.passed
+
+let test_spec_weak_hb () =
+  let handoff later =
+    [ w 0 0 1; w 0 0 2; Spec.Release { host = 0; key = 5 };
+      Spec.Acquire { host = 1; key = 5 }; rd 1 0 later ]
+  in
+  Alcotest.(check bool) "acquirer may read what the release published" true
+    (Spec.check ~mode:Spec.Weak (handoff 2)).Spec.passed;
+  Alcotest.(check bool) "acquirer below the HB floor rejected" false
+    (Spec.check ~mode:Spec.Weak (handoff 1)).Spec.passed;
+  Alcotest.(check bool) "crash rule (hb off) tolerates the regression" true
+    (Spec.check ~mode:Spec.Weak ~hb:false (handoff 1)).Spec.passed;
+  let barrier later =
+    [ w 0 0 1; w 0 0 2; Spec.Barrier { host = 0 }; Spec.Barrier { host = 1 };
+      rd 1 0 later ]
+  in
+  Alcotest.(check bool) "barrier publishes into the global channel" true
+    (Spec.check ~mode:Spec.Weak (barrier 2)).Spec.passed;
+  Alcotest.(check bool) "post-barrier read below the floor rejected" false
+    (Spec.check ~mode:Spec.Weak (barrier 1)).Spec.passed;
+  let own =
+    [ w 0 0 1; w 1 0 2; rd 1 0 2; rd 1 0 1 ]
+  in
+  Alcotest.(check bool) "host never regresses its own front" false
+    (Spec.check ~mode:Spec.Weak own).Spec.passed
+
+(* Clean explorations must pass refinement end-to-end: strict SC on the SC
+   protocol, the weak relation on RC (diffs linearize at sync points). *)
+let test_refinement_end_to_end () =
+  let budget = Explore.budget ~max_schedules:60 ~max_wall_s:120.0 () in
+  List.iter
+    (fun consistency ->
+      let s = { racer20 with consistency; refine = true; lockread = true } in
+      let r = Explore.random_walk s ~seed:5 budget in
+      Alcotest.(check bool) "no refinement failures" true (r.Explore.failure = None))
+    [
+      Dsm.Config.Consistency.sc;
+      Dsm.Config.Consistency.rc;
+      Dsm.Config.Consistency.adaptive;
+    ];
+  let o = Scenario.run_plan { racer20 with refine = true; lockread = true } Plan.empty in
+  match o.Scenario.refinement with
+  | Some v ->
+    Alcotest.(check bool) "verdict passed" true v.Spec.passed;
+    Alcotest.(check bool) "reads actually simulated" true (v.Spec.reads_checked > 0)
+  | None -> Alcotest.fail "refine=1 produced no verdict"
 
 (* ---------------- checker-checks-the-checker ---------------- *)
 
@@ -314,6 +464,18 @@ let test_golden_replay () =
     && a.Scenario.end_us = b.Scenario.end_us
     && a.Scenario.violations = b.Scenario.violations)
 
+let lost_diff_golden_path =
+  if Sys.file_exists "golden/lost_diff.mpc" then "golden/lost_diff.mpc"
+  else "test/golden/lost_diff.mpc"
+
+let test_golden_lost_diff_replay () =
+  let artifact = Artifact.load ~file:lost_diff_golden_path in
+  let a = Artifact.replay artifact in
+  Alcotest.(check (list string)) "golden replay matches its recording" []
+    (Artifact.check artifact a);
+  Alcotest.(check bool) "the lost diff still reproduces" true
+    (any_contains "refinement" a.Scenario.violations)
+
 let suite =
   [
     Alcotest.test_case "plan round-trip" `Quick test_plan_roundtrip;
@@ -336,4 +498,15 @@ let suite =
       test_checker_catches_lost_inval_ack;
     Alcotest.test_case "fresh_value allocator" `Quick test_fresh_value_allocator;
     Alcotest.test_case "golden artifact replay" `Quick test_golden_replay;
+    QCheck_alcotest.to_alcotest qcheck_parallel_walk_equivalence;
+    Alcotest.test_case "sleep sets are sound on a complete search" `Slow
+      test_sleep_sets_sound;
+    Alcotest.test_case "lost diff caught only by refinement" `Quick
+      test_lost_diff_refinement_caught;
+    Alcotest.test_case "spec: SC relation" `Quick test_spec_sc;
+    Alcotest.test_case "spec: weak relation and HB floors" `Quick test_spec_weak_hb;
+    Alcotest.test_case "refinement end-to-end on sc/rc/adaptive" `Quick
+      test_refinement_end_to_end;
+    Alcotest.test_case "golden lost-diff artifact replay" `Quick
+      test_golden_lost_diff_replay;
   ]
